@@ -1,0 +1,199 @@
+//! AdaBoost over decision stumps (the strongest hand-crafted baseline in
+//! the paper's Table III).
+
+/// One weak learner: a single-feature threshold with polarity.
+#[derive(Debug, Clone, Copy)]
+struct Stump {
+    feature: usize,
+    threshold: f32,
+    /// `true`: predict +1 when `x > threshold`.
+    polarity: bool,
+    alpha: f64,
+}
+
+impl Stump {
+    fn predict(&self, x: &[f32]) -> f64 {
+        let above = x[self.feature] > self.threshold;
+        if above == self.polarity {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+/// AdaBoost ensemble.
+#[derive(Debug, Clone)]
+pub struct AdaBoost {
+    stumps: Vec<Stump>,
+}
+
+impl AdaBoost {
+    /// Train `rounds` boosting rounds.
+    pub fn train(features: &[Vec<f32>], labels: &[usize], rounds: usize) -> Self {
+        assert_eq!(features.len(), labels.len());
+        assert!(!features.is_empty(), "empty training set");
+        let n = features.len();
+        let dim = features[0].len();
+        let ys: Vec<f64> = labels.iter().map(|&y| if y == 1 { 1.0 } else { -1.0 }).collect();
+        let mut w = vec![1.0 / n as f64; n];
+        let mut stumps = Vec::with_capacity(rounds);
+
+        // Precompute sorted value lists per feature.
+        let sorted: Vec<Vec<(f32, usize)>> = (0..dim)
+            .map(|d| {
+                let mut v: Vec<(f32, usize)> =
+                    features.iter().enumerate().map(|(i, f)| (f[d], i)).collect();
+                v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN feature"));
+                v
+            })
+            .collect();
+
+        for _ in 0..rounds {
+            // Find the stump with minimum weighted error.
+            let mut best: Option<(Stump, f64)> = None;
+            for (d, col) in sorted.iter().enumerate() {
+                // err(threshold) for polarity=true starts with all "above".
+                // Sweep thresholds at midpoints.
+                // err_pol_true = Σ w_i [pred != y]: initially everything is
+                // above threshold (threshold below min) → pred = +1.
+                let mut err_true: f64 =
+                    col.iter().map(|&(_, i)| if ys[i] > 0.0 { 0.0 } else { w[i] }).sum();
+                let consider = |best: &mut Option<(Stump, f64)>, stump: Stump, err: f64| {
+                    let e = err.clamp(0.0, 1.0);
+                    // Use distance from 0.5 (a stump worse than chance is
+                    // used with flipped polarity).
+                    let (stump, e) = if e > 0.5 {
+                        (Stump { polarity: !stump.polarity, ..stump }, 1.0 - e)
+                    } else {
+                        (stump, e)
+                    };
+                    if best.as_ref().map(|&(_, be)| e < be).unwrap_or(true) {
+                        *best = Some((stump, e));
+                    }
+                };
+                consider(
+                    &mut best,
+                    Stump { feature: d, threshold: f32::NEG_INFINITY, polarity: true, alpha: 0.0 },
+                    err_true,
+                );
+                for k in 0..col.len() {
+                    let (v, i) = col[k];
+                    // Moving sample i below the threshold flips its pred
+                    // from +1 to -1 under polarity=true.
+                    if ys[i] > 0.0 {
+                        err_true += w[i];
+                    } else {
+                        err_true -= w[i];
+                    }
+                    let next_v = col.get(k + 1).map(|&(nv, _)| nv);
+                    if next_v == Some(v) {
+                        continue;
+                    }
+                    let threshold = match next_v {
+                        Some(nv) => (v + nv) / 2.0,
+                        None => v + 1.0,
+                    };
+                    consider(
+                        &mut best,
+                        Stump { feature: d, threshold, polarity: true, alpha: 0.0 },
+                        err_true,
+                    );
+                }
+            }
+            let (mut stump, err) = best.expect("at least one stump");
+            let err = err.max(1e-10);
+            if err >= 0.5 {
+                break; // no weak learner better than chance
+            }
+            stump.alpha = 0.5 * ((1.0 - err) / err).ln();
+            // Reweight.
+            let mut z = 0.0;
+            for i in 0..n {
+                w[i] *= (-stump.alpha * ys[i] * stump.predict(&features[i])).exp();
+                z += w[i];
+            }
+            for wi in &mut w {
+                *wi /= z;
+            }
+            let perfect = err < 1e-9;
+            stumps.push(stump);
+            if perfect {
+                break;
+            }
+        }
+        Self { stumps }
+    }
+
+    /// Ensemble margin (positive → class 1).
+    pub fn decision(&self, x: &[f32]) -> f64 {
+        self.stumps.iter().map(|s| s.alpha * s.predict(x)).sum()
+    }
+
+    /// Predicted class.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        usize::from(self.decision(x) >= 0.0)
+    }
+
+    /// Number of weak learners actually kept.
+    pub fn rounds(&self) -> usize {
+        self.stumps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn single_threshold_problem_is_one_stump() {
+        let xs: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        let ys: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
+        let model = AdaBoost::train(&xs, &ys, 10);
+        let preds: Vec<usize> = xs.iter().map(|x| model.predict(x)).collect();
+        assert_eq!(Metrics::from_predictions(&preds, &ys).accuracy(), 1.0);
+        assert_eq!(model.rounds(), 1, "one stump suffices");
+    }
+
+    #[test]
+    fn boosting_solves_interval_problem() {
+        // Class 1 inside [3, 7): needs at least two stumps.
+        let xs: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32 / 2.0]).collect();
+        let ys: Vec<usize> =
+            xs.iter().map(|x| usize::from(x[0] >= 3.0 && x[0] < 7.0)).collect();
+        let model = AdaBoost::train(&xs, &ys, 50);
+        let preds: Vec<usize> = xs.iter().map(|x| model.predict(x)).collect();
+        let acc = Metrics::from_predictions(&preds, &ys).accuracy();
+        assert!(acc >= 0.9, "interval accuracy {acc}");
+        assert!(model.rounds() >= 2);
+    }
+
+    #[test]
+    fn noisy_blobs_beat_chance() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..300 {
+            let y = rng.random_range(0..2usize);
+            let c = if y == 1 { 1.2 } else { -1.2 };
+            xs.push(vec![c + rng.random_range(-2.0..2.0), rng.random_range(-1.0..1.0)]);
+            ys.push(y);
+        }
+        let model = AdaBoost::train(&xs, &ys, 40);
+        let preds: Vec<usize> = xs.iter().map(|x| model.predict(x)).collect();
+        let acc = Metrics::from_predictions(&preds, &ys).accuracy();
+        assert!(acc > 0.65, "accuracy {acc}");
+    }
+
+    #[test]
+    fn inverted_labels_learned_via_polarity() {
+        let xs: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        let ys: Vec<usize> = (0..20).map(|i| usize::from(i < 10)).collect(); // class 1 below
+        let model = AdaBoost::train(&xs, &ys, 5);
+        let preds: Vec<usize> = xs.iter().map(|x| model.predict(x)).collect();
+        assert_eq!(Metrics::from_predictions(&preds, &ys).accuracy(), 1.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Hand-crafted feature extraction (Fried et al., ICMLA'13).
+//!
+//! The classic classifiers consume exactly the Table I dynamic feature
+//! vector per loop — instruction count, trip count, critical path length,
+//! estimated speedup and the three dependence counts — matching the
+//! feature set of the paper's SVM / decision-tree / AdaBoost baselines.
+
+use mvgnn_embed::GraphSample;
+use mvgnn_profiler::DynamicFeatures;
+
+/// Width of the hand-crafted vector (the Table I features).
+pub const HANDCRAFTED_DIM: usize = DynamicFeatures::DIM;
+
+/// Extract the Table I feature vector from a model sample. The dynamics
+/// are broadcast to every node row, so row 0 carries them.
+pub fn handcrafted_features(s: &GraphSample) -> Vec<f32> {
+    let dyn_off = s.node_dim - DynamicFeatures::DIM;
+    s.node_feats[dyn_off..s.node_dim].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvgnn_embed::{build_sample, Inst2Vec, Inst2VecConfig, SampleConfig};
+    use mvgnn_ir::inst::BinOp;
+    use mvgnn_ir::types::Ty;
+    use mvgnn_ir::{FunctionBuilder, Module};
+    use mvgnn_peg::{build_peg, loop_subpeg};
+    use mvgnn_profiler::{build_cus, loop_features, profile_module};
+
+    fn sample(serial: bool) -> GraphSample {
+        let mut m = Module::new("t");
+        let a = m.add_array("a", Ty::F64, 18);
+        let out = m.add_array("b", Ty::F64, 18);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let lo = b.const_i64(1);
+        let hi = b.const_i64(17);
+        let st = b.const_i64(1);
+        let one = b.const_i64(1);
+        let l = b.for_loop(lo, hi, st, |b, iv| {
+            let im1 = b.bin(BinOp::Sub, iv, one);
+            let x = b.load(a, im1);
+            let y = b.bin(BinOp::Add, x, x);
+            if serial {
+                b.store(a, iv, y);
+            } else {
+                b.store(out, iv, y);
+            }
+        });
+        let f = b.finish();
+        let cus = build_cus(&m);
+        let res = profile_module(&m, f, &[]).unwrap();
+        let peg = build_peg(&m, &cus, &res.deps);
+        let sub = loop_subpeg(&peg, &m, &cus, f, l);
+        let feats = loop_features(&m, f, l, &res.deps, &res.loops[&(f, l)]);
+        let i2v = Inst2Vec::train(
+            &[&m],
+            &Inst2VecConfig { dim: 8, epochs: 1, negatives: 2, lr: 0.05, seed: 1 },
+        );
+        build_sample(&sub, &i2v, &feats, &SampleConfig::default(), None)
+    }
+
+    #[test]
+    fn feature_vector_is_exactly_table1() {
+        let s = sample(false);
+        let f = handcrafted_features(&s);
+        assert_eq!(f.len(), HANDCRAFTED_DIM);
+        assert_eq!(f.len(), 7);
+        assert!(f.iter().all(|x| x.is_finite()));
+        // Must equal the broadcast dynamics of any row.
+        let dyn_off = s.node_dim - 7;
+        assert_eq!(&f[..], &s.node_feats[dyn_off..s.node_dim]);
+    }
+
+    #[test]
+    fn serial_and_parallel_loops_separate_in_feature_space() {
+        let fp = handcrafted_features(&sample(false));
+        let fs = handcrafted_features(&sample(true));
+        // ESP (index 3) must be higher for the parallel loop.
+        assert!(fp[3] > fs[3], "parallel esp {} vs serial esp {}", fp[3], fs[3]);
+    }
+}

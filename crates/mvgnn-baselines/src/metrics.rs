@@ -1,0 +1,140 @@
+//! Binary-classification metrics shared by every model and tool.
+
+/// Confusion-matrix based metrics for the binary parallelism task
+/// (positive class = parallelisable).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Metrics {
+    /// True positives.
+    pub tp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Metrics {
+    /// Accumulate predictions against labels.
+    pub fn from_predictions(preds: &[usize], labels: &[usize]) -> Self {
+        assert_eq!(preds.len(), labels.len(), "prediction/label count mismatch");
+        let mut m = Metrics::default();
+        for (&p, &y) in preds.iter().zip(labels) {
+            m.record(p, y);
+        }
+        m
+    }
+
+    /// Record one prediction.
+    pub fn record(&mut self, pred: usize, label: usize) {
+        match (pred, label) {
+            (1, 1) => self.tp += 1,
+            (0, 0) => self.tn += 1,
+            (1, 0) => self.fp += 1,
+            (0, 1) => self.fn_ += 1,
+            _ => panic!("labels must be 0/1, got pred {pred} label {label}"),
+        }
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// Accuracy in [0, 1].
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// Precision of the positive class.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    /// Recall of the positive class.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// F1 of the positive class.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "acc {:.1}% | P {:.3} R {:.3} F1 {:.3} | tp {} tn {} fp {} fn {}",
+            self.accuracy() * 100.0,
+            self.precision(),
+            self.recall(),
+            self.f1(),
+            self.tp,
+            self.tn,
+            self.fp,
+            self.fn_
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let m = Metrics::from_predictions(&[1, 0, 1, 0], &[1, 0, 1, 0]);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn mixed_predictions() {
+        // preds: tp, fp, fn, tn
+        let m = Metrics::from_predictions(&[1, 1, 0, 0], &[1, 0, 1, 0]);
+        assert_eq!(m.tp, 1);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.fn_, 1);
+        assert_eq!(m.tn, 1);
+        assert_eq!(m.accuracy(), 0.5);
+        assert_eq!(m.precision(), 0.5);
+        assert_eq!(m.recall(), 0.5);
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_divide_by_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        let all_neg = Metrics::from_predictions(&[0, 0], &[0, 0]);
+        assert_eq!(all_neg.accuracy(), 1.0);
+        assert_eq!(all_neg.precision(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be 0/1")]
+    fn non_binary_rejected() {
+        let mut m = Metrics::default();
+        m.record(2, 1);
+    }
+}

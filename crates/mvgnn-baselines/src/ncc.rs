@@ -1,0 +1,206 @@
+//! Neural Code Comprehension baseline (Ben-Nun et al., NeurIPS'18):
+//! inst2vec statement embeddings fed through two stacked LSTMs and a
+//! small dense head — no graph structure, sequence order only.
+
+use mvgnn_embed::Inst2Vec;
+use mvgnn_nn::{Embedding, Linear, Lstm};
+use mvgnn_tensor::init;
+use mvgnn_tensor::optim::{clip_grad_norm, Adam};
+use mvgnn_tensor::tape::{argmax_rows, Params, Tape};
+
+/// NCC hyperparameters.
+#[derive(Debug, Clone)]
+pub struct NccConfig {
+    /// LSTM hidden width (paper: 200; scaled default for CPU training).
+    pub hidden: usize,
+    /// Dense layer width (paper: 16).
+    pub dense: usize,
+    /// Maximum sequence length (longer sequences truncate).
+    pub max_len: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Seed for weight init.
+    pub seed: u64,
+}
+
+impl Default for NccConfig {
+    fn default() -> Self {
+        Self { hidden: 32, dense: 16, max_len: 48, lr: 0.01, epochs: 12, seed: 0x9cc }
+    }
+}
+
+/// The NCC model.
+pub struct Ncc {
+    cfg: NccConfig,
+    params: Params,
+    embedding: Embedding,
+    lstm1: Lstm,
+    lstm2: Lstm,
+    dense: Linear,
+    head: Linear,
+}
+
+impl Ncc {
+    /// Build with the embedding table initialised from a trained inst2vec
+    /// (rows copied; fine-tuned during training, as in the original).
+    pub fn new(inst2vec: &Inst2Vec, cfg: NccConfig) -> Self {
+        let mut params = Params::new();
+        let mut rng = init::rng(cfg.seed);
+        let dim = inst2vec.dim();
+        let vocab = inst2vec.vocab_size();
+        let embedding = Embedding::new(&mut params, "ncc.embed", vocab, dim, &mut rng);
+        // Seed the table with inst2vec rows.
+        {
+            let table = params.data_mut(embedding.table);
+            let mut tokens: Vec<&str> = inst2vec.tokens().collect();
+            tokens.sort_unstable();
+            for tok in tokens {
+                let id = inst2vec.id(tok);
+                table[id * dim..(id + 1) * dim].copy_from_slice(inst2vec.embed(tok));
+            }
+        }
+        let lstm1 = Lstm::new(&mut params, "ncc.lstm1", dim, cfg.hidden, &mut rng);
+        let lstm2 = Lstm::new(&mut params, "ncc.lstm2", cfg.hidden, cfg.hidden, &mut rng);
+        let dense = Linear::new(&mut params, "ncc.dense", cfg.hidden, cfg.dense, true, &mut rng);
+        let head = Linear::new(&mut params, "ncc.head", cfg.dense, 2, true, &mut rng);
+        Self { cfg, params, embedding, lstm1, lstm2, dense, head }
+    }
+
+    fn clip_seq<'a>(&self, seq: &'a [usize]) -> &'a [usize] {
+        &seq[..seq.len().min(self.cfg.max_len)]
+    }
+
+    fn forward_logits(&self, tape: &mut Tape<'_>, seq: &[usize]) -> mvgnn_tensor::tape::Var {
+        let xs = self.embedding.forward(tape, seq);
+        let (h1, _) = self.lstm1.forward_seq(tape, xs);
+        let a1 = tape.relu(h1);
+        let (_, last) = self.lstm2.forward_seq(tape, a1);
+        let d = self.dense.forward(tape, last);
+        let a = tape.relu(d);
+        self.head.forward(tape, a)
+    }
+
+    /// Train on `(token sequence, label)` pairs; returns per-epoch mean
+    /// loss for monitoring.
+    pub fn train(&mut self, data: &[(Vec<usize>, usize)]) -> Vec<f32> {
+        assert!(!data.is_empty(), "empty training set");
+        let mut opt = Adam::new(self.cfg.lr);
+        let mut curve = Vec::with_capacity(self.cfg.epochs);
+        for _epoch in 0..self.cfg.epochs {
+            let mut total = 0.0f32;
+            self.params.zero_grads();
+            for (seq, label) in data {
+                if seq.is_empty() {
+                    continue;
+                }
+                let seq_c: Vec<usize> = self.clip_seq(seq).to_vec();
+                let mut params = std::mem::take(&mut self.params);
+                let mut tape = Tape::new(&mut params);
+                let logits = self.forward_logits(&mut tape, &seq_c);
+                let loss = tape.softmax_ce(logits, &[*label], 1.0);
+                total += tape.data(loss)[0];
+                tape.backward(loss);
+                drop(tape);
+                self.params = params;
+            }
+            clip_grad_norm(&mut self.params, 5.0);
+            opt.step(&mut self.params);
+            curve.push(total / data.len() as f32);
+        }
+        curve
+    }
+
+    /// Predict the class of one sequence.
+    pub fn predict(&mut self, seq: &[usize]) -> usize {
+        if seq.is_empty() {
+            return 1; // majority prior
+        }
+        let seq_c: Vec<usize> = self.clip_seq(seq).to_vec();
+        let mut params = std::mem::take(&mut self.params);
+        let pred = {
+            let mut tape = Tape::new(&mut params);
+            let logits = self.forward_logits(&mut tape, &seq_c);
+            argmax_rows(tape.data(logits), 1, 2)[0]
+        };
+        self.params = params;
+        pred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvgnn_embed::Inst2VecConfig;
+    use mvgnn_ir::inst::BinOp;
+    use mvgnn_ir::types::Ty;
+    use mvgnn_ir::{FunctionBuilder, Module};
+
+    fn tiny_inst2vec() -> Inst2Vec {
+        let mut m = Module::new("c");
+        let a = m.add_array("a", Ty::F64, 8);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let lo = b.const_i64(0);
+        let hi = b.const_i64(8);
+        let st = b.const_i64(1);
+        b.for_loop(lo, hi, st, |b, iv| {
+            let x = b.load(a, iv);
+            let y = b.bin(BinOp::Add, x, x);
+            b.store(a, iv, y);
+        });
+        b.finish();
+        Inst2Vec::train(
+            &[&m],
+            &Inst2VecConfig { dim: 8, epochs: 2, negatives: 2, lr: 0.05, seed: 2 },
+        )
+    }
+
+    fn quick_cfg() -> NccConfig {
+        NccConfig { hidden: 8, dense: 8, max_len: 12, lr: 0.05, epochs: 40, seed: 3 }
+    }
+
+    #[test]
+    fn learns_token_presence_rule() {
+        // Class by whether token id 2 appears — an easy sequence task.
+        let i2v = tiny_inst2vec();
+        let data: Vec<(Vec<usize>, usize)> = vec![
+            (vec![0, 2, 1], 1),
+            (vec![2, 0, 0], 1),
+            (vec![1, 1, 2], 1),
+            (vec![0, 1, 0], 0),
+            (vec![1, 0, 1], 0),
+            (vec![0, 0, 1], 0),
+        ];
+        let mut ncc = Ncc::new(&i2v, quick_cfg());
+        let curve = ncc.train(&data);
+        assert!(curve.last().unwrap() < &curve[0], "loss should fall: {curve:?}");
+        let correct = data.iter().filter(|(s, y)| ncc.predict(s) == *y).count();
+        assert!(correct >= 5, "{correct}/6 correct");
+    }
+
+    #[test]
+    fn truncates_long_sequences() {
+        let i2v = tiny_inst2vec();
+        let mut ncc = Ncc::new(&i2v, quick_cfg());
+        let long: Vec<usize> = vec![0; 500];
+        let _ = ncc.predict(&long); // must not blow up
+    }
+
+    #[test]
+    fn empty_sequence_has_default() {
+        let i2v = tiny_inst2vec();
+        let mut ncc = Ncc::new(&i2v, quick_cfg());
+        assert_eq!(ncc.predict(&[]), 1);
+    }
+
+    #[test]
+    fn embedding_initialised_from_inst2vec() {
+        let i2v = tiny_inst2vec();
+        let ncc = Ncc::new(&i2v, quick_cfg());
+        let id = i2v.id("load");
+        let dim = i2v.dim();
+        let row = &ncc.params.data(ncc.embedding.table)[id * dim..(id + 1) * dim];
+        assert_eq!(row, i2v.embed("load"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Linear SVM trained with Pegasos (primal sub-gradient descent).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Linear support-vector classifier with an explicit bias term.
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    weights: Vec<f32>,
+    bias: f32,
+    /// Per-feature standardisation (mean, inv-std) fitted on training data.
+    norm: Vec<(f32, f32)>,
+}
+
+impl LinearSvm {
+    /// Train with Pegasos: `lambda` regularises, `epochs` passes.
+    pub fn train(features: &[Vec<f32>], labels: &[usize], lambda: f32, epochs: usize, seed: u64) -> Self {
+        assert_eq!(features.len(), labels.len());
+        assert!(!features.is_empty(), "empty training set");
+        let dim = features[0].len();
+        let norm = fit_norm(features, dim);
+        let xs: Vec<Vec<f32>> = features.iter().map(|f| apply_norm(f, &norm)).collect();
+        let ys: Vec<f32> = labels.iter().map(|&y| if y == 1 { 1.0 } else { -1.0 }).collect();
+
+        let mut w = vec![0.0f32; dim];
+        let mut b = 0.0f32;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 1u64;
+        for _ in 0..epochs {
+            for _ in 0..xs.len() {
+                let i = rng.random_range(0..xs.len());
+                let eta = 1.0 / (lambda * t as f32);
+                t += 1;
+                let margin = ys[i] * (dot(&w, &xs[i]) + b);
+                // Regularisation shrink.
+                let shrink = 1.0 - eta * lambda;
+                for wv in &mut w {
+                    *wv *= shrink;
+                }
+                if margin < 1.0 {
+                    for (wv, &x) in w.iter_mut().zip(&xs[i]) {
+                        *wv += eta * ys[i] * x;
+                    }
+                    b += eta * ys[i];
+                }
+            }
+        }
+        Self { weights: w, bias: b, norm }
+    }
+
+    /// Signed decision value.
+    pub fn decision(&self, features: &[f32]) -> f32 {
+        let x = apply_norm(features, &self.norm);
+        dot(&self.weights, &x) + self.bias
+    }
+
+    /// Predicted class (1 = parallelisable).
+    pub fn predict(&self, features: &[f32]) -> usize {
+        usize::from(self.decision(features) >= 0.0)
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+pub(crate) fn fit_norm(features: &[Vec<f32>], dim: usize) -> Vec<(f32, f32)> {
+    let n = features.len() as f32;
+    let mut norm = vec![(0.0f32, 1.0f32); dim];
+    for d in 0..dim {
+        let mean: f32 = features.iter().map(|f| f[d]).sum::<f32>() / n;
+        let var: f32 = features.iter().map(|f| (f[d] - mean).powi(2)).sum::<f32>() / n;
+        let inv_std = if var > 1e-12 { 1.0 / var.sqrt() } else { 1.0 };
+        norm[d] = (mean, inv_std);
+    }
+    norm
+}
+
+pub(crate) fn apply_norm(f: &[f32], norm: &[(f32, f32)]) -> Vec<f32> {
+    f.iter().zip(norm).map(|(&x, &(m, s))| (x - m) * s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    fn blobs(n: usize, sep: f32, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let y = rng.random_range(0..2usize);
+            let cx = if y == 1 { sep } else { -sep };
+            xs.push(vec![
+                cx + rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+            ]);
+            ys.push(y);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn separable_blobs_reach_high_accuracy() {
+        let (xs, ys) = blobs(200, 3.0, 1);
+        let svm = LinearSvm::train(&xs, &ys, 0.01, 20, 7);
+        let preds: Vec<usize> = xs.iter().map(|x| svm.predict(x)).collect();
+        let m = Metrics::from_predictions(&preds, &ys);
+        assert!(m.accuracy() > 0.97, "{m}");
+    }
+
+    #[test]
+    fn overlapping_blobs_stay_above_chance() {
+        let (xs, ys) = blobs(400, 0.7, 2);
+        let svm = LinearSvm::train(&xs, &ys, 0.01, 20, 7);
+        let preds: Vec<usize> = xs.iter().map(|x| svm.predict(x)).collect();
+        let m = Metrics::from_predictions(&preds, &ys);
+        assert!(m.accuracy() > 0.6, "{m}");
+        assert!(m.accuracy() < 1.0, "overlap should prevent perfection");
+    }
+
+    #[test]
+    fn decision_is_monotone_along_weight_direction() {
+        let (xs, ys) = blobs(100, 3.0, 3);
+        let svm = LinearSvm::train(&xs, &ys, 0.01, 10, 7);
+        let low = svm.decision(&[-5.0, 0.0]);
+        let high = svm.decision(&[5.0, 0.0]);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn standardisation_handles_constant_features() {
+        let xs = vec![vec![1.0, 5.0], vec![-1.0, 5.0], vec![1.2, 5.0], vec![-0.8, 5.0]];
+        let ys = vec![1, 0, 1, 0];
+        let svm = LinearSvm::train(&xs, &ys, 0.05, 30, 1);
+        assert_eq!(svm.predict(&[1.0, 5.0]), 1);
+        assert_eq!(svm.predict(&[-1.0, 5.0]), 0);
+    }
+}

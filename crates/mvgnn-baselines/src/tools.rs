@@ -1,0 +1,565 @@
+//! Auto-parallelisation tool baselines.
+//!
+//! Each preserves the *decision-procedure class* of the original tool,
+//! which is what produces the Table III accuracy ordering:
+//!
+//! - [`pluto_like`] — purely static polyhedral-style dependence testing
+//!   over affine index expressions (GCD test). Precise on affine nests
+//!   (PolyBench), blind to reductions and calls (NPB/BOTS).
+//! - [`autopar_like`] — conservative static analysis that additionally
+//!   recognises scalar and memory reductions, still rejecting calls and
+//!   non-affine accesses.
+//! - [`discopop_like`] — the dynamic classifier of `mvgnn-profiler` with
+//!   DiscoPoP's practical filters (profitability threshold, call-free
+//!   regions), which introduce its characteristic false negatives.
+
+use mvgnn_ir::inst::{BinOp, Inst};
+use mvgnn_ir::module::{BlockId, FuncId, LoopId, Module};
+use mvgnn_ir::types::{ArrayId, VReg};
+use mvgnn_profiler::{classify_loop, DepGraph, LoopRuntime};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A tool's verdict on one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ToolVerdict {
+    /// The tool would parallelise the loop.
+    Parallel,
+    /// The tool refuses.
+    NotParallel,
+}
+
+impl ToolVerdict {
+    /// As the binary label of the evaluation.
+    pub fn label(self) -> usize {
+        usize::from(self == ToolVerdict::Parallel)
+    }
+}
+
+/// Affine expression over induction registers, or unanalysable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Sym {
+    Affine {
+        constant: i64,
+        /// Coefficient per induction register.
+        coeffs: BTreeMap<u32, i64>,
+    },
+    Unknown,
+}
+
+impl Sym {
+    fn constant(c: i64) -> Sym {
+        Sym::Affine { constant: c, coeffs: BTreeMap::new() }
+    }
+
+    fn var(reg: VReg) -> Sym {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(reg.0, 1);
+        Sym::Affine { constant: 0, coeffs }
+    }
+
+    fn add(&self, other: &Sym, negate: bool) -> Sym {
+        match (self, other) {
+            (
+                Sym::Affine { constant: c1, coeffs: k1 },
+                Sym::Affine { constant: c2, coeffs: k2 },
+            ) => {
+                let sign = if negate { -1 } else { 1 };
+                let mut coeffs = k1.clone();
+                for (&r, &c) in k2 {
+                    *coeffs.entry(r).or_insert(0) += sign * c;
+                }
+                coeffs.retain(|_, &mut c| c != 0);
+                Sym::Affine { constant: c1 + sign * c2, coeffs }
+            }
+            _ => Sym::Unknown,
+        }
+    }
+
+    fn mul(&self, other: &Sym) -> Sym {
+        match (self, other) {
+            (Sym::Affine { constant, coeffs }, rhs) if coeffs.is_empty() => rhs.scale(*constant),
+            (lhs, Sym::Affine { constant, coeffs }) if coeffs.is_empty() => lhs.scale(*constant),
+            _ => Sym::Unknown,
+        }
+    }
+
+    fn scale(&self, s: i64) -> Sym {
+        match self {
+            Sym::Affine { constant, coeffs } => {
+                let mut k: BTreeMap<u32, i64> =
+                    coeffs.iter().map(|(&r, &c)| (r, c * s)).collect();
+                k.retain(|_, &mut c| c != 0);
+                Sym::Affine { constant: constant * s, coeffs: k }
+            }
+            Sym::Unknown => Sym::Unknown,
+        }
+    }
+}
+
+/// One static memory access in a loop body.
+#[derive(Debug, Clone)]
+struct Access {
+    arr: ArrayId,
+    index: Sym,
+    is_write: bool,
+    block: BlockId,
+    idx_in_block: usize,
+}
+
+/// Static summary of a loop body.
+struct LoopSummary {
+    accesses: Vec<Access>,
+    has_call: bool,
+    /// Self-updating registers (`r = r ⊕ x`, r not an induction), split by
+    /// commutativity of the update.
+    commutative_recs: HashSet<VReg>,
+    noncommutative_recs: HashSet<VReg>,
+}
+
+fn summarise(module: &Module, func: FuncId, l: LoopId) -> LoopSummary {
+    let f = &module.funcs[func.index()];
+    let blocks: Vec<BlockId> = f.loop_blocks(l);
+    let block_set: HashSet<BlockId> = blocks.iter().copied().collect();
+    let inductions: HashSet<VReg> = f.loops.iter().filter_map(|i| i.induction).collect();
+
+    // Multi-def registers (outside induction updates) become Unknown.
+    let mut def_count: HashMap<VReg, u32> = HashMap::new();
+    for (r, inst, _) in f.insts_with_refs(func) {
+        let _ = r;
+        if let Some(d) = inst.def() {
+            *def_count.entry(d).or_insert(0) += 1;
+        }
+    }
+
+    let mut sym: HashMap<VReg, Sym> = HashMap::new();
+    for iv in &inductions {
+        sym.insert(*iv, Sym::var(*iv));
+    }
+    let lookup = |sym: &HashMap<VReg, Sym>, r: VReg| sym.get(&r).cloned().unwrap_or(Sym::Unknown);
+
+    let mut summary = LoopSummary {
+        accesses: Vec::new(),
+        has_call: false,
+        commutative_recs: HashSet::new(),
+        noncommutative_recs: HashSet::new(),
+    };
+
+    // Walk the whole function in block order so values defined before the
+    // loop (bounds, constants, strides) are known; record accesses only
+    // inside the loop's blocks.
+    for (bi, blk) in f.blocks.iter().enumerate() {
+        let bid = BlockId(bi as u32);
+        let inside = block_set.contains(&bid);
+        for (ii, inst) in blk.insts.iter().enumerate() {
+            match inst {
+                Inst::Const { dst, value }
+                    if !inductions.contains(dst) => {
+                        let s = value
+                            .as_i64()
+                            .map(Sym::constant)
+                            .unwrap_or(Sym::Unknown);
+                        sym.insert(*dst, s);
+                    }
+                Inst::Copy { dst, src }
+                    if !inductions.contains(dst) => {
+                        let s = lookup(&sym, *src);
+                        sym.insert(*dst, s);
+                    }
+                Inst::Bin { op, dst, lhs, rhs } => {
+                    if inside && (*dst == *lhs || *dst == *rhs) && !inductions.contains(dst) {
+                        if matches!(op, BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max) {
+                            summary.commutative_recs.insert(*dst);
+                        } else {
+                            summary.noncommutative_recs.insert(*dst);
+                        }
+                    }
+                    if !inductions.contains(dst) {
+                        let a = lookup(&sym, *lhs);
+                        let b = lookup(&sym, *rhs);
+                        let s = if def_count.get(dst).copied().unwrap_or(0) > 1 {
+                            Sym::Unknown
+                        } else {
+                            match op {
+                                BinOp::Add => a.add(&b, false),
+                                BinOp::Sub => a.add(&b, true),
+                                BinOp::Mul => a.mul(&b),
+                                _ => Sym::Unknown,
+                            }
+                        };
+                        sym.insert(*dst, s);
+                    }
+                }
+                Inst::Un { dst, .. }
+                    if !inductions.contains(dst) => {
+                        sym.insert(*dst, Sym::Unknown);
+                    }
+                Inst::Load { dst, arr, idx } => {
+                    if inside {
+                        summary.accesses.push(Access {
+                            arr: *arr,
+                            index: lookup(&sym, *idx),
+                            is_write: false,
+                            block: bid,
+                            idx_in_block: ii,
+                        });
+                    }
+                    if !inductions.contains(dst) {
+                        sym.insert(*dst, Sym::Unknown);
+                    }
+                }
+                Inst::Store { arr, idx, .. }
+                    if inside => {
+                        summary.accesses.push(Access {
+                            arr: *arr,
+                            index: lookup(&sym, *idx),
+                            is_write: true,
+                            block: bid,
+                            idx_in_block: ii,
+                        });
+                    }
+                Inst::Call { dst, .. } => {
+                    if inside {
+                        summary.has_call = true;
+                    }
+                    if let Some(d) = dst {
+                        sym.insert(*d, Sym::Unknown);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    summary
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Does a pair of accesses conflict across iterations of the loop whose
+/// induction register is `iv`? Conservative: `true` unless provably safe.
+fn conflicts(iv: VReg, a: &Access, b: &Access) -> bool {
+    let (Sym::Affine { constant: c1, coeffs: k1 }, Sym::Affine { constant: c2, coeffs: k2 }) =
+        (&a.index, &b.index)
+    else {
+        return true; // unanalysable index
+    };
+    let a_iv = k1.get(&iv.0).copied().unwrap_or(0);
+    let b_iv = k2.get(&iv.0).copied().unwrap_or(0);
+    // Remaining symbols (outer/inner loop ivs) must match coefficient-wise;
+    // otherwise be conservative.
+    let strip = |k: &BTreeMap<u32, i64>| -> BTreeMap<u32, i64> {
+        k.iter().filter(|&(&r, _)| r != iv.0).map(|(&r, &c)| (r, c)).collect()
+    };
+    if strip(k1) != strip(k2) {
+        return true;
+    }
+    let dc = c2 - c1;
+    match (a_iv, b_iv) {
+        (0, 0) => dc == 0, // same fixed cell touched every iteration
+        (x, y) if x == y => {
+            // a(i1 - i2) = dc: carried iff a nonzero distance exists.
+            dc != 0 && dc % x == 0
+        }
+        (x, y) => {
+            // x·i1 − y·i2 = dc solvable (GCD test) — conservative on
+            // distinct coefficients.
+            let g = gcd(x, y);
+            g != 0 && dc % g == 0
+        }
+    }
+}
+
+/// Memory reduction chains: stores whose value flows through a
+/// commutative op from a load of the same array and index register in
+/// the same block (the classic `a[x] = a[x] ⊕ v`).
+fn reduction_stores(module: &Module, func: FuncId, l: LoopId) -> HashSet<(BlockId, usize)> {
+    let f = &module.funcs[func.index()];
+    let blocks: HashSet<BlockId> = f.loop_blocks(l).into_iter().collect();
+    // Single-def constant registers (front-ends emit one per literal).
+    let mut def_count: HashMap<VReg, u32> = HashMap::new();
+    let mut const_val: HashMap<VReg, mvgnn_ir::types::Value> = HashMap::new();
+    for blk in &f.blocks {
+        for inst in &blk.insts {
+            if let Some(d) = inst.def() {
+                *def_count.entry(d).or_insert(0) += 1;
+            }
+            if let Inst::Const { dst, value } = inst {
+                const_val.insert(*dst, *value);
+            }
+        }
+    }
+    const_val.retain(|r, _| def_count.get(r) == Some(&1));
+    let mut out = HashSet::new();
+    for (bi, blk) in f.blocks.iter().enumerate() {
+        let bid = BlockId(bi as u32);
+        if !blocks.contains(&bid) {
+            continue;
+        }
+        for (si, inst) in blk.insts.iter().enumerate() {
+            let Inst::Store { arr, idx, src } = inst else { continue };
+            let mut reduction = false;
+            for prev in blk.insts[..si].iter().rev() {
+                if prev.def() == Some(*src) {
+                    if let Inst::Bin { op, lhs, rhs, .. } = prev {
+                        if matches!(op, BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max) {
+                            reduction = blk.insts[..si].iter().any(|p| {
+                                matches!(p, Inst::Load { dst, arr: la, idx: li }
+                                    if (dst == lhs || dst == rhs) && la == arr
+                                        && (li == idx
+                                            || matches!(
+                                                (const_val.get(li), const_val.get(idx)),
+                                                (Some(x), Some(y)) if x == y)))
+                            });
+                        }
+                    }
+                    break;
+                }
+            }
+            if reduction {
+                out.insert((bid, si));
+            }
+        }
+    }
+    out
+}
+
+/// Pluto-like static verdict: affine dependence testing, no reduction
+/// support, rejects calls and scalar recurrences.
+pub fn pluto_like(module: &Module, func: FuncId, l: LoopId) -> ToolVerdict {
+    let f = &module.funcs[func.index()];
+    let Some(iv) = f.loops[l.index()].induction else {
+        return ToolVerdict::NotParallel; // non-counted loop
+    };
+    let s = summarise(module, func, l);
+    if s.has_call || !s.commutative_recs.is_empty() || !s.noncommutative_recs.is_empty() {
+        return ToolVerdict::NotParallel;
+    }
+    for (i, a) in s.accesses.iter().enumerate() {
+        for b in &s.accesses[i..] {
+            if a.arr != b.arr || (!a.is_write && !b.is_write) {
+                continue;
+            }
+            if conflicts(iv, a, b) {
+                return ToolVerdict::NotParallel;
+            }
+        }
+    }
+    ToolVerdict::Parallel
+}
+
+/// AutoPar-like static verdict: like Pluto but accepts commutative scalar
+/// recurrences and memory reduction chains.
+pub fn autopar_like(module: &Module, func: FuncId, l: LoopId) -> ToolVerdict {
+    let f = &module.funcs[func.index()];
+    let Some(iv) = f.loops[l.index()].induction else {
+        return ToolVerdict::NotParallel;
+    };
+    let s = summarise(module, func, l);
+    if !s.noncommutative_recs.is_empty() {
+        return ToolVerdict::NotParallel;
+    }
+    // AutoPar inlines trivial pure callees; anything else is opaque.
+    if s.has_call && has_call_failing(module, func, l, is_simple_pure) {
+        return ToolVerdict::NotParallel;
+    }
+    let red = reduction_stores(module, func, l);
+    // Arrays that are targets of reduction stores: conflicts on them are
+    // tolerated (implemented as an OpenMP reduction/atomic).
+    let red_arrays: HashSet<ArrayId> = s
+        .accesses
+        .iter()
+        .filter(|a| a.is_write && red.contains(&(a.block, a.idx_in_block)))
+        .map(|a| a.arr)
+        .collect();
+    for (i, a) in s.accesses.iter().enumerate() {
+        for b in &s.accesses[i..] {
+            if a.arr != b.arr || (!a.is_write && !b.is_write) {
+                continue;
+            }
+            if red_arrays.contains(&a.arr) {
+                continue;
+            }
+            if conflicts(iv, a, b) {
+                return ToolVerdict::NotParallel;
+            }
+        }
+    }
+    ToolVerdict::Parallel
+}
+
+/// One-level purity: a function is "simple pure" when it neither touches
+/// memory nor calls anything (recursion counts as a call). Static tools
+/// can reason about such callees by inlining.
+fn is_simple_pure(module: &Module, callee: mvgnn_ir::module::FuncId) -> bool {
+    module.funcs[callee.index()].insts_with_refs(callee).all(|(_, inst, _)| {
+        !matches!(inst, Inst::Load { .. } | Inst::Store { .. } | Inst::Call { .. })
+    })
+}
+
+/// Transitive write-freedom over the call graph (optimistic fixpoint:
+/// cycles — recursion — do not themselves make a function write). The
+/// *dynamic* tool can bound side effects this way because it observes
+/// the whole execution.
+fn is_store_free(module: &Module, callee: mvgnn_ir::module::FuncId) -> bool {
+    fn rec(
+        module: &Module,
+        f: mvgnn_ir::module::FuncId,
+        visiting: &mut HashSet<u32>,
+    ) -> bool {
+        if !visiting.insert(f.0) {
+            return true; // optimistic on cycles
+        }
+        let ok = module.funcs[f.index()].insts_with_refs(f).all(|(_, inst, _)| match inst {
+            Inst::Store { .. } => false,
+            Inst::Call { func: g, .. } => rec(module, *g, visiting),
+            _ => true,
+        });
+        visiting.remove(&f.0);
+        ok
+    }
+    rec(module, callee, &mut HashSet::new())
+}
+
+/// Calls inside the loop that the given purity rule does not excuse.
+fn has_call_failing(
+    module: &Module,
+    func: FuncId,
+    l: LoopId,
+    mut ok: impl FnMut(&Module, mvgnn_ir::module::FuncId) -> bool,
+) -> bool {
+    let f = &module.funcs[func.index()];
+    let blocks: HashSet<BlockId> = f.loop_blocks(l).into_iter().collect();
+    f.insts_with_refs(func).any(|(r, inst, _)| {
+        blocks.contains(&r.block)
+            && matches!(inst, Inst::Call { func: callee, .. } if !ok(module, *callee))
+    })
+}
+
+/// DiscoPoP-like dynamic verdict: the profiler's classification plus the
+/// tool's practical filters — a profitability threshold (tiny loops are
+/// not worth parallelising) and opacity of calls whose side effects the
+/// CU analysis cannot bound (simple pure callees are fine; recursive or
+/// memory-touching ones are not).
+pub fn discopop_like(
+    module: &Module,
+    func: FuncId,
+    l: LoopId,
+    deps: &DepGraph,
+    runtime: &LoopRuntime,
+) -> ToolVerdict {
+    if runtime.iterations < 3 {
+        return ToolVerdict::NotParallel; // not profitable
+    }
+    if has_call_failing(module, func, l, is_store_free) {
+        return ToolVerdict::NotParallel;
+    }
+    if classify_loop(module, func, l, deps).is_parallelizable() {
+        ToolVerdict::Parallel
+    } else {
+        ToolVerdict::NotParallel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvgnn_dataset::{build_kernel, KernelKind};
+    use mvgnn_profiler::profile_module;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn kernel(kind: KernelKind) -> (Module, FuncId, Vec<(LoopId, mvgnn_dataset::PatternKind)>) {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut m = Module::new("t");
+        let (f, loops) = build_kernel(&mut m, kind, 0, 12, &mut rng);
+        (m, f, loops)
+    }
+
+    #[test]
+    fn pluto_accepts_affine_doall() {
+        let (m, f, loops) = kernel(KernelKind::Triad);
+        assert_eq!(pluto_like(&m, f, loops[0].0), ToolVerdict::Parallel);
+        let (m2, f2, loops2) = kernel(KernelKind::Stencil3);
+        assert_eq!(pluto_like(&m2, f2, loops2[0].0), ToolVerdict::Parallel);
+    }
+
+    #[test]
+    fn pluto_rejects_serial_and_reductions() {
+        let (m, f, loops) = kernel(KernelKind::PrefixSum);
+        assert_eq!(pluto_like(&m, f, loops[0].0), ToolVerdict::NotParallel);
+        // Reductions are parallelisable in the label set but Pluto says no
+        // — the characteristic false negative.
+        let (m2, f2, loops2) = kernel(KernelKind::SumReduction);
+        assert_eq!(pluto_like(&m2, f2, loops2[0].0), ToolVerdict::NotParallel);
+    }
+
+    #[test]
+    fn pluto_rejects_calls_and_indirect() {
+        let (m, f, loops) = kernel(KernelKind::TaskSpawn);
+        assert_eq!(pluto_like(&m, f, loops[0].0), ToolVerdict::NotParallel);
+        let (m2, f2, loops2) = kernel(KernelKind::IndirectGather);
+        // The gather loop (second) has an unanalysable load index... the
+        // read is non-affine but reads don't conflict with reads; the only
+        // write is out[i] (affine). Pluto accepts read-side indirection.
+        assert_eq!(pluto_like(&m2, f2, loops2[1].0), ToolVerdict::Parallel);
+        // Scatter with indirect *write* index must be rejected.
+        let (m3, f3, loops3) = kernel(KernelKind::ScatterConflict);
+        assert_eq!(pluto_like(&m3, f3, loops3[1].0), ToolVerdict::NotParallel);
+    }
+
+    #[test]
+    fn autopar_accepts_reductions_pluto_rejects() {
+        for kind in [KernelKind::SumReduction, KernelKind::DotProduct, KernelKind::MaxReduction] {
+            let (m, f, loops) = kernel(kind);
+            assert_eq!(autopar_like(&m, f, loops[0].0), ToolVerdict::Parallel, "{kind:?}");
+            assert_eq!(pluto_like(&m, f, loops[0].0), ToolVerdict::NotParallel, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn autopar_still_rejects_true_serial() {
+        for kind in [KernelKind::PrefixSum, KernelKind::Recurrence, KernelKind::Stencil3InPlace] {
+            let (m, f, loops) = kernel(kind);
+            assert_eq!(autopar_like(&m, f, loops[0].0), ToolVerdict::NotParallel, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn discopop_matches_ground_truth_on_large_call_free_loops() {
+        for kind in [KernelKind::VectorMap, KernelKind::SumReduction, KernelKind::PrefixSum] {
+            let (m, f, loops) = kernel(kind);
+            let res = profile_module(&m, f, &[]).unwrap();
+            let (l, pat) = loops[0];
+            let v = discopop_like(&m, f, l, &res.deps, &res.loops[&(f, l)]);
+            assert_eq!(v.label(), usize::from(pat.is_parallelizable()), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn discopop_sees_through_store_free_recursion() {
+        // DiscoPoP's dynamic analysis identifies BOTS-style task loops;
+        // the recursive fib callee writes nothing shared.
+        let (m, f, loops) = kernel(KernelKind::TaskSpawn);
+        let res = profile_module(&m, f, &[]).unwrap();
+        let (l, pat) = loops[0];
+        assert!(pat.is_parallelizable());
+        let v = discopop_like(&m, f, l, &res.deps, &res.loops[&(f, l)]);
+        assert_eq!(v, ToolVerdict::Parallel, "store-free recursion is transparent");
+        // The static tools stay conservative on recursion.
+        assert_eq!(autopar_like(&m, f, l), ToolVerdict::NotParallel);
+        assert_eq!(pluto_like(&m, f, l), ToolVerdict::NotParallel);
+    }
+
+    #[test]
+    fn verdict_label_mapping() {
+        assert_eq!(ToolVerdict::Parallel.label(), 1);
+        assert_eq!(ToolVerdict::NotParallel.label(), 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! CART decision tree with Gini impurity.
+
+/// A binary decision tree over f32 feature vectors.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        /// Child index when `x[feature] <= threshold`.
+        left: usize,
+        /// Child index otherwise.
+        right: usize,
+    },
+}
+
+/// Tree-growth hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 8, min_samples: 4 }
+    }
+}
+
+fn gini(counts: &[usize; 2]) -> f64 {
+    let n = (counts[0] + counts[1]) as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let p0 = counts[0] as f64 / n;
+    let p1 = counts[1] as f64 / n;
+    1.0 - p0 * p0 - p1 * p1
+}
+
+impl DecisionTree {
+    /// Grow a tree on the training set.
+    pub fn train(features: &[Vec<f32>], labels: &[usize], cfg: TreeConfig) -> Self {
+        assert_eq!(features.len(), labels.len());
+        assert!(!features.is_empty(), "empty training set");
+        let idx: Vec<usize> = (0..features.len()).collect();
+        let mut nodes = Vec::new();
+        Self::grow(features, labels, &idx, cfg, 0, &mut nodes);
+        Self { nodes }
+    }
+
+    fn majority(labels: &[usize], idx: &[usize]) -> usize {
+        let pos = idx.iter().filter(|&&i| labels[i] == 1).count();
+        usize::from(pos * 2 >= idx.len())
+    }
+
+    fn grow(
+        features: &[Vec<f32>],
+        labels: &[usize],
+        idx: &[usize],
+        cfg: TreeConfig,
+        depth: usize,
+        nodes: &mut Vec<Node>,
+    ) -> usize {
+        let pos = idx.iter().filter(|&&i| labels[i] == 1).count();
+        let pure = pos == 0 || pos == idx.len();
+        if pure || depth >= cfg.max_depth || idx.len() < cfg.min_samples {
+            let id = nodes.len();
+            nodes.push(Node::Leaf { class: Self::majority(labels, idx) });
+            return id;
+        }
+        // Best split by Gini gain over candidate thresholds (midpoints of
+        // sorted unique values).
+        let dim = features[0].len();
+        let parent_counts = [idx.len() - pos, pos];
+        let parent_gini = gini(&parent_counts);
+        let mut best: Option<(usize, f32, f64)> = None;
+        #[allow(clippy::needless_range_loop)]
+        for d in 0..dim {
+            let mut vals: Vec<(f32, usize)> =
+                idx.iter().map(|&i| (features[i][d], labels[i])).collect();
+            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN feature"));
+            let mut left = [0usize; 2];
+            let mut right = parent_counts;
+            for w in 0..vals.len() - 1 {
+                let (v, y) = vals[w];
+                left[y] += 1;
+                right[y] -= 1;
+                let next_v = vals[w + 1].0;
+                if v == next_v {
+                    continue;
+                }
+                let nl = (w + 1) as f64;
+                let nr = (vals.len() - w - 1) as f64;
+                let n = vals.len() as f64;
+                let score = parent_gini - (nl / n) * gini(&left) - (nr / n) * gini(&right);
+                // Accept zero-gain splits too: on XOR-like data the first
+                // split gains nothing but enables pure children below.
+                if best.map(|(_, _, s)| score > s).unwrap_or(true) {
+                    best = Some((d, (v + next_v) / 2.0, score));
+                }
+            }
+        }
+        let Some((feature, threshold, _)) = best else {
+            let id = nodes.len();
+            nodes.push(Node::Leaf { class: Self::majority(labels, idx) });
+            return id;
+        };
+        let (li, ri): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| features[i][feature] <= threshold);
+        debug_assert!(!li.is_empty() && !ri.is_empty());
+        let id = nodes.len();
+        nodes.push(Node::Leaf { class: 0 }); // placeholder
+        let left = Self::grow(features, labels, &li, cfg, depth + 1, nodes);
+        let right = Self::grow(features, labels, &ri, cfg, depth + 1, nodes);
+        nodes[id] = Node::Split { feature, threshold, left, right };
+        id
+    }
+
+    /// Predicted class.
+    pub fn predict(&self, features: &[f32]) -> usize {
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { class } => return *class,
+                Node::Split { feature, threshold, left, right } => {
+                    cur = if features[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (leaves + splits).
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    #[test]
+    fn axis_aligned_split_is_learned_exactly() {
+        let xs: Vec<Vec<f32>> =
+            (0..40).map(|i| vec![i as f32, (i % 7) as f32]).collect();
+        let ys: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+        let tree = DecisionTree::train(&xs, &ys, TreeConfig::default());
+        let preds: Vec<usize> = xs.iter().map(|x| tree.predict(x)).collect();
+        assert_eq!(Metrics::from_predictions(&preds, &ys).accuracy(), 1.0);
+        assert!(tree.size() >= 3);
+    }
+
+    #[test]
+    fn learns_xor_with_bounded_depth() {
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.1, 0.1],
+            vec![0.1, 0.9],
+            vec![0.9, 0.1],
+            vec![0.9, 0.9],
+        ];
+        let ys = vec![0, 1, 1, 0, 0, 1, 1, 0];
+        let tree = DecisionTree::train(&xs, &ys, TreeConfig { max_depth: 6, min_samples: 1 });
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(tree.predict(x), y, "at {x:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_caps_tree() {
+        let xs: Vec<Vec<f32>> = (0..64).map(|i| vec![i as f32]).collect();
+        let ys: Vec<usize> = (0..64).map(|i| (i / 2) % 2).collect(); // very jagged
+        let shallow = DecisionTree::train(&xs, &ys, TreeConfig { max_depth: 1, min_samples: 1 });
+        let deep = DecisionTree::train(&xs, &ys, TreeConfig { max_depth: 10, min_samples: 1 });
+        assert!(shallow.size() < deep.size());
+        assert!(shallow.size() <= 3);
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        let xs = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let ys = vec![1, 1, 1];
+        let tree = DecisionTree::train(&xs, &ys, TreeConfig::default());
+        assert_eq!(tree.size(), 1);
+        assert_eq!(tree.predict(&[99.0]), 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! Suite generation and augmentation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvgnn_dataset::{generate_app, TABLE2};
+use mvgnn_ir::transform::{optimize, OptLevel};
+
+fn bench_dataset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_app");
+    for spec in [TABLE2[4], TABLE2[3], TABLE2[6]] {
+        // EP (10), IS (25), MG (74)
+        group.bench_with_input(BenchmarkId::new("app", spec.name), &spec, |b, &s| {
+            b.iter(|| generate_app(s, 1));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("optimize");
+    let app = generate_app(TABLE2[3], 1);
+    for level in [OptLevel::O1, OptLevel::O3, OptLevel::O5] {
+        group.bench_with_input(
+            BenchmarkId::new("level", format!("{level:?}")),
+            &level,
+            |b, &l| {
+                b.iter(|| optimize(&app.module, l));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataset);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! DGCNN forward/backward step cost at both model scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvgnn_gnn::{gcn_adjacency, Dgcnn, DgcnnConfig};
+use mvgnn_graph::Csr;
+use mvgnn_tensor::init;
+use mvgnn_tensor::tape::{Params, Tape};
+
+fn cfg_small(in_dim: usize) -> DgcnnConfig {
+    DgcnnConfig {
+        in_dim,
+        gc_dims: vec![16, 16, 1],
+        k: 16,
+        conv1_out: 8,
+        conv2_ksize: 3,
+        conv2_out: 16,
+        dense_hidden: 32,
+        classes: 2,
+    }
+}
+
+fn cfg_paper(in_dim: usize) -> DgcnnConfig {
+    DgcnnConfig {
+        in_dim,
+        gc_dims: vec![32, 32, 32, 1],
+        k: 135,
+        conv1_out: 16,
+        conv2_ksize: 5,
+        conv2_out: 32,
+        dense_hidden: 128,
+        classes: 2,
+    }
+}
+
+fn bench_dgcnn(c: &mut Criterion) {
+    let n = 40usize;
+    let in_dim = 32usize;
+    let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i as u32, i as u32 + 1)).collect();
+    let adj = gcn_adjacency(&Csr::from_edges(n, &edges));
+    let feats: Vec<f32> = (0..n * in_dim).map(|i| (i % 13) as f32 * 0.1).collect();
+
+    let mut group = c.benchmark_group("dgcnn_step");
+    for (name, cfg) in [("small", cfg_small(in_dim)), ("paper_k135", cfg_paper(in_dim))] {
+        let mut params = Params::new();
+        let mut rng = init::rng(1);
+        let model = Dgcnn::new(&mut params, "d", cfg, &mut rng);
+        group.bench_with_input(BenchmarkId::new("fwd_bwd", name), &name, |b, _| {
+            b.iter(|| {
+                params.zero_grads();
+                let mut tape = Tape::new(&mut params);
+                let x = tape.input(feats.clone(), n, in_dim);
+                let logits = model.logits(&mut tape, &adj, x);
+                let loss = tape.softmax_ce(logits, &[1], 0.5);
+                tape.backward(loss);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dgcnn);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Mini-language front-end throughput: lex+parse+lower+verify.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn kernel_source(loops: usize) -> String {
+    let mut src = String::from("array a[64]: f64;\narray b[64]: f64;\nfn main() {\n");
+    for k in 0..loops {
+        src.push_str(&format!(
+            "    for i{k} in 0..64 {{ b[i{k}] = a[i{k}] * {k}.5 + b[i{k}]; }}\n"
+        ));
+    }
+    src.push_str("}\n");
+    src
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for &loops in &[1usize, 16, 64] {
+        let src = kernel_source(loops);
+        group.bench_with_input(BenchmarkId::new("loops", loops), &src, |b, s| {
+            b.iter(|| mvgnn_lang::compile(s).expect("compiles"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! End-to-end per-loop classification latency: IR → profile → PEG →
+//! features → MV-GNN prediction (the deployment path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvgnn_core::model::{MvGnn, MvGnnConfig};
+use mvgnn_dataset::{build_kernel, KernelKind};
+use mvgnn_embed::{build_sample, Inst2Vec, Inst2VecConfig, SampleConfig};
+use mvgnn_ir::Module;
+use mvgnn_peg::{build_peg, loop_subpeg};
+use mvgnn_profiler::{build_cus, loop_features, profile_module};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut m = Module::new("bench");
+    let (f, loops) = build_kernel(&mut m, KernelKind::MatVec, 0, 16, &mut rng);
+    let i2v = Inst2Vec::train(
+        &[&m],
+        &Inst2VecConfig { dim: 16, epochs: 2, negatives: 2, lr: 0.05, seed: 1 },
+    );
+    let scfg = SampleConfig::default();
+
+    c.bench_function("pipeline_ir_to_sample", |b| {
+        b.iter(|| {
+            let res = profile_module(&m, f, &[]).expect("run");
+            let cus = build_cus(&m);
+            let peg = build_peg(&m, &cus, &res.deps);
+            let (l, _) = loops[0];
+            let sub = loop_subpeg(&peg, &m, &cus, f, l);
+            let feats = loop_features(&m, f, l, &res.deps, &res.loops[&(f, l)]);
+            build_sample(&sub, &i2v, &feats, &scfg, None)
+        });
+    });
+
+    // Model-only prediction latency.
+    let res = profile_module(&m, f, &[]).expect("run");
+    let cus = build_cus(&m);
+    let peg = build_peg(&m, &cus, &res.deps);
+    let (l, _) = loops[0];
+    let sub = loop_subpeg(&peg, &m, &cus, f, l);
+    let feats = loop_features(&m, f, l, &res.deps, &res.loops[&(f, l)]);
+    let sample = build_sample(&sub, &i2v, &feats, &scfg, None);
+    let mut model = MvGnn::new(MvGnnConfig::small(sample.node_dim, sample.aw_vocab));
+    c.bench_function("mvgnn_predict", |b| {
+        b.iter(|| model.predict(&sample));
+    });
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Dependence-profiler throughput: instrumented interpretation and
+//! dependence extraction per kernel family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvgnn_dataset::{build_kernel, KernelKind};
+use mvgnn_ir::Module;
+use mvgnn_profiler::{build_cus, profile_module};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_profiler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_kernel");
+    for kind in [KernelKind::VectorMap, KernelKind::MatMul, KernelKind::Histogram] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = Module::new("bench");
+        let (f, _) = build_kernel(&mut m, kind, 0, 24, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("kind", format!("{kind:?}")),
+            &kind,
+            |b, _| {
+                b.iter(|| profile_module(&m, f, &[]).expect("profiled"));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cu_construction");
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut m = Module::new("bench");
+    for i in 0..32 {
+        let _ = build_kernel(&mut m, KernelKind::MatVec, i, 16, &mut rng);
+    }
+    group.bench_function("32_kernels", |b| {
+        b.iter(|| build_cus(&m));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiler);
+criterion_main!(benches);

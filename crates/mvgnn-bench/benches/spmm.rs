@@ -1,0 +1,38 @@
+//! Sparse and dense matmul kernels (GCN propagation hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvgnn_tensor::dense;
+use mvgnn_tensor::SparseMatrix;
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    for &n in &[64usize, 256, 1024] {
+        // ~4 nnz per row.
+        let triplets: Vec<(u32, u32, f32)> = (0..n as u32)
+            .flat_map(|i| {
+                (0..4u32).map(move |k| (i, (i * 13 + k * 7) % n as u32, 0.5))
+            })
+            .collect();
+        let sp = SparseMatrix::from_triplets(n, n, &triplets);
+        let x = vec![1.0f32; n * 32];
+        let mut out = vec![0.0f32; n * 32];
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, _| {
+            b.iter(|| sp.spmm(&x, &mut out, 32));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dense_matmul");
+    for &n in &[32usize, 128, 256] {
+        let a = vec![0.5f32; n * n];
+        let bm = vec![0.25f32; n * n];
+        let mut cm = vec![0.0f32; n * n];
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, _| {
+            b.iter(|| dense::matmul(&a, &bm, &mut cm, n, n, n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Random/anonymous-walk sampling throughput (structural view hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvgnn_graph::{AwVocab, Csr, WalkConfig, WalkSampler};
+
+fn ring_with_chords(n: usize) -> Csr {
+    let mut edges = Vec::new();
+    for v in 0..n as u32 {
+        let next = (v + 1) % n as u32;
+        edges.push((v, next));
+        edges.push((next, v));
+        let chord = (v + 7) % n as u32;
+        edges.push((v, chord));
+        edges.push((chord, v));
+    }
+    Csr::from_edges(n, &edges)
+}
+
+fn bench_walks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anonymous_walks");
+    for &n in &[32usize, 256, 2048] {
+        let csr = ring_with_chords(n);
+        let vocab = AwVocab::new(4);
+        let sampler =
+            WalkSampler::new(WalkConfig { walk_len: 4, walks_per_node: 50, seed: 1 });
+        group.bench_with_input(BenchmarkId::new("node_distributions", n), &n, |b, _| {
+            b.iter(|| sampler.node_distributions(&csr, &vocab));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("aw_vocab");
+    for &len in &[4usize, 5, 6, 7] {
+        group.bench_with_input(BenchmarkId::new("enumerate", len), &len, |b, &l| {
+            b.iter(|| mvgnn_graph::enumerate_anonymous_walks(l));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walks);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Design-choice ablations (DESIGN.md §6):
+//!
+//! 1. multi-view vs each single view,
+//! 2. anonymous-walk parameter sweeps (length, walks per node),
+//! 3. dynamic features on vs off,
+//! 4. SortPooling k sensitivity,
+//! 5. walk length / walks-per-node sweeps.
+
+use mvgnn_bench::{pipeline_config, print_row, print_rule, Scale};
+use mvgnn_core::model::{MvGnn, MvGnnConfig, ViewMode};
+use mvgnn_core::trainer::{evaluate, train};
+use mvgnn_dataset::build_corpus;
+use mvgnn_graph::WalkConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut cfg = pipeline_config(scale);
+    // Ablations re-train many variants: shrink the corpus a bit.
+    if let Some(per) = cfg.corpus.per_class {
+        cfg.corpus.per_class = Some(per.min(200));
+    }
+
+    let w = [34, 10];
+    println!("\nAblation study (test accuracy %)\n");
+    print_row(&["variant".into(), "acc".into()], &w);
+    print_rule(&w);
+
+    // Walk-parameter sweep changes the corpus; evaluate it first.
+    for (walk_len, gamma) in [(3usize, 50usize), (4, 50), (5, 50), (4, 10), (4, 100)] {
+        let mut ccfg = cfg.corpus.clone();
+        ccfg.sample.walks = WalkConfig { walk_len, walks_per_node: gamma, seed: 0x5eed_cafe };
+        ccfg.sample.walk_len = walk_len;
+        let ds = build_corpus(&ccfg);
+        let probe = &ds.train[0].sample;
+        let mut model = MvGnn::new(MvGnnConfig::small(probe.node_dim, probe.aw_vocab));
+        train(&mut model, &ds.train, &cfg.train);
+        let acc = evaluate(&mut model, &ds.test).accuracy() * 100.0;
+        print_row(
+            &[format!("walks l={walk_len} γ={gamma}"), format!("{acc:.1}")],
+            &w,
+        );
+    }
+    print_rule(&w);
+
+    // Model-side ablations over one fixed corpus.
+    let ds = build_corpus(&cfg.corpus);
+    let probe = &ds.train[0].sample;
+    let base = MvGnnConfig::small(probe.node_dim, probe.aw_vocab);
+
+    let variants: Vec<(String, MvGnnConfig)> = vec![
+        ("multi-view (full)".into(), base.clone()),
+        (
+            "node view only".into(),
+            MvGnnConfig { mode: ViewMode::NodeOnly, ..base.clone() },
+        ),
+        (
+            "structural view only".into(),
+            MvGnnConfig { mode: ViewMode::StructOnly, ..base.clone() },
+        ),
+        (
+            "no dynamic features".into(),
+            MvGnnConfig { drop_dynamic: true, ..base.clone() },
+        ),
+        (
+            "sortpool k=8".into(),
+            {
+                let mut c = base.clone();
+                c.node_dgcnn.k = 8;
+                c.struct_dgcnn.k = 8;
+                c
+            },
+        ),
+        (
+            "sortpool k=32".into(),
+            {
+                let mut c = base.clone();
+                c.node_dgcnn.k = 32;
+                c.struct_dgcnn.k = 32;
+                c
+            },
+        ),
+    ];
+    for (name, mcfg) in variants {
+        let mut model = MvGnn::new(mcfg);
+        train(&mut model, &ds.train, &cfg.train);
+        let acc = evaluate(&mut model, &ds.test).accuracy() * 100.0;
+        print_row(&[name, format!("{acc:.1}")], &w);
+    }
+}

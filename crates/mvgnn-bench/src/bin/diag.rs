@@ -1,0 +1,105 @@
+//! Diagnostic: embedding magnitudes entering the fusion tanh, plus
+//! train-vs-test accuracy of each head. Not part of the paper tables.
+
+use mvgnn_bench::{pipeline_config, Scale};
+use mvgnn_core::model::{MvGnn, MvGnnConfig};
+use mvgnn_core::trainer::{evaluate, train};
+use mvgnn_dataset::build_corpus;
+use mvgnn_tensor::tape::Tape;
+
+fn main() {
+    let mut cfg = pipeline_config(Scale::Default);
+    if let Ok(lr) = std::env::var("DIAG_LR") {
+        cfg.train.lr = lr.parse().expect("DIAG_LR");
+    }
+    if let Ok(e) = std::env::var("DIAG_EPOCHS") {
+        cfg.train.epochs = e.parse().expect("DIAG_EPOCHS");
+    }
+    if let Ok(c) = std::env::var("DIAG_CLIP") {
+        cfg.train.clip = c.parse().expect("DIAG_CLIP");
+    }
+    if let Ok(b) = std::env::var("DIAG_BATCH") {
+        cfg.train.batch_size = b.parse().expect("DIAG_BATCH");
+    }
+    if let Ok(a) = std::env::var("DIAG_AUX") {
+        cfg.train.aux_weight = a.parse().expect("DIAG_AUX");
+    }
+    eprintln!("lr {} epochs {} clip {} batch {} aux {}", cfg.train.lr, cfg.train.epochs, cfg.train.clip, cfg.train.batch_size, cfg.train.aux_weight);
+    let ds = build_corpus(&cfg.corpus);
+    let probe = &ds.train[0].sample;
+    let mut model = MvGnn::new(MvGnnConfig::small(probe.node_dim, probe.aw_vocab));
+
+    // Pre-training magnitude of the view embeddings.
+    let mags = |model: &mut MvGnn, n: usize| {
+        let mut max_abs = 0.0f32;
+        let mut mean_abs = 0.0f32;
+        let mut count = 0usize;
+        let mut params = std::mem::take(&mut model.params);
+        for s in ds.train.iter().take(n) {
+            let mut tape = Tape::new(&mut params);
+            let fwd = model.forward_on(&mut tape, &s.sample);
+            let _ = fwd;
+            // The concat input to fusion is the last tanh's input; easiest
+            // proxy: check the logits magnitude and loop over node data.
+            for v in [fwd.node_logits, fwd.struct_logits].into_iter().flatten() {
+                for &x in tape.data(v) {
+                    max_abs = max_abs.max(x.abs());
+                    mean_abs += x.abs();
+                    count += 1;
+                }
+            }
+        }
+        model.params = params;
+        (max_abs, mean_abs / count as f32)
+    };
+    let (mx, mn) = mags(&mut model, 32);
+    println!("pre-train view-logit magnitude: max {mx:.2} mean {mn:.2}");
+
+    let stats = train(&mut model, &ds.train, &cfg.train);
+    for e in stats.iter().step_by(5) {
+        println!("epoch {:>3} loss {:.4} train-acc {:.3}", e.epoch, e.loss, e.accuracy);
+    }
+    let last = stats.last().unwrap();
+    println!("final train acc {:.3}", last.accuracy);
+    let m = evaluate(&mut model, &ds.test);
+    println!("test: {m}");
+    // Per-(suite, pattern) error census on the evaluation pool.
+    let mut per: std::collections::BTreeMap<(String, String, usize), (usize, usize)> =
+        std::collections::BTreeMap::new();
+    for s in &ds.test_full {
+        let pred = model.predict(&s.sample);
+        let e = per
+            .entry((format!("{:?}", s.suite), format!("{:?}", s.pattern), s.label))
+            .or_insert((0, 0));
+        e.1 += 1;
+        if pred != s.label {
+            e.0 += 1;
+        }
+    }
+    for ((suite, pat, label), (err, tot)) in per {
+        if err > 0 {
+            println!(
+                "test_full {suite:<10} {pat:<12} label {label}: {err:>3}/{tot:<4} wrong ({:.0}%)",
+                100.0 * err as f64 / tot as f64
+            );
+        }
+    }
+    // Name the failing reduction loops by generator function.
+    let mut wrong_funcs: std::collections::BTreeMap<String, usize> = Default::default();
+    for s in &ds.test_full {
+        if format!("{:?}", s.pattern) == "Reduction" && s.label == 1 {
+            let pred = model.predict(&s.sample);
+            if pred != s.label {
+                // Reconstruct the generator function name from the app.
+                *wrong_funcs
+                    .entry(format!("{} f{} l{} n={}", s.app, s.sample.func.0, s.sample.l.0, s.sample.n))
+                    .or_default() += 1;
+            }
+        }
+    }
+    for (k, v) in wrong_funcs {
+        println!("wrong reduction: {k} ×{v}");
+    }
+    let (mx, mn) = mags(&mut model, 32);
+    println!("post-train view-logit magnitude: max {mx:.2} mean {mn:.2}");
+}

@@ -1,0 +1,34 @@
+//! Regenerates Fig. 7: training loss and accuracy curves, printed as
+//! aligned series plus ASCII sparklines.
+
+use mvgnn_bench::{pipeline_config, Scale};
+use mvgnn_core::run_pipeline;
+
+fn spark(values: &[f32]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (lo, hi) = values
+        .iter()
+        .fold((f32::MAX, f32::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+    let span = (hi - lo).max(1e-9);
+    values
+        .iter()
+        .map(|&v| BARS[(((v - lo) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = pipeline_config(scale);
+    eprintln!("[fig7] training MV-GNN ({scale:?})…");
+    let (report, _) = run_pipeline(&cfg);
+
+    println!("\nFig. 7 — loss (above) and accuracy (below) of the training process\n");
+    println!("epoch  loss      accuracy");
+    for e in &report.fig7 {
+        println!("{:>5}  {:<8.4}  {:.3}", e.epoch, e.loss, e.accuracy);
+    }
+    let losses: Vec<f32> = report.fig7.iter().map(|e| e.loss).collect();
+    let accs: Vec<f32> = report.fig7.iter().map(|e| e.accuracy).collect();
+    println!("\nloss     {}", spark(&losses));
+    println!("accuracy {}", spark(&accs));
+}

@@ -1,0 +1,59 @@
+//! Regenerates Fig. 8: importance of the node-feature and structural
+//! views per benchmark (IMP_n and IMP_s).
+
+use mvgnn_bench::{pipeline_config, print_row, print_rule, Scale};
+use mvgnn_core::run_pipeline;
+
+fn bar(v: f64) -> String {
+    let n = (v * 30.0).round().clamp(0.0, 40.0) as usize;
+    "█".repeat(n)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = pipeline_config(scale);
+    eprintln!("[fig8] training MV-GNN ({scale:?})…");
+    let (report, _) = run_pipeline(&cfg);
+
+    println!("\nFig. 8 — importance of views (IMP = N_view / N_multi)\n");
+    let w = [12, 8, 8, 9, 9, 9, 34];
+    print_row(
+        &[
+            "Benchmark".into(),
+            "IMP_n".into(),
+            "IMP_s".into(),
+            "acc_mv".into(),
+            "acc_n".into(),
+            "acc_s".into(),
+            "".into(),
+        ],
+        &w,
+    );
+    print_rule(&w);
+    for v in &report.fig8 {
+        print_row(
+            &[
+                v.benchmark.clone(),
+                format!("{:.3}", v.imp_node()),
+                format!("{:.3}", v.imp_struct()),
+                format!("{:.3}", v.acc_multi()),
+                format!("{:.3}", v.acc_node()),
+                format!("{:.3}", v.acc_struct()),
+                format!("n {}", bar(v.imp_node())),
+            ],
+            &w,
+        );
+        print_row(
+            &[
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                format!("s {}", bar(v.imp_struct())),
+            ],
+            &w,
+        );
+    }
+}

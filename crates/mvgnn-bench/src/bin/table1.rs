@@ -1,0 +1,63 @@
+//! Regenerates Table I: the dynamic feature definitions, demonstrated
+//! live on a DOALL loop and a serial recurrence.
+
+use mvgnn_bench::{print_row, print_rule};
+use mvgnn_ir::inst::BinOp;
+use mvgnn_ir::types::Ty;
+use mvgnn_ir::{FunctionBuilder, Module};
+use mvgnn_profiler::{loop_features, profile_module};
+
+fn main() {
+    let mut m = Module::new("table1");
+    let a = m.add_array("a", Ty::F64, 64);
+    let out = m.add_array("b", Ty::F64, 64);
+    let mut b = FunctionBuilder::new(&mut m, "doall", 0);
+    let lo = b.const_i64(0);
+    let hi = b.const_i64(64);
+    let st = b.const_i64(1);
+    let l_doall = b.for_loop(lo, hi, st, |b, iv| {
+        let x = b.load(a, iv);
+        let y = b.bin(BinOp::Mul, x, x);
+        b.store(out, iv, y);
+    });
+    let f_doall = b.finish();
+
+    let c = m.add_array("c", Ty::F64, 64);
+    let mut b = FunctionBuilder::new(&mut m, "serial", 0);
+    let lo = b.const_i64(1);
+    let hi = b.const_i64(64);
+    let st = b.const_i64(1);
+    let one = b.const_i64(1);
+    let l_serial = b.for_loop(lo, hi, st, |b, iv| {
+        let p = b.bin(BinOp::Sub, iv, one);
+        let x = b.load(c, p);
+        let y = b.bin(BinOp::Add, x, x);
+        b.store(c, iv, y);
+    });
+    let f_serial = b.finish();
+
+    let rd = profile_module(&m, f_doall, &[]).expect("doall run");
+    let rs = profile_module(&m, f_serial, &[]).expect("serial run");
+    let fd = loop_features(&m, f_doall, l_doall, &rd.deps, &rd.loops[&(f_doall, l_doall)]);
+    let fs = loop_features(&m, f_serial, l_serial, &rs.deps, &rs.loops[&(f_serial, l_serial)]);
+
+    println!("Table I — dynamic features used for loop parallelization classification\n");
+    let w = [14, 52, 12, 12];
+    print_row(
+        &["feature".into(), "description".into(), "DOALL".into(), "serial".into()],
+        &w,
+    );
+    print_rule(&w);
+    let rows: [(&str, &str, String, String); 7] = [
+        ("N_Inst", "Number of instructions within the loop", fd.n_inst.to_string(), fs.n_inst.to_string()),
+        ("exec_times", "Total number of times the loop is executed", fd.exec_times.to_string(), fs.exec_times.to_string()),
+        ("CFL", "Critical path length", fd.cfl.to_string(), fs.cfl.to_string()),
+        ("ESP", "Estimated speedup", format!("{:.1}", fd.esp), format!("{:.1}", fs.esp)),
+        ("incoming_dep", "Incoming dependency count", fd.incoming_dep.to_string(), fs.incoming_dep.to_string()),
+        ("internal_dep", "Dependency count between loop instructions", fd.internal_dep.to_string(), fs.internal_dep.to_string()),
+        ("outgoing_dep", "Outgoing dependency count", fd.outgoing_dep.to_string(), fs.outgoing_dep.to_string()),
+    ];
+    for (name, desc, dv, sv) in rows {
+        print_row(&[name.into(), desc.into(), dv, sv], &w);
+    }
+}

@@ -1,0 +1,49 @@
+//! Regenerates Table II: the number of for-loops per application, with
+//! the generated ground-truth composition as extra columns.
+
+use mvgnn_bench::{print_row, print_rule};
+use mvgnn_dataset::{generate_app, PatternKind, TABLE2};
+
+fn main() {
+    println!("Table II — statistics of evaluated datasets (generated suites)\n");
+    let w = [12, 11, 8, 8, 6, 6, 6];
+    print_row(
+        &[
+            "Application".into(),
+            "Benchmark".into(),
+            "Loops #".into(),
+            "paper".into(),
+            "DoAll".into(),
+            "Red.".into(),
+            "Serial".into(),
+        ],
+        &w,
+    );
+    print_rule(&w);
+    let mut total = 0usize;
+    for spec in TABLE2 {
+        let app = generate_app(spec, 1);
+        let count = |p: PatternKind| app.loops.iter().filter(|(_, _, q)| *q == p).count();
+        let doall = count(PatternKind::DoAll) + count(PatternKind::Task);
+        total += app.loops.len();
+        print_row(
+            &[
+                spec.name.into(),
+                spec.suite.to_string(),
+                app.loops.len().to_string(),
+                spec.loops.to_string(),
+                doall.to_string(),
+                count(PatternKind::Reduction).to_string(),
+                count(PatternKind::Serial).to_string(),
+            ],
+            &w,
+        );
+        assert_eq!(app.loops.len(), spec.loops, "loop count must match the paper");
+    }
+    print_rule(&w);
+    print_row(
+        &["Total".into(), String::new(), total.to_string(), "840".into(), String::new(), String::new(), String::new()],
+        &w,
+    );
+    assert_eq!(total, 840);
+}

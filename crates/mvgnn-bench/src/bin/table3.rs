@@ -1,0 +1,46 @@
+//! Regenerates Table III: accuracy of MV-GNN, Static GNN, SVM, Decision
+//! Tree, AdaBoost, NCC, Pluto, AutoPar and DiscoPoP per benchmark suite.
+
+use mvgnn_bench::{pipeline_config, print_row, print_rule, Scale};
+use mvgnn_core::{evaluate_tools_with_noise, run_pipeline};
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = pipeline_config(scale);
+    eprintln!("[table3] scale {scale:?}: building corpus + training (release build recommended)…");
+    let t0 = std::time::Instant::now();
+    let (report, ds) = run_pipeline(&cfg);
+    eprintln!(
+        "[table3] learned models done in {:.1}s ({} train / {} test samples)",
+        t0.elapsed().as_secs_f32(),
+        ds.train.len(),
+        ds.test.len()
+    );
+    let tools = evaluate_tools_with_noise(
+        &cfg.corpus.seeds,
+        &cfg.corpus.opt_levels,
+        cfg.corpus.label_noise,
+        cfg.corpus.seed,
+    );
+    eprintln!("[table3] tools done at {:.1}s", t0.elapsed().as_secs_f32());
+
+    println!("\nTable III — evaluation results (accuracy %)\n");
+    let w = [18, 14, 8];
+    print_row(&["Benchmark".into(), "Model/Tool".into(), "Acc(%)".into()], &w);
+    print_rule(&w);
+    for group in ["NPB", "PolyBench", "BOTS", "Generated Dataset"] {
+        for row in report.table3.iter().filter(|r| r.benchmark == group) {
+            print_row(
+                &[group.into(), row.model.clone(), format!("{:.1}", row.accuracy)],
+                &w,
+            );
+        }
+        for t in tools.iter().filter(|t| t.benchmark == group) {
+            print_row(
+                &[group.into(), t.tool.into(), format!("{:.1}", t.metrics.accuracy() * 100.0)],
+                &w,
+            );
+        }
+        print_rule(&w);
+    }
+}

@@ -1,0 +1,30 @@
+//! # mvgnn-core — the multi-view GNN and the full experiment pipeline
+//!
+//! The paper's contribution (Fig. 3): two DGCNNs look at every loop
+//! sub-PEG from complementary views — node features (inst2vec ⊕ Table I
+//! dynamics) and local structure (anonymous-walk distributions through a
+//! learned embedding table) — and a fusion layer
+//! `h = W·tanh(h_n ⊕ h_s) + b` classifies the loop as parallelisable or
+//! not under a temperature-0.5 softmax loss.
+//!
+//! - [`model`]: the MV-GNN (plus single-view configurations for the
+//!   Static-GNN baseline and the ablations)
+//! - [`trainer`]: mini-batch training with rayon data-parallel gradient
+//!   accumulation, gradient clipping and epoch telemetry (Fig. 7)
+//! - [`views`]: per-view importance analysis (Fig. 8)
+//! - [`pipeline`]: end-to-end experiment driver producing every Table III
+//!   / Table IV row
+
+pub mod model;
+pub mod patterns;
+pub mod pipeline;
+pub mod suggest;
+pub mod trainer;
+pub mod views;
+
+pub use model::{MvGnn, MvGnnConfig, ViewMode};
+pub use pipeline::{evaluate_tools, evaluate_tools_with_noise, run_pipeline, PipelineConfig, PipelineReport};
+pub use patterns::{pattern_confusion, predict_pattern, train_patterns, PATTERN_CLASSES};
+pub use suggest::{annotate_function, suggest, Suggestion};
+pub use trainer::{train, EpochStats, TrainConfig};
+pub use views::{view_importance, ViewImportance};

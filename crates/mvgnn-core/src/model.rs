@@ -1,0 +1,373 @@
+//! The MV-GNN model (paper Fig. 3).
+
+use mvgnn_embed::GraphSample;
+use mvgnn_gnn::{Dgcnn, DgcnnConfig};
+use mvgnn_nn::{Embedding, Linear};
+use mvgnn_tensor::init;
+use mvgnn_tensor::tape::{argmax_rows, Params, Tape, Var};
+use rand::rngs::StdRng;
+
+/// Which views participate — the multi-view model plus the single-view
+/// configurations used by the Static-GNN baseline and the ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewMode {
+    /// Both views fused (the paper's model).
+    Multi,
+    /// Node-feature view only.
+    NodeOnly,
+    /// Structural view only.
+    StructOnly,
+}
+
+/// MV-GNN hyperparameters.
+#[derive(Debug, Clone)]
+pub struct MvGnnConfig {
+    /// Node-feature width of the samples (inst2vec dim + kind + Table I).
+    pub node_dim: usize,
+    /// Anonymous-walk vocabulary size of the samples.
+    pub aw_vocab: usize,
+    /// Learned anonymous-walk embedding width.
+    pub aw_dim: usize,
+    /// DGCNN for the node-feature view.
+    pub node_dgcnn: DgcnnConfig,
+    /// DGCNN for the structural view.
+    pub struct_dgcnn: DgcnnConfig,
+    /// Fusion layer width.
+    pub fusion_dim: usize,
+    /// Softmax temperature (paper: 0.5).
+    pub temperature: f32,
+    /// Which views are active.
+    pub mode: ViewMode,
+    /// Zero out the Table I dynamic features (static-only ablation).
+    pub drop_dynamic: bool,
+    /// Output classes of the fused and per-view heads (2 = the paper's
+    /// binary task; 4 = the pattern-classification extension).
+    pub classes: usize,
+    /// Parameter-init seed.
+    pub seed: u64,
+}
+
+impl MvGnnConfig {
+    /// A compact configuration sized for CPU training. `node_dim` and
+    /// `aw_vocab` must match the dataset's samples.
+    pub fn small(node_dim: usize, aw_vocab: usize) -> Self {
+        let gc = vec![24, 24, 1];
+        let mk = |in_dim: usize| DgcnnConfig {
+            in_dim,
+            gc_dims: gc.clone(),
+            k: 28,
+            conv1_out: 12,
+            conv2_ksize: 3,
+            conv2_out: 24,
+            dense_hidden: 48,
+            classes: 2,
+        };
+        let aw_dim = 16;
+        Self {
+            node_dim,
+            aw_vocab,
+            aw_dim,
+            node_dgcnn: mk(node_dim),
+            struct_dgcnn: mk(aw_dim),
+            fusion_dim: 64,
+            temperature: 0.5,
+            mode: ViewMode::Multi,
+            drop_dynamic: false,
+            classes: 2,
+            seed: 0x31337,
+        }
+    }
+
+    /// The paper-scale configuration (200-dim features, SortPooling
+    /// k = 135) — slower, for `--paper-scale` runs.
+    pub fn paper(node_dim: usize, aw_vocab: usize) -> Self {
+        let mut cfg = Self::small(node_dim, aw_vocab);
+        let gc = vec![32, 32, 32, 1];
+        for (d, in_dim) in
+            [(&mut cfg.node_dgcnn, node_dim), (&mut cfg.struct_dgcnn, cfg.aw_dim)]
+        {
+            d.in_dim = in_dim;
+            d.gc_dims = gc.clone();
+            d.k = 135;
+            d.conv1_out = 16;
+            d.conv2_ksize = 5;
+            d.conv2_out = 32;
+            d.dense_hidden = 128;
+        }
+        cfg.fusion_dim = 128;
+        cfg
+    }
+}
+
+/// Model outputs for one sample.
+pub struct Forward {
+    /// Fused logits (or the active single view's logits).
+    pub logits: Var,
+    /// Node-view logits (when that view is active).
+    pub node_logits: Option<Var>,
+    /// Structural-view logits (when that view is active).
+    pub struct_logits: Option<Var>,
+}
+
+/// The multi-view GNN.
+pub struct MvGnn {
+    /// Configuration (public for ablation drivers).
+    pub cfg: MvGnnConfig,
+    /// Persistent parameters.
+    pub params: Params,
+    node_view: Dgcnn,
+    struct_view: Dgcnn,
+    aw_embed: Embedding,
+    fusion: Linear,
+    head: Linear,
+    node_head: Linear,
+    struct_head: Linear,
+}
+
+impl MvGnn {
+    /// Register all parameters.
+    pub fn new(cfg: MvGnnConfig) -> Self {
+        let mut params = Params::new();
+        let mut rng: StdRng = init::rng(cfg.seed);
+        assert_eq!(cfg.struct_dgcnn.in_dim, cfg.aw_dim, "struct view consumes AW embeddings");
+        assert_eq!(cfg.node_dgcnn.in_dim, cfg.node_dim, "node view consumes node features");
+        let node_view = Dgcnn::new(&mut params, "node", cfg.node_dgcnn.clone(), &mut rng);
+        let struct_view = Dgcnn::new(&mut params, "struct", cfg.struct_dgcnn.clone(), &mut rng);
+        let aw_embed = Embedding::new(&mut params, "aw", cfg.aw_vocab, cfg.aw_dim, &mut rng);
+        let fused_in = cfg.node_dgcnn.embed_dim() + cfg.struct_dgcnn.embed_dim();
+        let fusion = Linear::new(&mut params, "fusion", fused_in, cfg.fusion_dim, true, &mut rng);
+        let head = Linear::new(&mut params, "head", cfg.fusion_dim, cfg.classes, true, &mut rng);
+        let node_head = Linear::new(
+            &mut params,
+            "node_head",
+            cfg.node_dgcnn.embed_dim(),
+            cfg.classes,
+            true,
+            &mut rng,
+        );
+        let struct_head = Linear::new(
+            &mut params,
+            "struct_head",
+            cfg.struct_dgcnn.embed_dim(),
+            cfg.classes,
+            true,
+            &mut rng,
+        );
+        Self { cfg, params, node_view, struct_view, aw_embed, fusion, head, node_head, struct_head }
+    }
+
+    /// Node-feature matrix of a sample, honouring `drop_dynamic`: the
+    /// static-only configuration (Shen et al.) zeroes the Table I vector
+    /// *and* erases what only a profiler can know about edges — the
+    /// carried/loop-independent distinction is merged into one dep count.
+    fn node_feature_input(&self, tape: &mut Tape<'_>, s: &GraphSample) -> Var {
+        let mut feats = s.node_feats.clone();
+        if self.cfg.drop_dynamic {
+            let dyn_dim = mvgnn_profiler::DynamicFeatures::DIM;
+            let edge_dim = mvgnn_embed::sample::EDGE_DIM;
+            for r in 0..s.n {
+                let off = r * s.node_dim + (s.node_dim - dyn_dim);
+                feats[off..off + dyn_dim].fill(0.0);
+                // Edge census layout: [defuse o/i, carried RAW o/i,
+                // carried WAR o/i, carried WAW o/i, indep o/i, hier o/i];
+                // the dep counts come from profiling, so the static-only
+                // model loses them entirely (def-use and hierarchy are
+                // static facts and stay).
+                let eoff = r * s.node_dim + (s.node_dim - dyn_dim - edge_dim);
+                feats[eoff + 2..eoff + 10].fill(0.0);
+            }
+        }
+        tape.input(feats, s.n, s.node_dim)
+    }
+
+    /// Record the forward pass for one sample. The caller owns the tape so
+    /// training can attach losses; `Self::params` must back the tape.
+    pub fn forward_on(
+        &self,
+        tape: &mut Tape<'_>,
+        s: &GraphSample,
+    ) -> Forward {
+        assert_eq!(s.node_dim, self.cfg.node_dim, "sample/node-dim mismatch");
+        assert_eq!(s.aw_vocab, self.cfg.aw_vocab, "sample/AW-vocab mismatch");
+        let use_node = self.cfg.mode != ViewMode::StructOnly;
+        let use_struct = self.cfg.mode != ViewMode::NodeOnly;
+
+        let mut node_embed = None;
+        if use_node {
+            let x = self.node_feature_input(tape, s);
+            node_embed = Some(self.node_view.embed(tape, &s.adj, x));
+        }
+        let mut struct_embed = None;
+        if use_struct {
+            let dists = tape.input(s.struct_dists.clone(), s.n, s.aw_vocab);
+            let emb = self.aw_embed.forward_soft(tape, dists);
+            struct_embed = Some(self.struct_view.embed(tape, &s.adj, emb));
+        }
+
+        let node_logits = node_embed.map(|e| self.node_head.forward(tape, e));
+        let struct_logits = struct_embed.map(|e| self.struct_head.forward(tape, e));
+
+        let logits = match (node_embed, struct_embed) {
+            (Some(n), Some(st)) => {
+                // h = W·tanh(h_n ⊕ h_s) + b  (paper Eq. 5), then the head.
+                let cat = tape.concat_cols(n, st);
+                let t = tape.tanh(cat);
+                let fused = self.fusion.forward(tape, t);
+                self.head.forward(tape, fused)
+            }
+            (Some(_), None) => node_logits.expect("node head exists"),
+            (None, Some(_)) => struct_logits.expect("struct head exists"),
+            (None, None) => unreachable!("at least one view is always active"),
+        };
+        Forward { logits, node_logits, struct_logits }
+    }
+
+    /// Predict the class of one sample (inference only).
+    pub fn predict(&mut self, s: &GraphSample) -> usize {
+        self.predict_detailed(s).0
+    }
+
+    /// Serialise the trained weights (architecture config not included;
+    /// reload into a model built with the same [`MvGnnConfig`]).
+    pub fn save(&self) -> bytes::Bytes {
+        mvgnn_tensor::save_params(&self.params)
+    }
+
+    /// Load weights previously produced by [`MvGnn::save`] into this
+    /// model; the architecture must match.
+    pub fn load(&mut self, bytes: &[u8]) -> Result<(), mvgnn_tensor::PersistError> {
+        mvgnn_tensor::load_params(&mut self.params, bytes)
+    }
+
+    /// Predict with all three heads: `(fused, node, struct)` — absent
+    /// views repeat the fused prediction.
+    pub fn predict_detailed(&mut self, s: &GraphSample) -> (usize, usize, usize) {
+        // Split borrow: move params out, run against a detached tape,
+        // put it back. Params is cheap to move (Vec of Vecs).
+        let mut params = std::mem::take(&mut self.params);
+        let result = {
+            let mut tape = Tape::new(&mut params);
+            let fwd = self.forward_on(&mut tape, s);
+            let c = self.cfg.classes;
+            let fused = argmax_rows(tape.data(fwd.logits), 1, c)[0];
+            let node = fwd
+                .node_logits
+                .map(|v| argmax_rows(tape.data(v), 1, c)[0])
+                .unwrap_or(fused);
+            let st = fwd
+                .struct_logits
+                .map(|v| argmax_rows(tape.data(v), 1, c)[0])
+                .unwrap_or(fused);
+            (fused, node, st)
+        };
+        self.params = params;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvgnn_embed::{build_sample, Inst2Vec, Inst2VecConfig, SampleConfig};
+    use mvgnn_ir::inst::BinOp;
+    use mvgnn_ir::types::Ty;
+    use mvgnn_ir::{FunctionBuilder, Module};
+    use mvgnn_peg::{build_peg, loop_subpeg};
+    use mvgnn_profiler::{build_cus, loop_features, profile_module};
+
+    fn sample() -> GraphSample {
+        let mut m = Module::new("t");
+        let a = m.add_array("a", Ty::F64, 16);
+        let out = m.add_array("b", Ty::F64, 16);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let lo = b.const_i64(0);
+        let hi = b.const_i64(16);
+        let st = b.const_i64(1);
+        let l = b.for_loop(lo, hi, st, |b, iv| {
+            let x = b.load(a, iv);
+            let y = b.bin(BinOp::Mul, x, x);
+            b.store(out, iv, y);
+        });
+        let f = b.finish();
+        let cus = build_cus(&m);
+        let res = profile_module(&m, f, &[]).unwrap();
+        let peg = build_peg(&m, &cus, &res.deps);
+        let sub = loop_subpeg(&peg, &m, &cus, f, l);
+        let feats = loop_features(&m, f, l, &res.deps, &res.loops[&(f, l)]);
+        let i2v = Inst2Vec::train(
+            &[&m],
+            &Inst2VecConfig { dim: 8, epochs: 1, negatives: 2, lr: 0.05, seed: 1 },
+        );
+        build_sample(&sub, &i2v, &feats, &SampleConfig::default(), Some(1))
+    }
+
+    #[test]
+    fn forward_produces_all_heads_in_multi_mode() {
+        let s = sample();
+        let mut model = MvGnn::new(MvGnnConfig::small(s.node_dim, s.aw_vocab));
+        let (fused, node, st) = model.predict_detailed(&s);
+        assert!(fused <= 1 && node <= 1 && st <= 1);
+    }
+
+    #[test]
+    fn single_view_modes_work() {
+        let s = sample();
+        for mode in [ViewMode::NodeOnly, ViewMode::StructOnly] {
+            let mut cfg = MvGnnConfig::small(s.node_dim, s.aw_vocab);
+            cfg.mode = mode;
+            let mut model = MvGnn::new(cfg);
+            let p = model.predict(&s);
+            assert!(p <= 1, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn drop_dynamic_changes_input_not_shape() {
+        let s = sample();
+        let mut cfg = MvGnnConfig::small(s.node_dim, s.aw_vocab);
+        cfg.drop_dynamic = true;
+        let mut model = MvGnn::new(cfg);
+        let _ = model.predict(&s); // shapes must hold
+    }
+
+    #[test]
+    fn deterministic_predictions_for_fixed_seed() {
+        let s = sample();
+        let mut m1 = MvGnn::new(MvGnnConfig::small(s.node_dim, s.aw_vocab));
+        let mut m2 = MvGnn::new(MvGnnConfig::small(s.node_dim, s.aw_vocab));
+        assert_eq!(m1.predict_detailed(&s), m2.predict_detailed(&s));
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let s = sample();
+        let mut m1 = MvGnn::new(MvGnnConfig::small(s.node_dim, s.aw_vocab));
+        let saved = m1.save();
+        let mut cfg2 = MvGnnConfig::small(s.node_dim, s.aw_vocab);
+        cfg2.seed = 0xdead; // different init — must be overwritten by load
+        let mut m2 = MvGnn::new(cfg2);
+        assert_ne!(
+            m1.params.data(mvgnn_tensor::ParamId(0)),
+            m2.params.data(mvgnn_tensor::ParamId(0))
+        );
+        m2.load(&saved).unwrap();
+        assert_eq!(m1.predict_detailed(&s), m2.predict_detailed(&s));
+    }
+
+    #[test]
+    fn load_rejects_different_architecture() {
+        let s = sample();
+        let m1 = MvGnn::new(MvGnnConfig::small(s.node_dim, s.aw_vocab));
+        let saved = m1.save();
+        let mut other = MvGnn::new(MvGnnConfig::small(s.node_dim + 1, s.aw_vocab));
+        assert!(other.load(&saved).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn wrong_dims_panic() {
+        let s = sample();
+        let mut model = MvGnn::new(MvGnnConfig::small(s.node_dim + 1, s.aw_vocab));
+        let _ = model.predict(&s);
+    }
+}

@@ -1,0 +1,50 @@
+//! SortPooling row ordering (Zhang et al., AAAI'18).
+//!
+//! Nodes are ranked by their final graph-convolution channel — a
+//! continuous Weisfeiler-Lehman colour — so graphs of arbitrary size map
+//! to a fixed k-row tensor. Ties break by node index for determinism.
+
+/// Compute the SortPooling row order: indices of the rows of `keys`
+/// sorted descending, truncated to `k`. `keys` is one value per node (the
+/// last channel of the final GCN layer).
+pub fn sort_order(keys: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..keys.len()).collect();
+    idx.sort_by(|&a, &b| {
+        keys[b]
+            .partial_cmp(&keys[a])
+            .expect("NaN sort key in SortPooling")
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_descending() {
+        assert_eq!(sort_order(&[0.1, 0.9, 0.5], 3), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn truncates_to_k() {
+        assert_eq!(sort_order(&[0.1, 0.9, 0.5, 0.7], 2), vec![1, 3]);
+    }
+
+    #[test]
+    fn fewer_nodes_than_k_keeps_all() {
+        assert_eq!(sort_order(&[0.3, 0.2], 5), vec![0, 1]);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        assert_eq!(sort_order(&[0.5, 0.5, 0.5], 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(sort_order(&[], 4).is_empty());
+    }
+}

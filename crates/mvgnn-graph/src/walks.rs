@@ -1,0 +1,364 @@
+//! Random walks and anonymous walks (Ivanov & Burnaev, ICML'18).
+//!
+//! The structural view of MV-GNN samples γ random walks of length `l` from
+//! every node, maps each to its *anonymous* form (node identities replaced
+//! by first-occurrence indices), and summarises the node by the empirical
+//! distribution over the anonymous-walk vocabulary (paper Eq. 3); the graph
+//! distribution is the node-mean (Eq. 4).
+//!
+//! Sampling is deterministic: node `v` uses an RNG seeded by
+//! `mix(seed, v)`, so results are identical whether sampled serially or in
+//! parallel with rayon.
+
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// An anonymous walk: node identities replaced by first-occurrence indices.
+/// `(v1, v2, v3, v2)` becomes `[0, 1, 2, 1]`.
+pub type AnonymousWalk = Vec<u8>;
+
+/// Convert a concrete random walk (node ids) into its anonymous form.
+///
+/// ```
+/// use mvgnn_graph::anonymous_walk;
+/// assert_eq!(anonymous_walk(&[7, 3, 9, 3]), vec![0, 1, 2, 1]);
+/// ```
+pub fn anonymous_walk(walk: &[u32]) -> AnonymousWalk {
+    let mut seen: Vec<u32> = Vec::with_capacity(walk.len());
+    let mut out = Vec::with_capacity(walk.len());
+    for &v in walk {
+        let idx = match seen.iter().position(|&s| s == v) {
+            Some(i) => i,
+            None => {
+                seen.push(v);
+                seen.len() - 1
+            }
+        };
+        out.push(u8::try_from(idx).expect("anonymous walk index exceeds u8"));
+    }
+    out
+}
+
+/// Enumerate every anonymous walk with `len` nodes in lexicographic order.
+///
+/// Valid anonymous walks are restricted-growth strings starting at 0 where
+/// consecutive labels differ (a walk step always moves to a neighbour):
+/// `a₁ = 0`, `aᵢ₊₁ ≤ max(a₁..aᵢ) + 1`, `aᵢ₊₁ ≠ aᵢ`.
+pub fn enumerate_anonymous_walks(len: usize) -> Vec<AnonymousWalk> {
+    let mut out = Vec::new();
+    if len == 0 {
+        return out;
+    }
+    let mut cur: AnonymousWalk = vec![0];
+    fn rec(cur: &mut AnonymousWalk, len: usize, out: &mut Vec<AnonymousWalk>) {
+        if cur.len() == len {
+            out.push(cur.clone());
+            return;
+        }
+        let max = *cur.iter().max().expect("non-empty");
+        let last = *cur.last().expect("non-empty");
+        for next in 0..=max + 1 {
+            if next != last {
+                cur.push(next);
+                rec(cur, len, out);
+                cur.pop();
+            }
+        }
+    }
+    rec(&mut cur, len, &mut out);
+    out
+}
+
+/// Vocabulary of anonymous walks of a fixed length, with O(1)-ish id lookup.
+#[derive(Debug, Clone)]
+pub struct AwVocab {
+    len: usize,
+    walks: Vec<AnonymousWalk>,
+    index: std::collections::HashMap<AnonymousWalk, u32>,
+}
+
+impl AwVocab {
+    /// Build the vocabulary for walks of `len` nodes.
+    pub fn new(len: usize) -> Self {
+        let walks = enumerate_anonymous_walks(len);
+        let index = walks
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i as u32))
+            .collect();
+        Self { len, walks, index }
+    }
+
+    /// Walk length (node count) of this vocabulary.
+    pub fn walk_len(&self) -> usize {
+        self.len
+    }
+
+    /// Vocabulary size.
+    pub fn size(&self) -> usize {
+        self.walks.len()
+    }
+
+    /// Id of an anonymous walk, if it belongs to this vocabulary.
+    pub fn id(&self, aw: &AnonymousWalk) -> Option<u32> {
+        self.index.get(aw).copied()
+    }
+
+    /// The anonymous walk with the given id.
+    pub fn walk(&self, id: u32) -> &AnonymousWalk {
+        &self.walks[id as usize]
+    }
+}
+
+/// Configuration for the per-node walk sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkConfig {
+    /// Number of nodes per walk (paper's `l`).
+    pub walk_len: usize,
+    /// Walks sampled per node (paper's `γ`).
+    pub walks_per_node: usize,
+    /// Master seed; per-node streams are derived from it.
+    pub seed: u64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        Self { walk_len: 4, walks_per_node: 50, seed: 0x5eed_cafe }
+    }
+}
+
+/// Deterministic, parallel random-walk sampler over a CSR adjacency.
+#[derive(Debug, Clone)]
+pub struct WalkSampler {
+    cfg: WalkConfig,
+}
+
+/// splitmix64-style mixing for per-node seed derivation.
+fn mix(seed: u64, v: u64) -> u64 {
+    let mut z = seed ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl WalkSampler {
+    /// Create a sampler with the given configuration.
+    pub fn new(cfg: WalkConfig) -> Self {
+        assert!(cfg.walk_len >= 1, "walk length must be at least 1");
+        Self { cfg }
+    }
+
+    /// Sampler configuration.
+    pub fn config(&self) -> WalkConfig {
+        self.cfg
+    }
+
+    /// Sample one walk of `walk_len` nodes starting at `start`.
+    ///
+    /// A walk that reaches a node with no neighbours stays there (the
+    /// anonymous form then repeats a label, which `anonymous_walk` encodes
+    /// as the last index again — callers over vocabularies treat those as
+    /// out-of-vocabulary and renormalise). To keep every sampled walk
+    /// in-vocabulary we instead *truncate-and-pad by bouncing back*: a stuck
+    /// walk steps back to its previous node, which is always a neighbour.
+    pub fn sample_walk(&self, csr: &Csr, start: u32, rng: &mut StdRng) -> Vec<u32> {
+        let mut walk = Vec::with_capacity(self.cfg.walk_len);
+        walk.push(start);
+        while walk.len() < self.cfg.walk_len {
+            let cur = *walk.last().expect("walk non-empty");
+            let nbrs = csr.neighbors(cur);
+            if nbrs.is_empty() {
+                // Isolated node: the only honest encoding is to stay.
+                walk.push(cur);
+            } else {
+                let next = nbrs[rng.random_range(0..nbrs.len())];
+                walk.push(next);
+            }
+        }
+        walk
+    }
+
+    /// Per-node empirical anonymous-walk distribution (paper Eq. 3).
+    ///
+    /// Returns a dense row-major `[n, vocab.size()]` matrix of f32
+    /// probabilities. Rows sum to 1 for nodes whose walks are all
+    /// in-vocabulary; walks that fall out of vocabulary (only possible for
+    /// isolated nodes that self-repeat) put their mass on the all-zero walk.
+    pub fn node_distributions(&self, csr: &Csr, vocab: &AwVocab) -> Vec<f32> {
+        assert_eq!(vocab.walk_len(), self.cfg.walk_len, "vocabulary/walk length mismatch");
+        let n = csr.node_count();
+        let vsize = vocab.size();
+        let gamma = self.cfg.walks_per_node;
+        let rows: Vec<Vec<f32>> = (0..n as u32)
+            .into_par_iter()
+            .map(|v| {
+                let mut rng = StdRng::seed_from_u64(mix(self.cfg.seed, v as u64));
+                let mut row = vec![0.0f32; vsize];
+                for _ in 0..gamma {
+                    let walk = self.sample_walk(csr, v, &mut rng);
+                    let aw = anonymous_walk(&walk);
+                    let id = vocab.id(&aw).unwrap_or(0);
+                    row[id as usize] += 1.0;
+                }
+                let inv = 1.0 / gamma as f32;
+                for x in &mut row {
+                    *x *= inv;
+                }
+                row
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n * vsize);
+        for row in rows {
+            out.extend_from_slice(&row);
+        }
+        out
+    }
+
+    /// Graph-level mean distribution (paper Eq. 4).
+    pub fn graph_distribution(&self, csr: &Csr, vocab: &AwVocab) -> Vec<f32> {
+        let n = csr.node_count();
+        let vsize = vocab.size();
+        let node_dists = self.node_distributions(csr, vocab);
+        let mut mean = vec![0.0f32; vsize];
+        if n == 0 {
+            return mean;
+        }
+        for v in 0..n {
+            for j in 0..vsize {
+                mean[j] += node_dists[v * vsize + j];
+            }
+        }
+        let inv = 1.0 / n as f32;
+        for x in &mut mean {
+            *x *= inv;
+        }
+        mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anonymous_walk_first_occurrence_indices() {
+        assert_eq!(anonymous_walk(&[7, 3, 9, 3]), vec![0, 1, 2, 1]);
+        assert_eq!(anonymous_walk(&[1, 2, 3, 4, 2]), vec![0, 1, 2, 3, 1]);
+        assert_eq!(anonymous_walk(&[5]), vec![0]);
+        assert_eq!(anonymous_walk(&[]), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn enumeration_counts_match_known_values() {
+        // Known counts of anonymous walks with distinct consecutive labels:
+        // len 1: [0]                            -> 1
+        // len 2: [0,1]                          -> 1
+        // len 3: 010, 012                       -> 2
+        // len 4: 0101,0102,0120,0121,0123       -> 5
+        // len 5:                                -> 15 (Bell number growth)
+        assert_eq!(enumerate_anonymous_walks(1).len(), 1);
+        assert_eq!(enumerate_anonymous_walks(2).len(), 1);
+        assert_eq!(enumerate_anonymous_walks(3).len(), 2);
+        assert_eq!(enumerate_anonymous_walks(4).len(), 5);
+        assert_eq!(enumerate_anonymous_walks(5).len(), 15);
+        assert_eq!(enumerate_anonymous_walks(6).len(), 52);
+    }
+
+    #[test]
+    fn enumeration_contains_only_valid_strings() {
+        for aw in enumerate_anonymous_walks(5) {
+            assert_eq!(aw[0], 0);
+            let mut max = 0u8;
+            for i in 1..aw.len() {
+                assert_ne!(aw[i], aw[i - 1], "consecutive repeat in {aw:?}");
+                assert!(aw[i] <= max + 1, "growth violation in {aw:?}");
+                max = max.max(aw[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn vocab_roundtrip() {
+        let vocab = AwVocab::new(4);
+        assert_eq!(vocab.size(), 5);
+        for id in 0..vocab.size() as u32 {
+            let w = vocab.walk(id).clone();
+            assert_eq!(vocab.id(&w), Some(id));
+        }
+        assert_eq!(vocab.id(&vec![0, 0, 1, 2]), None);
+    }
+
+    #[test]
+    fn sampled_walks_follow_edges() {
+        // Path graph 0-1-2-3 (undirected arcs both ways).
+        let csr = Csr::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]);
+        let sampler = WalkSampler::new(WalkConfig { walk_len: 6, walks_per_node: 1, seed: 42 });
+        let mut rng = StdRng::seed_from_u64(7);
+        for start in 0..4u32 {
+            let walk = sampler.sample_walk(&csr, start, &mut rng);
+            assert_eq!(walk.len(), 6);
+            for pair in walk.windows(2) {
+                assert!(csr.contains_edge(pair[0], pair[1]), "non-edge step in {walk:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_node_stays_put() {
+        let csr = Csr::from_edges(2, &[]);
+        let sampler = WalkSampler::new(WalkConfig { walk_len: 4, walks_per_node: 1, seed: 1 });
+        let mut rng = StdRng::seed_from_u64(1);
+        let walk = sampler.sample_walk(&csr, 0, &mut rng);
+        assert_eq!(walk, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn node_distributions_are_normalised_and_deterministic() {
+        let csr = Csr::from_edges(
+            5,
+            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2), (3, 4), (4, 3), (4, 0), (0, 4)],
+        );
+        let vocab = AwVocab::new(4);
+        let sampler =
+            WalkSampler::new(WalkConfig { walk_len: 4, walks_per_node: 64, seed: 99 });
+        let d1 = sampler.node_distributions(&csr, &vocab);
+        let d2 = sampler.node_distributions(&csr, &vocab);
+        assert_eq!(d1, d2, "sampling must be deterministic under a fixed seed");
+        for v in 0..5 {
+            let row = &d1[v * vocab.size()..(v + 1) * vocab.size()];
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {v} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn cycle_vs_path_distributions_differ() {
+        // A triangle revisits nodes quickly; a long path rarely does. Their
+        // anonymous-walk distributions must be distinguishable — this is the
+        // premise of the structural view.
+        let tri = Csr::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2)]);
+        let path = Csr::from_edges(
+            6,
+            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2), (3, 4), (4, 3), (4, 5), (5, 4)],
+        );
+        let vocab = AwVocab::new(4);
+        let sampler =
+            WalkSampler::new(WalkConfig { walk_len: 4, walks_per_node: 256, seed: 3 });
+        let dt = sampler.graph_distribution(&tri, &vocab);
+        let dp = sampler.graph_distribution(&path, &vocab);
+        let l1: f32 = dt.iter().zip(&dp).map(|(a, b)| (a - b).abs()).sum();
+        assert!(l1 > 0.2, "triangle and path should separate, l1 = {l1}");
+    }
+
+    #[test]
+    fn graph_distribution_empty_graph() {
+        let csr = Csr::from_edges(0, &[]);
+        let vocab = AwVocab::new(4);
+        let sampler = WalkSampler::new(WalkConfig::default());
+        let d = sampler.graph_distribution(&csr, &vocab);
+        assert_eq!(d.len(), vocab.size());
+        assert!(d.iter().all(|&x| x == 0.0));
+    }
+}

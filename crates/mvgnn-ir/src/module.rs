@@ -1,0 +1,317 @@
+//! Blocks, loop metadata, functions and modules.
+
+use crate::inst::{Inst, InstRef};
+use crate::types::{ArrayId, Ty};
+use serde::{Deserialize, Serialize};
+
+/// Basic block index, local to a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Function index, module-global.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// Usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Loop index, local to a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LoopId(pub u32);
+
+impl LoopId {
+    /// Usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A basic block: straight-line instructions ending in a terminator.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Block {
+    /// Instructions; the last one must be a terminator in a finished
+    /// function (checked by [`crate::verify::verify_function`]).
+    pub insts: Vec<Inst>,
+    /// Synthetic source line of each instruction (parallel to `insts`).
+    pub lines: Vec<u32>,
+}
+
+impl Block {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when the block holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The terminator, if the block is finished.
+    pub fn terminator(&self) -> Option<&Inst> {
+        self.insts.last().filter(|i| i.is_terminator())
+    }
+}
+
+/// Structured metadata describing one natural loop created by the builder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoopInfo {
+    /// This loop's id.
+    pub id: LoopId,
+    /// Block evaluating the loop condition; executing it marks an
+    /// iteration boundary for the profiler.
+    pub header: BlockId,
+    /// Blocks belonging to the loop body (header and latch excluded).
+    pub body: Vec<BlockId>,
+    /// Block that increments the induction register and jumps back.
+    pub latch: BlockId,
+    /// Block control reaches after the loop.
+    pub exit: BlockId,
+    /// Induction variable register, if the loop is a counted `for`.
+    pub induction: Option<crate::types::VReg>,
+    /// Enclosing loop, if nested.
+    pub parent: Option<LoopId>,
+    /// Nesting depth (0 = outermost).
+    pub depth: u32,
+    /// Synthetic source line span `[start, end]`.
+    pub line_span: (u32, u32),
+}
+
+/// A memory object: a 1-D array of a fixed element type and length.
+/// Multi-dimensional kernels linearise their indices explicitly, exactly as
+/// LLVM GEPs flatten into byte offsets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArrayDecl {
+    /// Debug name (unique per module).
+    pub name: String,
+    /// Element type.
+    pub ty: Ty,
+    /// Number of elements.
+    pub len: usize,
+}
+
+/// A function: registers are dynamically typed; the first `arity` registers
+/// receive the call arguments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Function {
+    /// Debug name (unique per module).
+    pub name: String,
+    /// Number of parameters.
+    pub arity: u32,
+    /// Total virtual registers used.
+    pub num_regs: u32,
+    /// Basic blocks; `BlockId(0)` is the entry.
+    pub blocks: Vec<Block>,
+    /// Loops created by the builder, indexed by `LoopId`.
+    pub loops: Vec<LoopInfo>,
+    /// Which loop each block belongs to (innermost), parallel to `blocks`.
+    pub block_loop: Vec<Option<LoopId>>,
+}
+
+impl Function {
+    /// Total instruction count.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(Block::len).sum()
+    }
+
+    /// Iterate `(InstRef, &Inst, line)` in block order. `func` is the id of
+    /// this function within its module.
+    pub fn insts_with_refs<'a>(
+        &'a self,
+        func: FuncId,
+    ) -> impl Iterator<Item = (InstRef, &'a Inst, u32)> + 'a {
+        self.blocks.iter().enumerate().flat_map(move |(b, blk)| {
+            blk.insts.iter().zip(&blk.lines).enumerate().map(move |(i, (inst, &line))| {
+                (InstRef { func, block: BlockId(b as u32), idx: i as u32 }, inst, line)
+            })
+        })
+    }
+
+    /// The innermost loop containing `block`, if any.
+    pub fn loop_of_block(&self, block: BlockId) -> Option<LoopId> {
+        self.block_loop.get(block.index()).copied().flatten()
+    }
+
+    /// All loops (ids) from the innermost loop of `block` up to the root.
+    pub fn loop_chain(&self, block: BlockId) -> Vec<LoopId> {
+        let mut chain = Vec::new();
+        let mut cur = self.loop_of_block(block);
+        while let Some(l) = cur {
+            chain.push(l);
+            cur = self.loops[l.index()].parent;
+        }
+        chain
+    }
+
+    /// Blocks belonging to loop `l` including header, body and latch.
+    pub fn loop_blocks(&self, l: LoopId) -> Vec<BlockId> {
+        let info = &self.loops[l.index()];
+        let mut blocks = vec![info.header];
+        blocks.extend(info.body.iter().copied());
+        blocks.push(info.latch);
+        // Nested loops' blocks are already in `body` transitively if the
+        // builder recorded them; keep order deterministic and unique.
+        blocks.sort_unstable();
+        blocks.dedup();
+        blocks
+    }
+}
+
+/// A module: arrays (global memory objects) plus functions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Module {
+    /// Debug name.
+    pub name: String,
+    /// Memory objects.
+    pub arrays: Vec<ArrayDecl>,
+    /// Functions; `FuncId` indexes this.
+    pub funcs: Vec<Function>,
+}
+
+impl Module {
+    /// Create an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), arrays: Vec::new(), funcs: Vec::new() }
+    }
+
+    /// Declare an array and return its id.
+    pub fn add_array(&mut self, name: impl Into<String>, ty: Ty, len: usize) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(ArrayDecl { name: name.into(), ty, len });
+        id
+    }
+
+    /// Look up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+    }
+
+    /// Look up an array by name.
+    pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
+        self.arrays.iter().position(|a| a.name == name).map(|i| ArrayId(i as u32))
+    }
+
+    /// Total loop count across functions.
+    pub fn loop_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.loops.len()).sum()
+    }
+
+    /// Total instruction count across functions.
+    pub fn inst_count(&self) -> usize {
+        self.funcs.iter().map(Function::inst_count).sum()
+    }
+
+    /// Iterate all `(FuncId, LoopId)` pairs.
+    pub fn all_loops(&self) -> impl Iterator<Item = (FuncId, LoopId)> + '_ {
+        self.funcs.iter().enumerate().flat_map(|(f, fun)| {
+            (0..fun.loops.len()).map(move |l| (FuncId(f as u32), LoopId(l as u32)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+    use crate::types::VReg;
+
+    #[test]
+    fn module_lookup() {
+        let mut m = Module::new("t");
+        let a = m.add_array("x", Ty::F64, 16);
+        assert_eq!(m.array_by_name("x"), Some(a));
+        assert_eq!(m.array_by_name("y"), None);
+        assert_eq!(m.arrays[a.index()].len, 16);
+    }
+
+    #[test]
+    fn block_terminator_detection() {
+        let mut b = Block::default();
+        assert!(b.is_empty());
+        b.insts.push(Inst::Copy { dst: VReg(0), src: VReg(1) });
+        b.lines.push(1);
+        assert!(b.terminator().is_none());
+        b.insts.push(Inst::Ret { val: None });
+        b.lines.push(2);
+        assert!(b.terminator().is_some());
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn function_iteration_yields_refs_in_order() {
+        let f = Function {
+            name: "f".into(),
+            arity: 0,
+            num_regs: 2,
+            blocks: vec![
+                Block {
+                    insts: vec![
+                        Inst::Copy { dst: VReg(0), src: VReg(1) },
+                        Inst::Br { target: BlockId(1) },
+                    ],
+                    lines: vec![1, 1],
+                },
+                Block { insts: vec![Inst::Ret { val: None }], lines: vec![2] },
+            ],
+            loops: vec![],
+            block_loop: vec![None, None],
+        };
+        let refs: Vec<_> = f.insts_with_refs(FuncId(0)).collect();
+        assert_eq!(refs.len(), 3);
+        assert_eq!(refs[0].0.block, BlockId(0));
+        assert_eq!(refs[2].0.block, BlockId(1));
+        assert_eq!(refs[2].2, 2);
+        assert_eq!(f.inst_count(), 3);
+    }
+
+    #[test]
+    fn loop_chain_walks_parents() {
+        let outer = LoopInfo {
+            id: LoopId(0),
+            header: BlockId(1),
+            body: vec![BlockId(2)],
+            latch: BlockId(3),
+            exit: BlockId(4),
+            induction: None,
+            parent: None,
+            depth: 0,
+            line_span: (1, 9),
+        };
+        let inner = LoopInfo {
+            id: LoopId(1),
+            header: BlockId(2),
+            body: vec![],
+            latch: BlockId(2),
+            exit: BlockId(3),
+            induction: None,
+            parent: Some(LoopId(0)),
+            depth: 1,
+            line_span: (3, 6),
+        };
+        let f = Function {
+            name: "f".into(),
+            arity: 0,
+            num_regs: 0,
+            blocks: vec![Block::default(); 5],
+            loops: vec![outer, inner],
+            block_loop: vec![None, Some(LoopId(0)), Some(LoopId(1)), Some(LoopId(0)), None],
+        };
+        assert_eq!(f.loop_chain(BlockId(2)), vec![LoopId(1), LoopId(0)]);
+        assert_eq!(f.loop_chain(BlockId(0)), Vec::<LoopId>::new());
+        assert_eq!(f.loop_blocks(LoopId(0)), vec![BlockId(1), BlockId(2), BlockId(3)]);
+    }
+}

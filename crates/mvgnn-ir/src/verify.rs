@@ -1,0 +1,247 @@
+//! Structural verifier: every block terminated exactly once, branch
+//! targets and register/array/function indices in range, loop metadata
+//! self-consistent.
+
+use crate::inst::Inst;
+use crate::module::{Function, Module};
+
+/// A verification failure with human-readable context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError(pub String);
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IR verification failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn err(msg: impl Into<String>) -> Result<(), VerifyError> {
+    Err(VerifyError(msg.into()))
+}
+
+/// Verify one function against its module.
+pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
+    let nblocks = f.blocks.len();
+    if nblocks == 0 {
+        return err(format!("fn {}: no blocks", f.name));
+    }
+    if f.arity > f.num_regs {
+        return err(format!("fn {}: arity {} exceeds register count {}", f.name, f.arity, f.num_regs));
+    }
+    if f.block_loop.len() != nblocks {
+        return err(format!("fn {}: block_loop length mismatch", f.name));
+    }
+    for (bi, blk) in f.blocks.iter().enumerate() {
+        if blk.insts.len() != blk.lines.len() {
+            return err(format!("fn {} block {bi}: lines not parallel to insts", f.name));
+        }
+        if blk.terminator().is_none() {
+            return err(format!("fn {} block {bi}: missing terminator", f.name));
+        }
+        for (ii, inst) in blk.insts.iter().enumerate() {
+            if inst.is_terminator() && ii + 1 != blk.insts.len() {
+                return err(format!("fn {} block {bi} inst {ii}: terminator mid-block", f.name));
+            }
+            if let Some(d) = inst.def() {
+                if d.0 >= f.num_regs {
+                    return err(format!("fn {} block {bi} inst {ii}: def {d} out of range", f.name));
+                }
+            }
+            for u in inst.uses() {
+                if u.0 >= f.num_regs {
+                    return err(format!("fn {} block {bi} inst {ii}: use {u} out of range", f.name));
+                }
+            }
+            match inst {
+                Inst::Br { target }
+                    if target.index() >= nblocks => {
+                        return err(format!("fn {} block {bi}: br target out of range", f.name));
+                    }
+                Inst::CondBr { then_blk, else_blk, .. }
+                    if (then_blk.index() >= nblocks || else_blk.index() >= nblocks) => {
+                        return err(format!("fn {} block {bi}: condbr target out of range", f.name));
+                    }
+                Inst::Load { arr, .. } | Inst::Store { arr, .. }
+                    if arr.index() >= m.arrays.len() => {
+                        return err(format!("fn {} block {bi}: array {arr} undeclared", f.name));
+                    }
+                Inst::Call { func, args, .. } => {
+                    let Some(callee) = m.funcs.get(func.index()) else {
+                        return err(format!("fn {} block {bi}: call to missing fn {}", f.name, func.0));
+                    };
+                    if args.len() != callee.arity as usize {
+                        return err(format!(
+                            "fn {} block {bi}: call to {} with {} args, arity {}",
+                            f.name,
+                            callee.name,
+                            args.len(),
+                            callee.arity
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for info in &f.loops {
+        for b in [info.header, info.latch, info.exit] {
+            if b.index() >= nblocks {
+                return err(format!("fn {} loop {}: block out of range", f.name, info.id.0));
+            }
+        }
+        for b in &info.body {
+            if b.index() >= nblocks {
+                return err(format!("fn {} loop {}: body block out of range", f.name, info.id.0));
+            }
+        }
+        if let Some(p) = info.parent {
+            if p.index() >= f.loops.len() {
+                return err(format!("fn {} loop {}: parent out of range", f.name, info.id.0));
+            }
+            if f.loops[p.index()].depth + 1 != info.depth {
+                return err(format!("fn {} loop {}: depth inconsistent with parent", f.name, info.id.0));
+            }
+        } else if info.depth != 0 {
+            return err(format!("fn {} loop {}: root loop with non-zero depth", f.name, info.id.0));
+        }
+    }
+    Ok(())
+}
+
+/// Verify every function in the module plus module-level invariants
+/// (unique names, non-empty arrays).
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    let mut names = std::collections::HashSet::new();
+    for f in &m.funcs {
+        if !names.insert(&f.name) {
+            return err(format!("duplicate function name {}", f.name));
+        }
+    }
+    let mut anames = std::collections::HashSet::new();
+    for a in &m.arrays {
+        if a.len == 0 {
+            return err(format!("array {} has zero length", a.name));
+        }
+        if !anames.insert(&a.name) {
+            return err(format!("duplicate array name {}", a.name));
+        }
+    }
+    for f in &m.funcs {
+        verify_function(m, f)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+    use crate::module::{Block, BlockId, Function};
+    use crate::types::{Ty, VReg};
+
+    fn minimal_fn(insts: Vec<Inst>) -> Function {
+        let n = insts.len();
+        Function {
+            name: "f".into(),
+            arity: 0,
+            num_regs: 4,
+            blocks: vec![Block { insts, lines: vec![1; n] }],
+            loops: vec![],
+            block_loop: vec![None],
+        }
+    }
+
+    #[test]
+    fn accepts_minimal_function() {
+        let mut m = Module::new("t");
+        m.funcs.push(minimal_fn(vec![Inst::Ret { val: None }]));
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut m = Module::new("t");
+        m.funcs.push(minimal_fn(vec![Inst::Copy { dst: VReg(0), src: VReg(1) }]));
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.0.contains("missing terminator"), "{e}");
+    }
+
+    #[test]
+    fn rejects_mid_block_terminator() {
+        let mut m = Module::new("t");
+        m.funcs.push(minimal_fn(vec![
+            Inst::Ret { val: None },
+            Inst::Ret { val: None },
+        ]));
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.0.contains("terminator mid-block"), "{e}");
+    }
+
+    #[test]
+    fn rejects_register_out_of_range() {
+        let mut m = Module::new("t");
+        m.funcs.push(minimal_fn(vec![
+            Inst::Copy { dst: VReg(9), src: VReg(0) },
+            Inst::Ret { val: None },
+        ]));
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.0.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn rejects_branch_out_of_range() {
+        let mut m = Module::new("t");
+        m.funcs.push(minimal_fn(vec![Inst::Br { target: BlockId(5) }]));
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.0.contains("br target"), "{e}");
+    }
+
+    #[test]
+    fn rejects_undeclared_array() {
+        let mut m = Module::new("t");
+        m.funcs.push(minimal_fn(vec![
+            Inst::Load { dst: VReg(0), arr: crate::types::ArrayId(0), idx: VReg(1) },
+            Inst::Ret { val: None },
+        ]));
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.0.contains("undeclared"), "{e}");
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut m = Module::new("t");
+        m.funcs.push(minimal_fn(vec![Inst::Ret { val: None }])); // callee arity 0
+        m.funcs.push(Function {
+            name: "g".into(),
+            arity: 0,
+            num_regs: 4,
+            blocks: vec![Block {
+                insts: vec![
+                    Inst::Call { dst: None, func: crate::module::FuncId(0), args: vec![VReg(0)] },
+                    Inst::Ret { val: None },
+                ],
+                lines: vec![1, 1],
+            }],
+            loops: vec![],
+            block_loop: vec![None],
+        });
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.0.contains("arity"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_names_and_zero_arrays() {
+        let mut m = Module::new("t");
+        m.funcs.push(minimal_fn(vec![Inst::Ret { val: None }]));
+        let mut f2 = minimal_fn(vec![Inst::Ret { val: None }]);
+        f2.name = "f".into();
+        m.funcs.push(f2);
+        assert!(verify_module(&m).unwrap_err().0.contains("duplicate"));
+
+        let mut m2 = Module::new("t");
+        m2.add_array("a", Ty::F64, 0);
+        assert!(verify_module(&m2).unwrap_err().0.contains("zero length"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Tokeniser for the mini language.
+
+/// A lexical token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword payload.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (contains `.` or exponent).
+    Float(f64),
+    /// `fn`
+    Fn,
+    /// `array`
+    Array,
+    /// `let`
+    Let,
+    /// `for`
+    For,
+    /// `in`
+    In,
+    /// `while`
+    While,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `return`
+    Return,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `..`
+    DotDot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A token tagged with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Tokenisation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenise source text. `//` comments run to end of line.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    out.push(Spanned { tok: Token::Slash, line });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                let mut is_float = false;
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        text.push(d);
+                        chars.next();
+                    } else if d == '.' {
+                        // Look ahead: `..` is a range, not a float dot.
+                        let mut clone = chars.clone();
+                        clone.next();
+                        if clone.peek() == Some(&'.') {
+                            break;
+                        }
+                        if is_float {
+                            break;
+                        }
+                        is_float = true;
+                        text.push('.');
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let tok = if is_float {
+                    Token::Float(text.parse().map_err(|_| LexError {
+                        line,
+                        msg: format!("bad float literal `{text}`"),
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| LexError {
+                        line,
+                        msg: format!("bad integer literal `{text}`"),
+                    })?)
+                };
+                out.push(Spanned { tok, line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        text.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let tok = match text.as_str() {
+                    "fn" => Token::Fn,
+                    "array" => Token::Array,
+                    "let" => Token::Let,
+                    "for" => Token::For,
+                    "in" => Token::In,
+                    "while" => Token::While,
+                    "if" => Token::If,
+                    "else" => Token::Else,
+                    "return" => Token::Return,
+                    _ => Token::Ident(text),
+                };
+                out.push(Spanned { tok, line });
+            }
+            _ => {
+                chars.next();
+                let two = |chars: &mut std::iter::Peekable<std::str::Chars<'_>>, next: char| {
+                    if chars.peek() == Some(&next) {
+                        chars.next();
+                        true
+                    } else {
+                        false
+                    }
+                };
+                let tok = match c {
+                    '(' => Token::LParen,
+                    ')' => Token::RParen,
+                    '{' => Token::LBrace,
+                    '}' => Token::RBrace,
+                    '[' => Token::LBracket,
+                    ']' => Token::RBracket,
+                    ';' => Token::Semi,
+                    ':' => Token::Colon,
+                    ',' => Token::Comma,
+                    '+' => Token::Plus,
+                    '-' => Token::Minus,
+                    '*' => Token::Star,
+                    '%' => Token::Percent,
+                    '.' => {
+                        if two(&mut chars, '.') {
+                            Token::DotDot
+                        } else {
+                            return Err(LexError { line, msg: "stray `.`".into() });
+                        }
+                    }
+                    '=' => {
+                        if two(&mut chars, '=') {
+                            Token::EqEq
+                        } else {
+                            Token::Assign
+                        }
+                    }
+                    '!' => {
+                        if two(&mut chars, '=') {
+                            Token::NotEq
+                        } else {
+                            return Err(LexError { line, msg: "stray `!`".into() });
+                        }
+                    }
+                    '<' => {
+                        if two(&mut chars, '=') {
+                            Token::Le
+                        } else {
+                            Token::Lt
+                        }
+                    }
+                    '>' => {
+                        if two(&mut chars, '=') {
+                            Token::Ge
+                        } else {
+                            Token::Gt
+                        }
+                    }
+                    other => {
+                        return Err(LexError { line, msg: format!("unexpected character `{other}`") })
+                    }
+                };
+                out.push(Spanned { tok, line });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            toks("fn main for in x _y1"),
+            vec![
+                Token::Fn,
+                Token::Ident("main".into()),
+                Token::For,
+                Token::In,
+                Token::Ident("x".into()),
+                Token::Ident("_y1".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        assert_eq!(
+            toks("0..64 1.5 2"),
+            vec![Token::Int(0), Token::DotDot, Token::Int(64), Token::Float(1.5), Token::Int(2)]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("= == != < <= > >= + - * / %"),
+            vec![
+                Token::Assign,
+                Token::EqEq,
+                Token::NotEq,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let spanned = tokenize("x // comment\ny").unwrap();
+        assert_eq!(spanned.len(), 2);
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = tokenize("x\n$").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains('$'));
+    }
+
+    #[test]
+    fn float_then_range_disambiguates() {
+        // `1.5` float; `1..5` range.
+        assert_eq!(toks("1.5"), vec![Token::Float(1.5)]);
+        assert_eq!(toks("1..5"), vec![Token::Int(1), Token::DotDot, Token::Int(5)]);
+    }
+}

@@ -1,0 +1,428 @@
+//! Recursive-descent parser.
+
+use crate::ast::{BinaryOp, Expr, Item, Program, Stmt};
+use crate::lexer::{Spanned, Token};
+
+/// Parse failure with a source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based source line (0 = end of input).
+    pub line: u32,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    toks: &'a [Spanned],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|s| s.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { line: self.line(), msg: msg.into() }
+    }
+
+    fn next(&mut self) -> Result<&Token, ParseError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .ok_or(ParseError { line: 0, msg: "unexpected end of input".into() })?;
+        self.pos += 1;
+        Ok(&t.tok)
+    }
+
+    fn eat(&mut self, expected: &Token) -> Result<(), ParseError> {
+        let line = self.line();
+        let t = self.next()?;
+        if t == expected {
+            Ok(())
+        } else {
+            Err(ParseError { line, msg: format!("expected {expected:?}, found {t:?}") })
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<String, ParseError> {
+        let line = self.line();
+        match self.next()? {
+            Token::Ident(s) => Ok(s.clone()),
+            other => Err(ParseError { line, msg: format!("expected identifier, found {other:?}") }),
+        }
+    }
+
+    fn consume(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    // --- items ---------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut items = Vec::new();
+        while let Some(tok) = self.peek() {
+            match tok {
+                Token::Array => items.push(self.array_decl()?),
+                Token::Fn => items.push(self.function()?),
+                other => return Err(self.err(format!("expected `array` or `fn`, found {other:?}"))),
+            }
+        }
+        Ok(Program { items })
+    }
+
+    fn array_decl(&mut self) -> Result<Item, ParseError> {
+        self.eat(&Token::Array)?;
+        let name = self.eat_ident()?;
+        self.eat(&Token::LBracket)?;
+        let line = self.line();
+        let len = match self.next()? {
+            Token::Int(n) if *n > 0 => *n as usize,
+            other => {
+                return Err(ParseError { line, msg: format!("array length must be a positive integer, found {other:?}") })
+            }
+        };
+        self.eat(&Token::RBracket)?;
+        self.eat(&Token::Colon)?;
+        let ty = self.eat_ident()?;
+        let is_float = match ty.as_str() {
+            "f64" => true,
+            "i64" => false,
+            other => return Err(self.err(format!("unknown element type `{other}`"))),
+        };
+        self.eat(&Token::Semi)?;
+        Ok(Item::Array { name, len, is_float })
+    }
+
+    fn function(&mut self) -> Result<Item, ParseError> {
+        self.eat(&Token::Fn)?;
+        let name = self.eat_ident()?;
+        self.eat(&Token::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                params.push(self.eat_ident()?);
+                if !self.consume(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.eat(&Token::RParen)?;
+        let body = self.block()?;
+        Ok(Item::Function { name, params, body })
+    }
+
+    // --- statements ----------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.eat(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&Token::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.eat(&Token::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Some(Token::Let) => {
+                self.next()?;
+                let name = self.eat_ident()?;
+                self.eat(&Token::Assign)?;
+                let e = self.expr()?;
+                self.eat(&Token::Semi)?;
+                Ok(Stmt::Let(name, e))
+            }
+            Some(Token::For) => {
+                self.next()?;
+                let var = self.eat_ident()?;
+                self.eat(&Token::In)?;
+                let lo = self.expr()?;
+                self.eat(&Token::DotDot)?;
+                let hi = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::For { var, lo, hi, body })
+            }
+            Some(Token::While) => {
+                self.next()?;
+                self.eat(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Token::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            Some(Token::If) => {
+                self.next()?;
+                self.eat(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Token::RParen)?;
+                let then = self.block()?;
+                let els = if self.consume(&Token::Else) { self.block()? } else { Vec::new() };
+                Ok(Stmt::If(cond, then, els))
+            }
+            Some(Token::Return) => {
+                self.next()?;
+                let val =
+                    if self.peek() == Some(&Token::Semi) { None } else { Some(self.expr()?) };
+                self.eat(&Token::Semi)?;
+                Ok(Stmt::Return(val))
+            }
+            Some(Token::Ident(_)) => {
+                // Could be assignment, store, or an expression statement.
+                let save = self.pos;
+                let name = self.eat_ident()?;
+                match self.peek() {
+                    Some(Token::Assign) => {
+                        self.next()?;
+                        let e = self.expr()?;
+                        self.eat(&Token::Semi)?;
+                        Ok(Stmt::Assign(name, e))
+                    }
+                    Some(Token::LBracket) => {
+                        // Store or indexed read in an expression — look for
+                        // `] =` to decide.
+                        self.next()?;
+                        let idx = self.expr()?;
+                        self.eat(&Token::RBracket)?;
+                        if self.consume(&Token::Assign) {
+                            let val = self.expr()?;
+                            self.eat(&Token::Semi)?;
+                            Ok(Stmt::Store(name, idx, val))
+                        } else {
+                            // Re-parse as a full expression statement.
+                            self.pos = save;
+                            let e = self.expr()?;
+                            self.eat(&Token::Semi)?;
+                            Ok(Stmt::Expr(e))
+                        }
+                    }
+                    _ => {
+                        self.pos = save;
+                        let e = self.expr()?;
+                        self.eat(&Token::Semi)?;
+                        Ok(Stmt::Expr(e))
+                    }
+                }
+            }
+            Some(_) => {
+                // Any other expression statement (e.g. a literal or a
+                // parenthesised expression evaluated for nothing).
+                let e = self.expr()?;
+                self.eat(&Token::Semi)?;
+                Ok(Stmt::Expr(e))
+            }
+            None => Err(self.err("expected a statement")),
+        }
+    }
+
+    // --- expressions (precedence climbing) ------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::EqEq) => BinaryOp::Eq,
+                Some(Token::NotEq) => BinaryOp::Ne,
+                Some(Token::Lt) => BinaryOp::Lt,
+                Some(Token::Le) => BinaryOp::Le,
+                Some(Token::Gt) => BinaryOp::Gt,
+                Some(Token::Ge) => BinaryOp::Ge,
+                _ => break,
+            };
+            self.next()?;
+            let rhs = self.additive()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOp::Add,
+                Some(Token::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.next()?;
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Slash) => BinaryOp::Div,
+                Some(Token::Percent) => BinaryOp::Rem,
+                _ => break,
+            };
+            self.next()?;
+            let rhs = self.unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.consume(&Token::Minus) {
+            Ok(Expr::Neg(Box::new(self.unary()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        match self.next()? {
+            Token::Int(n) => Ok(Expr::Int(*n)),
+            Token::Float(x) => Ok(Expr::Float(*x)),
+            Token::LParen => {
+                let e = self.expr()?;
+                self.eat(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                let name = name.clone();
+                match self.peek() {
+                    Some(Token::LParen) => {
+                        self.next()?;
+                        let mut args = Vec::new();
+                        if self.peek() != Some(&Token::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.consume(&Token::Comma) {
+                                    break;
+                                }
+                            }
+                        }
+                        self.eat(&Token::RParen)?;
+                        Ok(Expr::Call(name, args))
+                    }
+                    Some(Token::LBracket) => {
+                        self.next()?;
+                        let idx = self.expr()?;
+                        self.eat(&Token::RBracket)?;
+                        Ok(Expr::Index(name, Box::new(idx)))
+                    }
+                    _ => Ok(Expr::Var(name)),
+                }
+            }
+            other => Err(ParseError { line, msg: format!("expected an expression, found {other:?}") }),
+        }
+    }
+}
+
+/// Parse a token stream.
+pub fn parse(tokens: &[Spanned]) -> Result<Program, ParseError> {
+    let mut p = Parser { toks: tokens, pos: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&tokenize(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_array_and_function() {
+        let p = parse_src("array a[8]: f64; fn main() { }");
+        assert_eq!(p.items.len(), 2);
+        assert!(matches!(&p.items[0], Item::Array { len: 8, is_float: true, .. }));
+        assert!(matches!(&p.items[1], Item::Function { .. }));
+    }
+
+    #[test]
+    fn parses_for_loop_with_stores() {
+        let p = parse_src(
+            "array a[8]: f64; fn main() { for i in 0..8 { a[i] = a[i] * 2.0; } }",
+        );
+        let Item::Function { body, .. } = &p.items[1] else { panic!() };
+        let Stmt::For { var, body, .. } = &body[0] else { panic!("{body:?}") };
+        assert_eq!(var, "i");
+        assert!(matches!(&body[0], Stmt::Store(..)));
+    }
+
+    #[test]
+    fn precedence_mul_over_add_over_cmp() {
+        let p = parse_src("fn f() { let x = 1 + 2 * 3 < 10; }");
+        let Item::Function { body, .. } = &p.items[0] else { panic!() };
+        let Stmt::Let(_, e) = &body[0] else { panic!() };
+        // (1 + (2*3)) < 10
+        let Expr::Binary(BinaryOp::Lt, lhs, _) = e else { panic!("{e:?}") };
+        let Expr::Binary(BinaryOp::Add, _, mul) = &**lhs else { panic!("{lhs:?}") };
+        assert!(matches!(&**mul, Expr::Binary(BinaryOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn parses_if_else_while_return() {
+        let p = parse_src(
+            "fn f(n) { while (n > 0) { if (n % 2 == 0) { n = n / 2; } else { n = n - 1; } } return n; }",
+        );
+        let Item::Function { body, params, .. } = &p.items[0] else { panic!() };
+        assert_eq!(params, &["n"]);
+        assert!(matches!(&body[0], Stmt::While(..)));
+        assert!(matches!(&body[1], Stmt::Return(Some(_))));
+    }
+
+    #[test]
+    fn parses_calls_and_expression_statements() {
+        let p = parse_src("fn g() { } fn f() { g(); let x = g(); }");
+        let Item::Function { body, .. } = &p.items[1] else { panic!() };
+        assert!(matches!(&body[0], Stmt::Expr(Expr::Call(..))));
+        assert!(matches!(&body[1], Stmt::Let(_, Expr::Call(..))));
+    }
+
+    #[test]
+    fn indexed_read_in_expression_statement() {
+        // `a[i];` is an (admittedly useless) expression statement, not a
+        // store — the parser must backtrack correctly.
+        let p = parse_src("array a[4]: f64; fn f() { for i in 0..4 { a[i]; } }");
+        let Item::Function { body, .. } = &p.items[1] else { panic!() };
+        let Stmt::For { body, .. } = &body[0] else { panic!() };
+        assert!(matches!(&body[0], Stmt::Expr(Expr::Index(..))));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let toks = tokenize("fn f() {\n  let = 3;\n}").unwrap();
+        let e = parse(&toks).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

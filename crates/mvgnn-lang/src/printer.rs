@@ -1,0 +1,229 @@
+//! AST pretty-printer: renders a [`Program`] back to parseable source.
+//!
+//! `parse(print(ast)) == ast` is property-tested, which pins the grammar
+//! and printer together.
+
+use crate::ast::{BinaryOp, Expr, Item, Program, Stmt};
+use std::fmt::Write as _;
+
+fn op_str(op: BinaryOp) -> &'static str {
+    match op {
+        BinaryOp::Add => "+",
+        BinaryOp::Sub => "-",
+        BinaryOp::Mul => "*",
+        BinaryOp::Div => "/",
+        BinaryOp::Rem => "%",
+        BinaryOp::Eq => "==",
+        BinaryOp::Ne => "!=",
+        BinaryOp::Lt => "<",
+        BinaryOp::Le => "<=",
+        BinaryOp::Gt => ">",
+        BinaryOp::Ge => ">=",
+    }
+}
+
+/// Render an expression (fully parenthesised — unambiguous and re-parseable).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(n) => n.to_string(),
+        Expr::Float(x) => {
+            let s = format!("{x}");
+            if s.contains('.') || s.contains('e') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Expr::Var(v) => v.clone(),
+        Expr::Index(a, i) => format!("{a}[{}]", print_expr(i)),
+        Expr::Call(f, args) => {
+            let a: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{f}({})", a.join(", "))
+        }
+        Expr::Neg(inner) => format!("(-{})", print_expr(inner)),
+        Expr::Binary(op, l, r) => {
+            format!("({} {} {})", print_expr(l), op_str(*op), print_expr(r))
+        }
+    }
+}
+
+fn print_block(out: &mut String, stmts: &[Stmt], indent: usize) {
+    let pad = "    ".repeat(indent);
+    for s in stmts {
+        match s {
+            Stmt::Let(n, e) => {
+                let _ = writeln!(out, "{pad}let {n} = {};", print_expr(e));
+            }
+            Stmt::Assign(n, e) => {
+                let _ = writeln!(out, "{pad}{n} = {};", print_expr(e));
+            }
+            Stmt::Store(a, i, v) => {
+                let _ = writeln!(out, "{pad}{a}[{}] = {};", print_expr(i), print_expr(v));
+            }
+            Stmt::For { var, lo, hi, body } => {
+                let _ = writeln!(out, "{pad}for {var} in {}..{} {{", print_expr(lo), print_expr(hi));
+                print_block(out, body, indent + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::While(c, body) => {
+                let _ = writeln!(out, "{pad}while ({}) {{", print_expr(c));
+                print_block(out, body, indent + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::If(c, then, els) => {
+                let _ = writeln!(out, "{pad}if ({}) {{", print_expr(c));
+                print_block(out, then, indent + 1);
+                if els.is_empty() {
+                    let _ = writeln!(out, "{pad}}}");
+                } else {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    print_block(out, els, indent + 1);
+                    let _ = writeln!(out, "{pad}}}");
+                }
+            }
+            Stmt::Return(Some(e)) => {
+                let _ = writeln!(out, "{pad}return {};", print_expr(e));
+            }
+            Stmt::Return(None) => {
+                let _ = writeln!(out, "{pad}return;");
+            }
+            Stmt::Expr(e) => {
+                let _ = writeln!(out, "{pad}{};", print_expr(e));
+            }
+        }
+    }
+}
+
+/// Render a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for item in &p.items {
+        match item {
+            Item::Array { name, len, is_float } => {
+                let ty = if *is_float { "f64" } else { "i64" };
+                let _ = writeln!(out, "array {name}[{len}]: {ty};");
+            }
+            Item::Function { name, params, body } => {
+                let _ = writeln!(out, "fn {name}({}) {{", params.join(", "));
+                print_block(&mut out, body, 1);
+                let _ = writeln!(out, "}}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::parser::parse;
+    use proptest::prelude::*;
+
+    fn roundtrip(p: &Program) -> Program {
+        let src = print_program(p);
+        parse(&tokenize(&src).unwrap_or_else(|e| panic!("{e}\n{src}")))
+            .unwrap_or_else(|e| panic!("{e}\n{src}"))
+    }
+
+    #[test]
+    fn prints_and_reparses_example() {
+        let src = "array a[8]: f64;\nfn main() {\n    for i in 0..8 {\n        a[i] = (a[i] * 2.0);\n    }\n}\n";
+        let ast = parse(&tokenize(src).unwrap()).unwrap();
+        assert_eq!(roundtrip(&ast), ast);
+        assert_eq!(print_program(&ast), src);
+    }
+
+    // --- proptest grammar -------------------------------------------------
+
+    fn ident() -> impl Strategy<Value = String> {
+        "[a-z][a-z0-9]{0,5}".prop_filter("not a keyword", |s| {
+            !matches!(
+                s.as_str(),
+                "fn" | "array" | "let" | "for" | "in" | "while" | "if" | "else" | "return"
+            )
+        })
+    }
+
+    fn expr_strategy() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            (0i64..1000).prop_map(Expr::Int),
+            (0u32..100).prop_map(|n| Expr::Float(n as f64 + 0.5)),
+            ident().prop_map(Expr::Var),
+        ];
+        leaf.prop_recursive(3, 24, 4, |inner| {
+            prop_oneof![
+                (ident(), inner.clone()).prop_map(|(a, i)| Expr::Index(a, Box::new(i))),
+                (inner.clone()).prop_map(|e| Expr::Neg(Box::new(e))),
+                (
+                    prop_oneof![
+                        Just(BinaryOp::Add),
+                        Just(BinaryOp::Mul),
+                        Just(BinaryOp::Lt),
+                        Just(BinaryOp::Rem),
+                        Just(BinaryOp::Ge),
+                    ],
+                    inner.clone(),
+                    inner.clone()
+                )
+                    .prop_map(|(op, l, r)| Expr::Binary(op, Box::new(l), Box::new(r))),
+                (ident(), proptest::collection::vec(inner, 0..3))
+                    .prop_map(|(f, args)| Expr::Call(f, args)),
+            ]
+        })
+    }
+
+    fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+        let leaf = prop_oneof![
+            (ident(), expr_strategy()).prop_map(|(n, e)| Stmt::Let(n, e)),
+            (ident(), expr_strategy()).prop_map(|(n, e)| Stmt::Assign(n, e)),
+            (ident(), expr_strategy(), expr_strategy())
+                .prop_map(|(a, i, v)| Stmt::Store(a, i, v)),
+            expr_strategy().prop_map(Stmt::Expr),
+        ];
+        leaf.prop_recursive(2, 12, 3, |inner| {
+            prop_oneof![
+                (ident(), expr_strategy(), expr_strategy(), proptest::collection::vec(inner.clone(), 0..3))
+                    .prop_map(|(var, lo, hi, body)| Stmt::For { var, lo, hi, body }),
+                (expr_strategy(), proptest::collection::vec(inner.clone(), 0..3))
+                    .prop_map(|(c, b)| Stmt::While(c, b)),
+                (
+                    expr_strategy(),
+                    proptest::collection::vec(inner.clone(), 0..2),
+                    proptest::collection::vec(inner, 0..2)
+                )
+                    .prop_map(|(c, t, e)| Stmt::If(c, t, e)),
+            ]
+        })
+    }
+
+    fn program_strategy() -> impl Strategy<Value = Program> {
+        (
+            proptest::collection::vec(
+                (ident(), 1usize..64, any::<bool>())
+                    .prop_map(|(name, len, is_float)| Item::Array { name, len, is_float }),
+                0..2,
+            ),
+            proptest::collection::vec(
+                (ident(), proptest::collection::vec(ident(), 0..3), proptest::collection::vec(stmt_strategy(), 0..4))
+                    .prop_map(|(name, params, body)| Item::Function { name, params, body }),
+                1..3,
+            ),
+        )
+            .prop_map(|(arrays, funcs)| {
+                let mut items: Vec<Item> = arrays;
+                items.extend(funcs);
+                Program { items }
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The printer emits exactly the language the parser accepts.
+        #[test]
+        fn print_parse_roundtrip(p in program_strategy()) {
+            prop_assert_eq!(roundtrip(&p), p);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Embedding table: id sequence → stacked rows of a learned matrix.
+//!
+//! Used twice in the reproduction: the inst2vec-style statement embedding
+//! (node-feature view) and the anonymous-walk embedding table
+//! (structural view).
+
+use mvgnn_tensor::init;
+use mvgnn_tensor::tape::{ParamId, Params, Tape, Var};
+use rand::rngs::StdRng;
+
+/// A `vocab × dim` lookup table.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// The table parameter.
+    pub table: ParamId,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Register a table initialised uniformly in ±0.5/dim.
+    pub fn new(params: &mut Params, name: &str, vocab: usize, dim: usize, rng: &mut StdRng) -> Self {
+        let bound = 0.5 / dim as f32;
+        let table =
+            params.add(format!("{name}.table"), vocab, dim, init::uniform(vocab * dim, bound, rng));
+        Self { table, vocab, dim }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Look up a sequence of ids: output is `ids.len() × dim`.
+    pub fn forward(&self, tape: &mut Tape<'_>, ids: &[usize]) -> Var {
+        for &id in ids {
+            assert!(id < self.vocab, "embedding id {id} out of vocab {}", self.vocab);
+        }
+        let table = tape.param(self.table);
+        tape.gather_rows_pad(table, ids, ids.len())
+    }
+
+    /// Weighted mixture of all rows: `weights[rows × vocab] · table`,
+    /// i.e. soft lookup by a distribution (used for anonymous-walk
+    /// distributions, paper Eq. 3 → embedding).
+    pub fn forward_soft(&self, tape: &mut Tape<'_>, weights: Var) -> Var {
+        assert_eq!(tape.shape(weights).1, self.vocab, "weight width must equal vocab");
+        let table = tape.param(self.table);
+        tape.matmul(weights, table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_returns_rows() {
+        let mut params = Params::new();
+        let mut rng = init::rng(2);
+        let emb = Embedding::new(&mut params, "e", 5, 3, &mut rng);
+        let row2 = params.data(emb.table)[6..9].to_vec();
+        let mut tape = Tape::new(&mut params);
+        let out = emb.forward(&mut tape, &[2, 2, 4]);
+        assert_eq!(tape.shape(out), (3, 3));
+        assert_eq!(&tape.data(out)[..3], &row2[..]);
+        assert_eq!(&tape.data(out)[3..6], &row2[..]);
+    }
+
+    #[test]
+    fn soft_lookup_mixes_rows() {
+        let mut params = Params::new();
+        let mut rng = init::rng(2);
+        let emb = Embedding::new(&mut params, "e", 2, 2, &mut rng);
+        // Overwrite the table for a deterministic check.
+        params.data_mut(emb.table).copy_from_slice(&[1.0, 0.0, 0.0, 1.0]);
+        let mut tape = Tape::new(&mut params);
+        let w = tape.input(vec![0.25, 0.75], 1, 2);
+        let out = emb.forward_soft(&mut tape, w);
+        assert_eq!(tape.data(out), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn gradient_reaches_only_used_rows() {
+        let mut params = Params::new();
+        let mut rng = init::rng(2);
+        let emb = Embedding::new(&mut params, "e", 4, 2, &mut rng);
+        let mut tape = Tape::new(&mut params);
+        let out = emb.forward(&mut tape, &[1]);
+        let loss = tape.sum_all(out);
+        tape.backward(loss);
+        drop(tape);
+        let g = params.grad(emb.table);
+        assert_eq!(&g[0..2], &[0.0, 0.0]);
+        assert_eq!(&g[2..4], &[1.0, 1.0]);
+        assert_eq!(&g[4..8], &[0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn oob_id_panics() {
+        let mut params = Params::new();
+        let mut rng = init::rng(2);
+        let emb = Embedding::new(&mut params, "e", 2, 2, &mut rng);
+        let mut tape = Tape::new(&mut params);
+        let _ = emb.forward(&mut tape, &[2]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Affine layer `y = x·W (+ b)`.
+
+use mvgnn_tensor::init;
+use mvgnn_tensor::tape::{ParamId, Params, Tape, Var};
+use rand::rngs::StdRng;
+
+/// Dense affine layer.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight `in_dim × out_dim`.
+    pub w: ParamId,
+    /// Optional bias `1 × out_dim`.
+    pub b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Register a layer's parameters (Xavier weights, zero bias).
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        rng: &mut StdRng,
+    ) -> Self {
+        let w = params.add(
+            format!("{name}.w"),
+            in_dim,
+            out_dim,
+            init::xavier_uniform(in_dim, out_dim, rng),
+        );
+        let b = bias.then(|| params.add(format!("{name}.b"), 1, out_dim, init::zeros(out_dim)));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Record `x·W (+ b)` on the tape. `x` is `rows × in_dim`.
+    pub fn forward(&self, tape: &mut Tape<'_>, x: Var) -> Var {
+        assert_eq!(tape.shape(x).1, self.in_dim, "linear input width");
+        let w = tape.param(self.w);
+        let h = tape.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let bv = tape.param(b);
+                tape.add_row(h, bv)
+            }
+            None => h,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvgnn_tensor::optim::Sgd;
+
+    #[test]
+    fn forward_shapes() {
+        let mut params = Params::new();
+        let mut rng = init::rng(1);
+        let lin = Linear::new(&mut params, "l", 4, 3, true, &mut rng);
+        let mut tape = Tape::new(&mut params);
+        let x = tape.input(vec![0.0; 8], 2, 4);
+        let y = lin.forward(&mut tape, x);
+        assert_eq!(tape.shape(y), (2, 3));
+        assert_eq!(lin.in_dim(), 4);
+        assert_eq!(lin.out_dim(), 3);
+    }
+
+    #[test]
+    fn bias_disabled_uses_one_param() {
+        let mut params = Params::new();
+        let mut rng = init::rng(1);
+        let lin = Linear::new(&mut params, "l", 2, 2, false, &mut rng);
+        assert!(lin.b.is_none());
+        assert_eq!(params.len(), 1);
+    }
+
+    #[test]
+    fn learns_identity_map() {
+        let mut params = Params::new();
+        let mut rng = init::rng(42);
+        let lin = Linear::new(&mut params, "l", 2, 2, true, &mut rng);
+        let mut opt = Sgd::new(0.1, 0.0);
+        let data = [
+            (vec![1.0f32, 0.0], vec![1.0f32, 0.0]),
+            (vec![0.0, 1.0], vec![0.0, 1.0]),
+            (vec![1.0, 1.0], vec![1.0, 1.0]),
+        ];
+        let mut last = f32::MAX;
+        for _ in 0..200 {
+            params.zero_grads();
+            let mut total = 0.0;
+            for (x, y) in &data {
+                let mut tape = Tape::new(&mut params);
+                let xv = tape.input(x.clone(), 1, 2);
+                let yv = tape.input(y.clone(), 1, 2);
+                let out = lin.forward(&mut tape, xv);
+                let d = tape.sub(out, yv);
+                let sq = tape.mul(d, d);
+                let loss = tape.sum_all(sq);
+                total += tape.data(loss)[0];
+                tape.backward(loss);
+            }
+            opt.step(&mut params);
+            last = total;
+        }
+        assert!(last < 1e-3, "residual {last}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Single-layer LSTM. The NCC baseline (Ben-Nun et al.) stacks two of
+//! these over inst2vec sequences; the view-importance probe (paper Fig. 8)
+//! uses one over per-view outputs.
+
+use crate::linear::Linear;
+use mvgnn_tensor::tape::{Params, Tape, Var};
+use rand::rngs::StdRng;
+
+/// LSTM with per-gate input/recurrent affine maps.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    // Gate order: input, forget, output, candidate.
+    wx: [Linear; 4],
+    wh: [Linear; 4],
+    hidden: usize,
+}
+
+impl Lstm {
+    /// Register parameters. `wx` maps `in_dim → hidden` (with bias), `wh`
+    /// maps `hidden → hidden` (no bias; the wx bias covers both).
+    pub fn new(params: &mut Params, name: &str, in_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        let gate_names = ["i", "f", "o", "g"];
+        let wx = gate_names
+            .map(|g| Linear::new(params, &format!("{name}.wx{g}"), in_dim, hidden, true, rng));
+        let wh = gate_names
+            .map(|g| Linear::new(params, &format!("{name}.wh{g}"), hidden, hidden, false, rng));
+        Self { wx, wh, hidden }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Run over a `T × in_dim` sequence; returns all hidden states
+    /// (`T × hidden`) and the last hidden state (`1 × hidden`).
+    pub fn forward_seq(&self, tape: &mut Tape<'_>, xs: Var) -> (Var, Var) {
+        let (t_len, _) = tape.shape(xs);
+        assert!(t_len > 0, "empty sequence");
+        let mut h = tape.input(vec![0.0; self.hidden], 1, self.hidden);
+        let mut c = tape.input(vec![0.0; self.hidden], 1, self.hidden);
+        let mut outputs: Option<Var> = None;
+        for t in 0..t_len {
+            let x_t = tape.gather_rows_pad(xs, &[t], 1);
+            let pre = |tape: &mut Tape<'_>, wx: &Linear, wh: &Linear, x: Var, h: Var| {
+                let a = wx.forward(tape, x);
+                let b = wh.forward(tape, h);
+                tape.add(a, b)
+            };
+            let i_pre = pre(tape, &self.wx[0], &self.wh[0], x_t, h);
+            let i = tape.sigmoid(i_pre);
+            let f_pre = pre(tape, &self.wx[1], &self.wh[1], x_t, h);
+            let f = tape.sigmoid(f_pre);
+            let o_pre = pre(tape, &self.wx[2], &self.wh[2], x_t, h);
+            let o = tape.sigmoid(o_pre);
+            let g_pre = pre(tape, &self.wx[3], &self.wh[3], x_t, h);
+            let g = tape.tanh(g_pre);
+            let fc = tape.mul(f, c);
+            let ig = tape.mul(i, g);
+            c = tape.add(fc, ig);
+            let ct = tape.tanh(c);
+            h = tape.mul(o, ct);
+            outputs = Some(match outputs {
+                None => h,
+                Some(prev) => tape.concat_rows(prev, h),
+            });
+        }
+        (outputs.expect("non-empty sequence"), h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvgnn_tensor::init;
+    use mvgnn_tensor::optim::Adam;
+
+    #[test]
+    fn shapes_and_state_progression() {
+        let mut params = Params::new();
+        let mut rng = init::rng(11);
+        let lstm = Lstm::new(&mut params, "l", 3, 5, &mut rng);
+        let mut tape = Tape::new(&mut params);
+        let xs = tape.input((0..12).map(|i| (i as f32) * 0.1).collect(), 4, 3);
+        let (all, last) = lstm.forward_seq(&mut tape, xs);
+        assert_eq!(tape.shape(all), (4, 5));
+        assert_eq!(tape.shape(last), (1, 5));
+        // Last row of `all` equals `last`.
+        assert_eq!(&tape.data(all)[15..20], tape.data(last));
+        // Hidden states change over time.
+        assert_ne!(&tape.data(all)[0..5], &tape.data(all)[15..20]);
+    }
+
+    #[test]
+    fn learns_sequence_discrimination() {
+        // Classify whether the sequence is increasing or decreasing —
+        // requires actual temporal integration.
+        let mut params = Params::new();
+        let mut rng = init::rng(13);
+        let lstm = Lstm::new(&mut params, "l", 1, 8, &mut rng);
+        let head = Linear::new(&mut params, "head", 8, 2, true, &mut rng);
+        let mut opt = Adam::new(0.02);
+        let seqs: Vec<(Vec<f32>, usize)> = vec![
+            (vec![0.1, 0.2, 0.3, 0.4], 0),
+            (vec![0.0, 0.3, 0.5, 0.9], 0),
+            (vec![0.2, 0.4, 0.6, 0.7], 0),
+            (vec![0.9, 0.6, 0.4, 0.1], 1),
+            (vec![0.8, 0.5, 0.3, 0.0], 1),
+            (vec![0.7, 0.6, 0.2, 0.1], 1),
+        ];
+        let mut final_acc = 0.0;
+        for _epoch in 0..150 {
+            params.zero_grads();
+            let mut correct = 0;
+            for (seq, label) in &seqs {
+                let mut tape = Tape::new(&mut params);
+                let xs = tape.input(seq.clone(), seq.len(), 1);
+                let (_, last) = lstm.forward_seq(&mut tape, xs);
+                let logits = head.forward(&mut tape, last);
+                let pred = mvgnn_tensor::tape::argmax_rows(tape.data(logits), 1, 2)[0];
+                if pred == *label {
+                    correct += 1;
+                }
+                let loss = tape.softmax_ce(logits, &[*label], 1.0);
+                tape.backward(loss);
+            }
+            opt.step(&mut params);
+            final_acc = correct as f32 / seqs.len() as f32;
+        }
+        assert!(final_acc > 0.9, "accuracy {final_acc}");
+    }
+}

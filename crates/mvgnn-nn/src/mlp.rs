@@ -1,0 +1,142 @@
+//! Dense stack with a configurable activation.
+
+use crate::linear::Linear;
+use mvgnn_tensor::tape::{Params, Tape, Var};
+use rand::rngs::StdRng;
+
+/// Activation functions available to [`Mlp`] hidden layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Hyperbolic tangent (the paper's fusion layer).
+    Tanh,
+    /// Rectified linear unit (NCC dense layers).
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// No activation.
+    Identity,
+}
+
+impl Activation {
+    /// Apply on the tape.
+    pub fn apply(self, tape: &mut Tape<'_>, x: Var) -> Var {
+        match self {
+            Activation::Tanh => tape.tanh(x),
+            Activation::Relu => tape.relu(x),
+            Activation::Sigmoid => tape.sigmoid(x),
+            Activation::Identity => x,
+        }
+    }
+}
+
+/// A stack of [`Linear`] layers; the activation is applied after every
+/// layer except the last (logits come out raw).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Build from a dims chain, e.g. `[128, 64, 2]` = two layers.
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        dims: &[usize],
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(params, &format!("{name}.{i}"), w[0], w[1], true, rng))
+            .collect();
+        Self { layers, activation }
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Record the stack on the tape.
+    pub fn forward(&self, tape: &mut Tape<'_>, mut x: Var) -> Var {
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(tape, x);
+            if i != last {
+                x = self.activation.apply(tape, x);
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvgnn_tensor::init;
+    use mvgnn_tensor::optim::Adam;
+    use mvgnn_tensor::tape::argmax_rows;
+
+    #[test]
+    fn shapes_through_stack() {
+        let mut params = Params::new();
+        let mut rng = init::rng(4);
+        let mlp = Mlp::new(&mut params, "m", &[6, 10, 4, 2], Activation::Relu, &mut rng);
+        assert_eq!(mlp.depth(), 3);
+        let mut tape = Tape::new(&mut params);
+        let x = tape.input(vec![0.5; 12], 2, 6);
+        let y = mlp.forward(&mut tape, x);
+        assert_eq!(tape.shape(y), (2, 2));
+    }
+
+    #[test]
+    fn learns_xor() {
+        // XOR demands a hidden layer — the canonical non-linear check.
+        let data: Vec<(Vec<f32>, usize)> = vec![
+            (vec![0.0, 0.0], 0),
+            (vec![0.0, 1.0], 1),
+            (vec![1.0, 0.0], 1),
+            (vec![1.0, 1.0], 0),
+        ];
+        let mut params = Params::new();
+        let mut rng = init::rng(99);
+        let mlp = Mlp::new(&mut params, "m", &[2, 8, 2], Activation::Tanh, &mut rng);
+        let mut opt = Adam::new(0.05);
+        let mut acc = 0.0;
+        for _ in 0..300 {
+            params.zero_grads();
+            let mut correct = 0;
+            for (x, y) in &data {
+                let mut tape = Tape::new(&mut params);
+                let xv = tape.input(x.clone(), 1, 2);
+                let logits = mlp.forward(&mut tape, xv);
+                if argmax_rows(tape.data(logits), 1, 2)[0] == *y {
+                    correct += 1;
+                }
+                let loss = tape.softmax_ce(logits, &[*y], 1.0);
+                tape.backward(loss);
+            }
+            opt.step(&mut params);
+            acc = correct as f32 / data.len() as f32;
+        }
+        assert_eq!(acc, 1.0, "XOR accuracy {acc}");
+    }
+
+    #[test]
+    fn activations_apply() {
+        let mut params = Params::new();
+        let mut tape = Tape::new(&mut params);
+        let x = tape.input(vec![-1.0, 1.0], 1, 2);
+        let r = Activation::Relu.apply(&mut tape, x);
+        assert_eq!(tape.data(r), &[0.0, 1.0]);
+        let i = Activation::Identity.apply(&mut tape, x);
+        assert_eq!(i, x);
+        let t = Activation::Tanh.apply(&mut tape, x);
+        assert!(tape.data(t)[0] < 0.0 && tape.data(t)[1] > 0.0);
+        let s = Activation::Sigmoid.apply(&mut tape, x);
+        assert!(tape.data(s)[0] < 0.5 && tape.data(s)[1] > 0.5);
+    }
+}

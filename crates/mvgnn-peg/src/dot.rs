@@ -1,0 +1,90 @@
+//! Graphviz DOT export for PEGs (paper Fig. 5 style).
+
+use crate::build::{PegEdge, PegEdgeKind, PegNode, PegNodeKind};
+use mvgnn_graph::DiGraph;
+use mvgnn_profiler::DepKind;
+use std::fmt::Write as _;
+
+/// Render a PEG (or sub-PEG) as Graphviz DOT. Loop and function nodes are
+/// boxes, CUs are ellipses; dependence edges are coloured by kind and
+/// carried dependences are drawn bold.
+pub fn to_dot(g: &DiGraph<PegNode, PegEdge>) -> String {
+    let mut s = String::from("digraph peg {\n  rankdir=TB;\n  node [fontsize=10];\n");
+    for n in g.node_ids() {
+        let w = g.node(n);
+        let (shape, label) = match w.kind {
+            PegNodeKind::Func(f) => ("box", format!("func f{}", f.0)),
+            PegNodeKind::Loop(f, l) => (
+                "box",
+                format!("loop f{}:l{} [{}..{}]", f.0, l.0, w.line_span.0, w.line_span.1),
+            ),
+            PegNodeKind::Cu(c) => (
+                "ellipse",
+                format!("cu{} {} [{}..{}]", c.0, w.token, w.line_span.0, w.line_span.1),
+            ),
+        };
+        let _ = writeln!(s, "  n{} [shape={shape}, label=\"{label}\"];", n.0);
+    }
+    for e in g.edge_ids() {
+        let (a, b) = g.endpoints(e);
+        let w = g.edge(e);
+        let (color, style, label) = match w.kind {
+            PegEdgeKind::Hierarchy => ("gray", "dashed", String::new()),
+            PegEdgeKind::DefUse => ("black", "solid", "du".to_string()),
+            PegEdgeKind::Dep(k) => {
+                let color = match k {
+                    DepKind::Raw => "red",
+                    DepKind::War => "blue",
+                    DepKind::Waw => "purple",
+                };
+                (color, if w.carried { "bold" } else { "solid" }, k.to_string())
+            }
+        };
+        let _ = writeln!(
+            s,
+            "  n{} -> n{} [color={color}, style={style}, label=\"{label}\"];",
+            a.0, b.0
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_peg, loop_subpeg};
+    use mvgnn_ir::inst::BinOp;
+    use mvgnn_ir::types::Ty;
+    use mvgnn_ir::{FunctionBuilder, Module};
+    use mvgnn_profiler::{build_cus, profile_module};
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let mut m = Module::new("t");
+        let a = m.add_array("a", Ty::F64, 8);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let lo = b.const_i64(0);
+        let hi = b.const_i64(8);
+        let st = b.const_i64(1);
+        let l = b.for_loop(lo, hi, st, |b, iv| {
+            let x = b.load(a, iv);
+            let y = b.bin(BinOp::Mul, x, x);
+            b.store(a, iv, y);
+        });
+        let f = b.finish();
+        let cus = build_cus(&m);
+        let res = profile_module(&m, f, &[]).unwrap();
+        let peg = build_peg(&m, &cus, &res.deps);
+        let dot = to_dot(&peg.graph);
+        assert!(dot.starts_with("digraph peg {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("loop f0:l0"));
+        assert!(dot.contains("shape=ellipse"));
+        // Sub-PEG renders too and is smaller.
+        let sub = loop_subpeg(&peg, &m, &cus, f, l);
+        let sub_dot = to_dot(&sub.graph);
+        assert!(sub_dot.len() < dot.len());
+        assert!(sub_dot.matches("->").count() >= 3);
+    }
+}

@@ -1,0 +1,166 @@
+//! Data-dependence records and the dependence graph.
+
+use mvgnn_ir::module::{FuncId, LoopId};
+use mvgnn_ir::InstRef;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// Kind of a data dependence between two memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DepKind {
+    /// Read-after-write (true/flow dependence).
+    Raw,
+    /// Write-after-read (anti dependence).
+    War,
+    /// Write-after-write (output dependence).
+    Waw,
+}
+
+impl std::fmt::Display for DepKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DepKind::Raw => write!(f, "RAW"),
+            DepKind::War => write!(f, "WAR"),
+            DepKind::Waw => write!(f, "WAW"),
+        }
+    }
+}
+
+/// A static dependence edge aggregated over the whole execution.
+///
+/// `src` is the *earlier* access (the source of the constraint), `dst` the
+/// later one, matching DiscoPoP's `⟨SINK, TYPE, SOURCE⟩` triples read
+/// right-to-left.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dependence {
+    /// Earlier access instruction.
+    pub src: InstRef,
+    /// Later access instruction.
+    pub dst: InstRef,
+    /// Dependence kind.
+    pub kind: DepKind,
+    /// How many dynamic instances were observed.
+    pub count: u64,
+    /// Loops (innermost set) that carried at least one instance: source and
+    /// sink sat in different iterations of that loop.
+    pub carried_by: BTreeSet<(FuncId, LoopId)>,
+    /// True if at least one instance was loop-independent (same iteration
+    /// of every common enclosing loop).
+    pub loop_independent: bool,
+}
+
+/// Aggregated dependence graph for one profiled execution.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DepGraph {
+    deps: HashMap<(InstRef, InstRef, DepKind), Dependence>,
+}
+
+impl DepGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one dynamic dependence instance.
+    pub fn record(
+        &mut self,
+        src: InstRef,
+        dst: InstRef,
+        kind: DepKind,
+        carried: Option<(FuncId, LoopId)>,
+    ) {
+        let entry = self.deps.entry((src, dst, kind)).or_insert_with(|| Dependence {
+            src,
+            dst,
+            kind,
+            count: 0,
+            carried_by: BTreeSet::new(),
+            loop_independent: false,
+        });
+        entry.count += 1;
+        match carried {
+            Some(l) => {
+                entry.carried_by.insert(l);
+            }
+            None => entry.loop_independent = true,
+        }
+    }
+
+    /// Number of distinct static dependence edges.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// True when no dependence was observed.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Iterate all dependences in a deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Dependence> {
+        let mut v: Vec<&Dependence> = self.deps.values().collect();
+        v.sort_by_key(|d| (d.src, d.dst, d.kind));
+        v.into_iter()
+    }
+
+    /// All dependences carried by the given loop.
+    pub fn carried_by(&self, func: FuncId, l: LoopId) -> Vec<&Dependence> {
+        self.iter().filter(|d| d.carried_by.contains(&(func, l))).collect()
+    }
+
+    /// Look up one edge.
+    pub fn get(&self, src: InstRef, dst: InstRef, kind: DepKind) -> Option<&Dependence> {
+        self.deps.get(&(src, dst, kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvgnn_ir::module::BlockId;
+
+    fn r(i: u32) -> InstRef {
+        InstRef { func: FuncId(0), block: BlockId(0), idx: i }
+    }
+
+    #[test]
+    fn record_aggregates_counts() {
+        let mut g = DepGraph::new();
+        g.record(r(0), r(1), DepKind::Raw, None);
+        g.record(r(0), r(1), DepKind::Raw, Some((FuncId(0), LoopId(0))));
+        g.record(r(0), r(1), DepKind::War, None);
+        assert_eq!(g.len(), 2);
+        let d = g.get(r(0), r(1), DepKind::Raw).unwrap();
+        assert_eq!(d.count, 2);
+        assert!(d.loop_independent);
+        assert!(d.carried_by.contains(&(FuncId(0), LoopId(0))));
+    }
+
+    #[test]
+    fn carried_by_filters() {
+        let mut g = DepGraph::new();
+        g.record(r(0), r(1), DepKind::Raw, Some((FuncId(0), LoopId(0))));
+        g.record(r(2), r(3), DepKind::Waw, Some((FuncId(0), LoopId(1))));
+        g.record(r(4), r(5), DepKind::War, None);
+        assert_eq!(g.carried_by(FuncId(0), LoopId(0)).len(), 1);
+        assert_eq!(g.carried_by(FuncId(0), LoopId(1)).len(), 1);
+        assert_eq!(g.carried_by(FuncId(1), LoopId(0)).len(), 0);
+    }
+
+    #[test]
+    fn iteration_is_deterministic() {
+        let mut g = DepGraph::new();
+        g.record(r(5), r(6), DepKind::Raw, None);
+        g.record(r(1), r(2), DepKind::Raw, None);
+        g.record(r(3), r(4), DepKind::Waw, None);
+        let order: Vec<u32> = g.iter().map(|d| d.src.idx).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(DepKind::Raw.to_string(), "RAW");
+        assert_eq!(DepKind::War.to_string(), "WAR");
+        assert_eq!(DepKind::Waw.to_string(), "WAW");
+    }
+}

@@ -1,0 +1,413 @@
+//! The dependence profiler: a [`Tracer`] implementation with shadow memory
+//! and loop-iteration vectors.
+//!
+//! Every memory cell tracks its last writer and the readers since that
+//! write. On each access the profiler compares the *dynamic loop stack* of
+//! the two endpoints: the outermost common loop entry whose iteration
+//! number differs is the loop that **carries** the dependence; if all
+//! common iterations match, the dependence is loop-independent.
+
+use crate::deps::{DepGraph, DepKind};
+use mvgnn_ir::interp::{ExecStats, InterpError, Interpreter, Tracer};
+use mvgnn_ir::module::{FuncId, LoopId, Module};
+use mvgnn_ir::types::{ArrayId, Value};
+use mvgnn_ir::InstRef;
+use std::collections::HashMap;
+
+/// One dynamic loop activation on the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LoopFrame {
+    func: FuncId,
+    l: LoopId,
+    /// Distinguishes re-entries of the same static loop.
+    epoch: u64,
+    /// Current iteration within this activation (1-based).
+    iter: u64,
+}
+
+/// Snapshot of the loop stack at an access.
+type StackSnapshot = Vec<LoopFrame>;
+
+/// Per-loop runtime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoopRuntime {
+    /// Times control entered the loop from outside.
+    pub entries: u64,
+    /// Total iterations across all entries (`exec_times` in Table I).
+    pub iterations: u64,
+    /// Dynamic instructions executed while the loop was active.
+    pub dyn_insts: u64,
+}
+
+#[derive(Debug, Default)]
+struct CellState {
+    last_write: Option<(InstRef, StackSnapshot)>,
+    /// Readers since the last write, keyed by instruction (latest snapshot).
+    reads: HashMap<InstRef, StackSnapshot>,
+}
+
+/// Tracer that reconstructs the dynamic dependence graph.
+#[derive(Debug, Default)]
+pub struct DependenceProfiler {
+    deps: DepGraph,
+    shadow: HashMap<(ArrayId, i64), CellState>,
+    stack: Vec<LoopFrame>,
+    next_epoch: u64,
+    loops: HashMap<(FuncId, LoopId), LoopRuntime>,
+}
+
+impl DependenceProfiler {
+    /// Fresh profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The aggregated dependence graph.
+    pub fn deps(&self) -> &DepGraph {
+        &self.deps
+    }
+
+    /// Per-loop runtime counters.
+    pub fn loop_runtime(&self) -> &HashMap<(FuncId, LoopId), LoopRuntime> {
+        &self.loops
+    }
+
+    /// Consume the profiler into its parts.
+    pub fn into_parts(self) -> (DepGraph, HashMap<(FuncId, LoopId), LoopRuntime>) {
+        (self.deps, self.loops)
+    }
+
+    /// Find the loop carrying a dependence between two stack snapshots:
+    /// the outermost common activation whose iteration numbers differ.
+    fn carrier(earlier: &StackSnapshot, later: &StackSnapshot) -> Option<(FuncId, LoopId)> {
+        for (a, b) in earlier.iter().zip(later.iter()) {
+            if a.func != b.func || a.l != b.l || a.epoch != b.epoch {
+                // Different activations: the divergence is accounted to an
+                // enclosing loop iteration already checked, or to straight-
+                // line re-execution (calls) — not loop-carried here.
+                return None;
+            }
+            if a.iter != b.iter {
+                return Some((a.func, a.l));
+            }
+        }
+        None
+    }
+
+    fn on_access(&mut self, r: InstRef, arr: ArrayId, idx: i64, is_write: bool) {
+        let snap: StackSnapshot = self.stack.clone();
+        let cell = self.shadow.entry((arr, idx)).or_default();
+        if is_write {
+            // WAW against the previous writer.
+            if let Some((w, wsnap)) = &cell.last_write {
+                let carried = Self::carrier(wsnap, &snap);
+                self.deps.record(*w, r, DepKind::Waw, carried);
+            }
+            // WAR against every reader since the previous write.
+            for (rd, rsnap) in cell.reads.drain() {
+                let carried = Self::carrier(&rsnap, &snap);
+                self.deps.record(rd, r, DepKind::War, carried);
+            }
+            cell.last_write = Some((r, snap));
+        } else {
+            // RAW against the last writer.
+            if let Some((w, wsnap)) = &cell.last_write {
+                let carried = Self::carrier(wsnap, &snap);
+                self.deps.record(*w, r, DepKind::Raw, carried);
+            }
+            cell.reads.insert(r, snap);
+        }
+    }
+}
+
+impl Tracer for DependenceProfiler {
+    fn on_inst(&mut self, _r: InstRef, _line: u32) {
+        for f in &self.stack {
+            self.loops
+                .entry((f.func, f.l))
+                .or_default()
+                .dyn_insts += 1;
+        }
+    }
+
+    fn on_load(&mut self, r: InstRef, arr: ArrayId, idx: i64) {
+        self.on_access(r, arr, idx, false);
+    }
+
+    fn on_store(&mut self, r: InstRef, arr: ArrayId, idx: i64) {
+        self.on_access(r, arr, idx, true);
+    }
+
+    fn on_loop_enter(&mut self, func: FuncId, l: LoopId) {
+        self.next_epoch += 1;
+        self.stack.push(LoopFrame { func, l, epoch: self.next_epoch, iter: 0 });
+        self.loops.entry((func, l)).or_default().entries += 1;
+    }
+
+    fn on_loop_iter(&mut self, func: FuncId, l: LoopId) {
+        let top = self.stack.last_mut().expect("iter without active loop");
+        debug_assert_eq!((top.func, top.l), (func, l), "loop iter/stack mismatch");
+        top.iter += 1;
+        self.loops.entry((func, l)).or_default().iterations += 1;
+    }
+
+    fn on_loop_exit(&mut self, func: FuncId, l: LoopId) {
+        let top = self.stack.pop().expect("exit without active loop");
+        debug_assert_eq!((top.func, top.l), (func, l), "loop exit/stack mismatch");
+    }
+}
+
+/// Everything one profiled execution produces.
+#[derive(Debug)]
+pub struct ProfileResult {
+    /// Dynamic dependence graph.
+    pub deps: DepGraph,
+    /// Per-loop runtime counters.
+    pub loops: HashMap<(FuncId, LoopId), LoopRuntime>,
+    /// Interpreter statistics.
+    pub stats: ExecStats,
+    /// Entry function's return value.
+    pub ret: Option<Value>,
+}
+
+/// Profile `entry(args)` against fresh zeroed memory.
+pub fn profile_module(
+    module: &Module,
+    entry: FuncId,
+    args: &[Value],
+) -> Result<ProfileResult, InterpError> {
+    let interp = Interpreter::new(module);
+    let mut mem = interp.fresh_memory();
+    profile_module_with_memory(module, entry, args, &mut mem)
+}
+
+/// Profile `entry(args)` against caller-seeded memory.
+pub fn profile_module_with_memory(
+    module: &Module,
+    entry: FuncId,
+    args: &[Value],
+    mem: &mut Vec<Vec<Value>>,
+) -> Result<ProfileResult, InterpError> {
+    let interp = Interpreter::new(module);
+    let mut prof = DependenceProfiler::new();
+    let (ret, stats) = interp.run_with_memory(entry, args, mem, &mut prof)?;
+    let (deps, loops) = prof.into_parts();
+    Ok(ProfileResult { deps, loops, stats, ret })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvgnn_ir::inst::BinOp;
+    use mvgnn_ir::types::Ty;
+    use mvgnn_ir::FunctionBuilder;
+
+    /// `for i in 0..n: b[i] = a[i] * a[i]` — DOALL, no carried deps.
+    fn doall_module(n: i64) -> (Module, FuncId, LoopId) {
+        let mut m = Module::new("doall");
+        let a = m.add_array("a", Ty::F64, n as usize);
+        let barr = m.add_array("b", Ty::F64, n as usize);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let lo = b.const_i64(0);
+        let hi = b.const_i64(n);
+        let step = b.const_i64(1);
+        let l = b.for_loop(lo, hi, step, |b, iv| {
+            let x = b.load(a, iv);
+            let y = b.bin(BinOp::Mul, x, x);
+            b.store(barr, iv, y);
+        });
+        let f = b.finish();
+        (m, f, l)
+    }
+
+    /// `for i in 1..n: a[i] = a[i-1] + 1` — carried RAW.
+    fn carried_module(n: i64) -> (Module, FuncId, LoopId) {
+        let mut m = Module::new("carried");
+        let a = m.add_array("a", Ty::I64, n as usize);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let lo = b.const_i64(1);
+        let hi = b.const_i64(n);
+        let step = b.const_i64(1);
+        let one = b.const_i64(1);
+        let l = b.for_loop(lo, hi, step, |b, iv| {
+            let prev = b.bin(BinOp::Sub, iv, one);
+            let x = b.load(a, prev);
+            let y = b.bin(BinOp::Add, x, one);
+            b.store(a, iv, y);
+        });
+        let f = b.finish();
+        (m, f, l)
+    }
+
+    #[test]
+    fn doall_has_no_carried_deps() {
+        let (m, f, l) = doall_module(16);
+        let res = profile_module(&m, f, &[]).unwrap();
+        assert!(res.deps.carried_by(f, l).is_empty(), "{:#?}", res.deps.iter().collect::<Vec<_>>());
+        // Loop ran 16 iterations.
+        assert_eq!(res.loops[&(f, l)].iterations, 16);
+        assert_eq!(res.loops[&(f, l)].entries, 1);
+        assert!(res.loops[&(f, l)].dyn_insts > 16 * 3);
+    }
+
+    #[test]
+    fn recurrence_has_carried_raw() {
+        let (m, f, l) = carried_module(16);
+        let res = profile_module(&m, f, &[]).unwrap();
+        let carried = res.deps.carried_by(f, l);
+        assert!(
+            carried.iter().any(|d| d.kind == DepKind::Raw),
+            "expected carried RAW, got {carried:#?}"
+        );
+    }
+
+    #[test]
+    fn same_iteration_deps_are_loop_independent() {
+        // b[i] = a[i]; c[i] = b[i] — RAW within one iteration.
+        let mut m = Module::new("indep");
+        let a = m.add_array("a", Ty::F64, 8);
+        let barr = m.add_array("b", Ty::F64, 8);
+        let carr = m.add_array("c", Ty::F64, 8);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let lo = b.const_i64(0);
+        let hi = b.const_i64(8);
+        let step = b.const_i64(1);
+        let l = b.for_loop(lo, hi, step, |b, iv| {
+            let x = b.load(a, iv);
+            b.store(barr, iv, x);
+            let y = b.load(barr, iv);
+            b.store(carr, iv, y);
+        });
+        let f = b.finish();
+        let res = profile_module(&m, f, &[]).unwrap();
+        assert!(res.deps.carried_by(f, l).is_empty());
+        let raw: Vec<_> = res.deps.iter().filter(|d| d.kind == DepKind::Raw).collect();
+        assert!(!raw.is_empty());
+        assert!(raw.iter().all(|d| d.loop_independent));
+    }
+
+    #[test]
+    fn memory_reduction_has_carried_raw_and_waw() {
+        // s[0] += a[i] — classic memory-cell reduction.
+        let mut m = Module::new("red");
+        let a = m.add_array("a", Ty::F64, 8);
+        let s = m.add_array("s", Ty::F64, 1);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let lo = b.const_i64(0);
+        let hi = b.const_i64(8);
+        let step = b.const_i64(1);
+        let zero = b.const_i64(0);
+        let l = b.for_loop(lo, hi, step, |b, iv| {
+            let x = b.load(a, iv);
+            let cur = b.load(s, zero);
+            let nxt = b.bin(BinOp::Add, cur, x);
+            b.store(s, zero, nxt);
+        });
+        let f = b.finish();
+        let res = profile_module(&m, f, &[]).unwrap();
+        let carried = res.deps.carried_by(f, l);
+        let kinds: std::collections::BTreeSet<DepKind> =
+            carried.iter().map(|d| d.kind).collect();
+        assert!(kinds.contains(&DepKind::Raw), "{kinds:?}");
+        assert!(kinds.contains(&DepKind::Waw), "{kinds:?}");
+        // The WAR (read at iteration k, write at iteration k) is within
+        // one iteration, hence loop-independent — not carried.
+        assert!(!kinds.contains(&DepKind::War), "{kinds:?}");
+        let war: Vec<_> = res.deps.iter().filter(|d| d.kind == DepKind::War).collect();
+        assert!(!war.is_empty() && war.iter().all(|d| d.loop_independent));
+    }
+
+    #[test]
+    fn inner_carried_dep_does_not_block_outer_loop() {
+        // for i { s = 0 (in mem); for j { s += a[i*w+j] }; b[i] = s }
+        // The j-loop carries the reduction; the i-loop carries nothing...
+        // except the WAR/WAW on the scratch cell between i-iterations.
+        // Using a per-i scratch cell indexed by i keeps i clean.
+        let w = 4i64;
+        let n = 4i64;
+        let mut m = Module::new("nested");
+        let a = m.add_array("a", Ty::F64, (n * w) as usize);
+        let scratch = m.add_array("s", Ty::F64, n as usize);
+        let out = m.add_array("b", Ty::F64, n as usize);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let lo = b.const_i64(0);
+        let hin = b.const_i64(n);
+        let hiw = b.const_i64(w);
+        let step = b.const_i64(1);
+        let wreg = b.const_i64(w);
+        let mut inner = None;
+        let outer = b.for_loop(lo, hin, step, |b, i| {
+            let zero = b.const_f64(0.0);
+            b.store(scratch, i, zero);
+            let lo2 = b.const_i64(0);
+            inner = Some(b.for_loop(lo2, hiw, step, |b, j| {
+                let base = b.bin(BinOp::Mul, i, wreg);
+                let ij = b.bin(BinOp::Add, base, j);
+                let x = b.load(a, ij);
+                let cur = b.load(scratch, i);
+                let nxt = b.bin(BinOp::Add, cur, x);
+                b.store(scratch, i, nxt);
+            }));
+            let v = b.load(scratch, i);
+            b.store(out, i, v);
+        });
+        let f = b.finish();
+        let res = profile_module(&m, f, &[]).unwrap();
+        let inner = inner.unwrap();
+        assert!(!res.deps.carried_by(f, inner).is_empty(), "inner reduction must be carried");
+        assert!(
+            res.deps.carried_by(f, outer).is_empty(),
+            "outer loop must stay clean: {:#?}",
+            res.deps.carried_by(f, outer)
+        );
+    }
+
+    #[test]
+    fn loop_runtime_counts_nested() {
+        let (m0, _, _) = doall_module(4);
+        let _ = m0;
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let lo = b.const_i64(0);
+        let hi = b.const_i64(3);
+        let step = b.const_i64(1);
+        let mut inner = None;
+        let outer = b.for_loop(lo, hi, step, |b, _| {
+            let lo2 = b.const_i64(0);
+            let hi2 = b.const_i64(5);
+            inner = Some(b.for_loop(lo2, hi2, step, |_b, _| {}));
+        });
+        let f = b.finish();
+        let res = profile_module(&m, f, &[]).unwrap();
+        assert_eq!(res.loops[&(f, outer)].iterations, 3);
+        assert_eq!(res.loops[&(f, inner.unwrap())].entries, 3);
+        assert_eq!(res.loops[&(f, inner.unwrap())].iterations, 15);
+    }
+
+    #[test]
+    fn deps_across_function_calls_are_tracked() {
+        // main stores, callee loads the same cell -> RAW across call.
+        let mut m = Module::new("t");
+        let a = m.add_array("a", Ty::I64, 2);
+        let reader = {
+            let mut b = FunctionBuilder::new(&mut m, "reader", 0);
+            let z = b.const_i64(0);
+            let v = b.load(a, z);
+            b.ret(Some(v));
+            b.finish()
+        };
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let z = b.const_i64(0);
+        let x = b.const_i64(42);
+        b.store(a, z, x);
+        let v = b.call(reader, &[]);
+        b.ret(Some(v));
+        let f = b.finish();
+        let res = profile_module(&m, f, &[]).unwrap();
+        assert_eq!(res.ret, Some(Value::I64(42)));
+        let raws: Vec<_> = res.deps.iter().filter(|d| d.kind == DepKind::Raw).collect();
+        assert_eq!(raws.len(), 1);
+        assert_eq!(raws[0].src.func, f);
+        assert_eq!(raws[0].dst.func, reader);
+    }
+}

@@ -1,0 +1,26 @@
+//! # mvgnn-tensor — minimal CPU deep-learning substrate
+//!
+//! A small, dependency-free (beyond `rand`/`rayon`) tensor library with
+//! reverse-mode tape autograd, built for the graph neural networks of the
+//! MV-GNN reproduction. Everything is `f32`, row-major, and 2-D
+//! (`rows × cols`); vectors are `1 × n` rows.
+//!
+//! - [`dense`]: matmul and elementwise kernels (rayon-parallel over rows
+//!   for large operands)
+//! - [`sparse`]: CSR sparse matrices for GCN propagation operators
+//! - [`tape`]: the autograd tape — build a graph per forward pass against
+//!   persistent [`tape::Params`], call [`tape::Tape::backward`], step an
+//!   optimizer
+//! - [`optim`]: SGD with momentum and Adam, plus gradient clipping
+//! - [`init`]: seeded Xavier/uniform/zero initializers
+
+pub mod dense;
+pub mod init;
+pub mod optim;
+pub mod persist;
+pub mod sparse;
+pub mod tape;
+
+pub use sparse::SparseMatrix;
+pub use persist::{load_params, save_params, PersistError};
+pub use tape::{Params, ParamId, Tape, Var};

@@ -1,0 +1,184 @@
+//! CSR sparse matrices — the GCN propagation operators `Â`.
+
+use serde::{Deserialize, Serialize};
+
+/// An immutable CSR sparse matrix of f32 values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl SparseMatrix {
+    /// Build from COO triplets `(row, col, value)`; duplicates are summed.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f32)]) -> Self {
+        let mut sorted: Vec<(u32, u32, f32)> = triplets.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        // Merge duplicates.
+        let mut merged: Vec<(u32, u32, f32)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            assert!((r as usize) < rows && (c as usize) < cols, "triplet out of bounds");
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::with_capacity(merged.len());
+        let mut values = Vec::with_capacity(merged.len());
+        row_ptr.push(0u32);
+        let mut cur_row = 0u32;
+        for (r, c, v) in merged {
+            while cur_row < r {
+                row_ptr.push(col_idx.len() as u32);
+                cur_row += 1;
+            }
+            col_idx.push(c);
+            values.push(v);
+        }
+        while row_ptr.len() < rows + 1 {
+            row_ptr.push(col_idx.len() as u32);
+        }
+        Self { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let triplets: Vec<(u32, u32, f32)> = (0..n as u32).map(|i| (i, i, 1.0)).collect();
+        Self::from_triplets(n, n, &triplets)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Non-zero `(col, value)` pairs of one row.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
+        let lo = self.row_ptr[r] as usize;
+        let hi = self.row_ptr[r + 1] as usize;
+        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// `out[rows×n] = self[rows×cols] · dense[cols×n]` (out overwritten).
+    pub fn spmm(&self, dense: &[f32], out: &mut [f32], n: usize) {
+        assert_eq!(dense.len(), self.cols * n, "dense operand shape");
+        assert_eq!(out.len(), self.rows * n, "output shape");
+        out.fill(0.0);
+        for r in 0..self.rows {
+            let orow = &mut out[r * n..(r + 1) * n];
+            for (c, v) in self.row(r) {
+                let drow = &dense[c as usize * n..(c as usize + 1) * n];
+                for (o, &d) in orow.iter_mut().zip(drow) {
+                    *o += v * d;
+                }
+            }
+        }
+    }
+
+    /// `out[cols×n] += selfᵀ · dense[rows×n]` — the backward pass of
+    /// [`Self::spmm`] (accumulating).
+    pub fn spmm_transpose_accum(&self, dense: &[f32], out: &mut [f32], n: usize) {
+        assert_eq!(dense.len(), self.rows * n);
+        assert_eq!(out.len(), self.cols * n);
+        for r in 0..self.rows {
+            let drow = &dense[r * n..(r + 1) * n];
+            for (c, v) in self.row(r) {
+                let orow = &mut out[c as usize * n..(c as usize + 1) * n];
+                for (o, &d) in orow.iter_mut().zip(drow) {
+                    *o += v * d;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense;
+
+    #[test]
+    fn from_triplets_sums_duplicates() {
+        let m = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0)]);
+        assert_eq!(m.nnz(), 2);
+        let row0: Vec<_> = m.row(0).collect();
+        assert_eq!(row0, vec![(0, 3.0)]);
+    }
+
+    #[test]
+    fn identity_spmm_is_noop() {
+        let id = SparseMatrix::identity(3);
+        let x: Vec<f32> = (0..6).map(|i| i as f32).collect();
+        let mut out = vec![0.0f32; 6];
+        id.spmm(&x, &mut out, 2);
+        assert_eq!(out, x);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        // Sparse 3×3 with a few entries vs its dense form.
+        let triplets = [(0u32, 1u32, 2.0f32), (1, 0, -1.0), (2, 2, 0.5), (0, 2, 1.0)];
+        let sp = SparseMatrix::from_triplets(3, 3, &triplets);
+        let mut dense_a = vec![0.0f32; 9];
+        for &(r, c, v) in &triplets {
+            dense_a[r as usize * 3 + c as usize] = v;
+        }
+        let b: Vec<f32> = (0..6).map(|i| (i as f32) - 2.0).collect(); // 3×2
+        let mut out_sp = vec![0.0f32; 6];
+        sp.spmm(&b, &mut out_sp, 2);
+        let mut out_d = vec![0.0f32; 6];
+        dense::matmul(&dense_a, &b, &mut out_d, 3, 3, 2);
+        for (x, y) in out_sp.iter().zip(&out_d) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn transpose_spmm_matches_dense() {
+        let triplets = [(0u32, 1u32, 2.0f32), (2, 0, 3.0)];
+        let sp = SparseMatrix::from_triplets(3, 2, &triplets);
+        let g: Vec<f32> = vec![1.0, 0.0, 0.5, -1.0, 2.0, 2.0]; // 3×2 dense
+        let mut out = vec![0.0f32; 4]; // 2×2
+        sp.spmm_transpose_accum(&g, &mut out, 2);
+        // dense Aᵀ (2×3) · g (3×2)
+        let mut at = vec![0.0f32; 6];
+        at[3] = 2.0; // A[0][1] -> At[1][0]
+        at[2] = 3.0; // A[2][0] -> At[0][2]
+        let mut expect = vec![0.0f32; 4];
+        dense::matmul(&at, &g, &mut expect, 2, 3, 2);
+        for (x, y) in out.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let sp = SparseMatrix::from_triplets(4, 4, &[(3, 0, 1.0)]);
+        assert_eq!(sp.row(0).count(), 0);
+        assert_eq!(sp.row(3).count(), 1);
+        let x = vec![1.0f32; 4];
+        let mut out = vec![9.0f32; 4];
+        sp.spmm(&x, &mut out, 1);
+        assert_eq!(out, vec![0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_triplet_panics() {
+        SparseMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+}

@@ -1,0 +1,1057 @@
+//! Reverse-mode tape autograd.
+//!
+//! One [`Tape`] is built per forward pass against a persistent [`Params`]
+//! store. Calling [`Tape::backward`] propagates gradients through the
+//! recorded ops and accumulates parameter gradients into the store, where
+//! an optimizer from [`crate::optim`] consumes them.
+//!
+//! All tensors are 2-D row-major `f32` matrices.
+
+use crate::dense;
+use crate::sparse::SparseMatrix;
+
+/// Persistent parameter store (data + gradient accumulators).
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    names: Vec<String>,
+    data: Vec<Vec<f32>>,
+    grads: Vec<Vec<f32>>,
+    shapes: Vec<(usize, usize)>,
+}
+
+/// Handle to one parameter tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub usize);
+
+impl Params {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter with initial values.
+    pub fn add(&mut self, name: impl Into<String>, rows: usize, cols: usize, init: Vec<f32>) -> ParamId {
+        assert_eq!(init.len(), rows * cols, "init size mismatch");
+        let id = ParamId(self.data.len());
+        self.names.push(name.into());
+        self.grads.push(vec![0.0; init.len()]);
+        self.data.push(init);
+        self.shapes.push((rows, cols));
+        id
+    }
+
+    /// Number of parameters (tensors).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Total scalar count.
+    pub fn scalar_count(&self) -> usize {
+        self.data.iter().map(Vec::len).sum()
+    }
+
+    /// Parameter values.
+    pub fn data(&self, id: ParamId) -> &[f32] {
+        &self.data[id.0]
+    }
+
+    /// Mutable parameter values.
+    pub fn data_mut(&mut self, id: ParamId) -> &mut [f32] {
+        &mut self.data[id.0]
+    }
+
+    /// Accumulated gradient.
+    pub fn grad(&self, id: ParamId) -> &[f32] {
+        &self.grads[id.0]
+    }
+
+    /// Shape of a parameter.
+    pub fn shape(&self, id: ParamId) -> (usize, usize) {
+        self.shapes[id.0]
+    }
+
+    /// Name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Zero every gradient accumulator.
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.fill(0.0);
+        }
+    }
+
+    /// Iterate `(id, data, grad)` mutably — the optimizer surface.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Vec<f32>, &mut Vec<f32>)> {
+        self.data
+            .iter_mut()
+            .zip(self.grads.iter_mut())
+            .enumerate()
+            .map(|(i, (d, g))| (ParamId(i), d, g))
+    }
+
+    /// Add another store's gradients into this one (data-parallel
+    /// gradient reduction). Panics when layouts differ.
+    pub fn absorb_grads(&mut self, other: &Params) {
+        assert_eq!(self.grads.len(), other.grads.len(), "param count mismatch");
+        for (g, og) in self.grads.iter_mut().zip(&other.grads) {
+            assert_eq!(g.len(), og.len(), "param shape mismatch");
+            for (x, &y) in g.iter_mut().zip(og) {
+                *x += y;
+            }
+        }
+    }
+
+    /// Global L2 norm of all gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .flat_map(|g| g.iter())
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+}
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Input,
+    Param(ParamId),
+    MatMul(Var, Var),
+    SpMM(usize, Var),
+    Add(Var, Var),
+    AddRow(Var, Var),
+    Sub(Var, Var),
+    MulElem(Var, Var),
+    Scale(Var, f32),
+    Tanh(Var),
+    Relu(Var),
+    Sigmoid(Var),
+    ConcatCols(Var, Var),
+    ConcatRows(Var, Var),
+    GatherRowsPad(Var, Vec<usize>),
+    MeanRows(Var),
+    SumAll(Var),
+    Dropout(Var),
+    Conv1dRows { x: Var, w: Var, bias: Option<Var>, ksize: usize, stride: usize },
+    MaxPoolRows(Var),
+    Reshape(Var),
+    SoftmaxCe { logits: Var, targets: Vec<usize>, temperature: f32 },
+}
+
+struct Node {
+    op: Op,
+    data: Vec<f32>,
+    grad: Vec<f32>,
+    shape: (usize, usize),
+    /// Op-specific float payload (softmax probs, dropout mask).
+    aux_f: Vec<f32>,
+    /// Op-specific index payload (argmax positions).
+    aux_u: Vec<u32>,
+}
+
+/// The autograd tape. Holds a mutable borrow of the parameter store for
+/// its whole life; parameter gradients accumulate on [`Tape::backward`].
+///
+/// ```
+/// use mvgnn_tensor::{Params, Tape};
+/// let mut params = Params::new();
+/// let w = params.add("w", 2, 1, vec![1.0, 2.0]);
+/// let mut tape = Tape::new(&mut params);
+/// let x = tape.input(vec![3.0, 4.0], 1, 2);
+/// let wv = tape.param(w);
+/// let y = tape.matmul(x, wv);          // 3·1 + 4·2 = 11
+/// assert_eq!(tape.data(y), &[11.0]);
+/// let loss = tape.sum_all(y);
+/// tape.backward(loss);
+/// drop(tape);
+/// assert_eq!(params.grad(w), &[3.0, 4.0]);
+/// ```
+pub struct Tape<'p> {
+    params: &'p mut Params,
+    nodes: Vec<Node>,
+    sparse: Vec<SparseMatrix>,
+}
+
+impl<'p> Tape<'p> {
+    /// Start a fresh tape over `params`.
+    pub fn new(params: &'p mut Params) -> Self {
+        Self { params, nodes: Vec::new(), sparse: Vec::new() }
+    }
+
+    fn push(&mut self, op: Op, data: Vec<f32>, shape: (usize, usize)) -> Var {
+        self.push_aux(op, data, shape, Vec::new(), Vec::new())
+    }
+
+    fn push_aux(
+        &mut self,
+        op: Op,
+        data: Vec<f32>,
+        shape: (usize, usize),
+        aux_f: Vec<f32>,
+        aux_u: Vec<u32>,
+    ) -> Var {
+        debug_assert_eq!(data.len(), shape.0 * shape.1);
+        let grad = vec![0.0; data.len()];
+        self.nodes.push(Node { op, data, grad, shape, aux_f, aux_u });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Shape of a var.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.0].shape
+    }
+
+    /// Forward value of a var.
+    pub fn data(&self, v: Var) -> &[f32] {
+        &self.nodes[v.0].data
+    }
+
+    /// Gradient of a var (valid after [`Tape::backward`]).
+    pub fn grad(&self, v: Var) -> &[f32] {
+        &self.nodes[v.0].grad
+    }
+
+    /// Constant input tensor.
+    pub fn input(&mut self, data: Vec<f32>, rows: usize, cols: usize) -> Var {
+        assert_eq!(data.len(), rows * cols, "input shape mismatch");
+        self.push(Op::Input, data, (rows, cols))
+    }
+
+    /// Load a parameter onto the tape.
+    pub fn param(&mut self, id: ParamId) -> Var {
+        let data = self.params.data(id).to_vec();
+        let shape = self.params.shape(id);
+        self.push(Op::Param(id), data, shape)
+    }
+
+    /// `a[m×k] · b[k×n]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let (m, k) = self.shape(a);
+        let (k2, n) = self.shape(b);
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let mut out = vec![0.0; m * n];
+        dense::matmul(self.data(a), self.data(b), &mut out, m, k, n);
+        self.push(Op::MatMul(a, b), out, (m, n))
+    }
+
+    /// Sparse `A · x` where `A` is a constant propagation operator.
+    pub fn spmm(&mut self, a: &SparseMatrix, x: Var) -> Var {
+        let (r, n) = self.shape(x);
+        assert_eq!(a.cols(), r, "spmm operand rows");
+        let mut out = vec![0.0; a.rows() * n];
+        a.spmm(self.data(x), &mut out, n);
+        self.sparse.push(a.clone());
+        let idx = self.sparse.len() - 1;
+        self.push(Op::SpMM(idx, x), out, (a.rows(), n))
+    }
+
+    /// Elementwise sum (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.shape(a), self.shape(b), "add shape mismatch");
+        let out: Vec<f32> =
+            self.data(a).iter().zip(self.data(b)).map(|(x, y)| x + y).collect();
+        let shape = self.shape(a);
+        self.push(Op::Add(a, b), out, shape)
+    }
+
+    /// `a[m×n] + row[1×n]` broadcast (bias add).
+    pub fn add_row(&mut self, a: Var, row: Var) -> Var {
+        let (m, n) = self.shape(a);
+        assert_eq!(self.shape(row), (1, n), "bias must be 1×{n}");
+        let rdat = self.data(row).to_vec();
+        let out: Vec<f32> = self
+            .data(a)
+            .chunks(n)
+            .flat_map(|r| r.iter().zip(&rdat).map(|(x, y)| x + y).collect::<Vec<_>>())
+            .collect();
+        self.push(Op::AddRow(a, row), out, (m, n))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.shape(a), self.shape(b), "sub shape mismatch");
+        let out: Vec<f32> =
+            self.data(a).iter().zip(self.data(b)).map(|(x, y)| x - y).collect();
+        let shape = self.shape(a);
+        self.push(Op::Sub(a, b), out, shape)
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.shape(a), self.shape(b), "mul shape mismatch");
+        let out: Vec<f32> =
+            self.data(a).iter().zip(self.data(b)).map(|(x, y)| x * y).collect();
+        let shape = self.shape(a);
+        self.push(Op::MulElem(a, b), out, shape)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let out: Vec<f32> = self.data(a).iter().map(|x| x * c).collect();
+        let shape = self.shape(a);
+        self.push(Op::Scale(a, c), out, shape)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let out: Vec<f32> = self.data(a).iter().map(|x| x.tanh()).collect();
+        let shape = self.shape(a);
+        self.push(Op::Tanh(a), out, shape)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let out: Vec<f32> = self.data(a).iter().map(|x| x.max(0.0)).collect();
+        let shape = self.shape(a);
+        self.push(Op::Relu(a), out, shape)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let out: Vec<f32> = self.data(a).iter().map(|x| 1.0 / (1.0 + (-x).exp())).collect();
+        let shape = self.shape(a);
+        self.push(Op::Sigmoid(a), out, shape)
+    }
+
+    /// Horizontal concatenation `[a | b]` (same row count).
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let (m, n1) = self.shape(a);
+        let (m2, n2) = self.shape(b);
+        assert_eq!(m, m2, "concat_cols row mismatch");
+        let mut out = Vec::with_capacity(m * (n1 + n2));
+        for i in 0..m {
+            out.extend_from_slice(&self.data(a)[i * n1..(i + 1) * n1]);
+            out.extend_from_slice(&self.data(b)[i * n2..(i + 1) * n2]);
+        }
+        self.push(Op::ConcatCols(a, b), out, (m, n1 + n2))
+    }
+
+    /// Vertical concatenation (same column count).
+    pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
+        let (m1, n) = self.shape(a);
+        let (m2, n2) = self.shape(b);
+        assert_eq!(n, n2, "concat_rows col mismatch");
+        let mut out = Vec::with_capacity((m1 + m2) * n);
+        out.extend_from_slice(self.data(a));
+        out.extend_from_slice(self.data(b));
+        self.push(Op::ConcatRows(a, b), out, (m1 + m2, n))
+    }
+
+    /// Gather rows by index into a `k`-row output; missing rows (when
+    /// `indices.len() < k`) are zero-padded. This is SortPooling's data
+    /// movement: the caller supplies the sorted row order.
+    pub fn gather_rows_pad(&mut self, a: Var, indices: &[usize], k: usize) -> Var {
+        let (m, n) = self.shape(a);
+        assert!(indices.len() <= k, "more indices than output rows");
+        for &i in indices {
+            assert!(i < m, "gather index {i} out of bounds ({m} rows)");
+        }
+        let mut out = vec![0.0; k * n];
+        for (o, &i) in indices.iter().enumerate() {
+            out[o * n..(o + 1) * n].copy_from_slice(&self.data(a)[i * n..(i + 1) * n]);
+        }
+        self.push(Op::GatherRowsPad(a, indices.to_vec()), out, (k, n))
+    }
+
+    /// Column-wise mean over rows: `n×d → 1×d`.
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let (m, n) = self.shape(a);
+        assert!(m > 0, "mean over zero rows");
+        let mut out = vec![0.0; n];
+        for r in self.data(a).chunks(n) {
+            for (o, &x) in out.iter_mut().zip(r) {
+                *o += x;
+            }
+        }
+        let inv = 1.0 / m as f32;
+        for o in &mut out {
+            *o *= inv;
+        }
+        self.push(Op::MeanRows(a), out, (1, n))
+    }
+
+    /// Sum of every element: `→ 1×1`.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let s: f32 = self.data(a).iter().sum();
+        self.push(Op::SumAll(a), vec![s], (1, 1))
+    }
+
+    /// Inverted dropout with the given keep mask (entries are `0` or
+    /// `1/keep_prob`); build the mask with [`crate::init::dropout_mask`].
+    pub fn dropout(&mut self, a: Var, mask: Vec<f32>) -> Var {
+        let shape = self.shape(a);
+        assert_eq!(mask.len(), shape.0 * shape.1, "mask shape mismatch");
+        let out: Vec<f32> = self.data(a).iter().zip(&mask).map(|(x, m)| x * m).collect();
+        self.push_aux(Op::Dropout(a), out, shape, mask, Vec::new())
+    }
+
+    /// 1-D convolution over rows: input `len×in_ch`, weight
+    /// `(ksize·in_ch)×out_ch`, optional bias `1×out_ch`; output
+    /// `((len−ksize)/stride + 1)×out_ch`.
+    pub fn conv1d_rows(
+        &mut self,
+        x: Var,
+        w: Var,
+        bias: Option<Var>,
+        ksize: usize,
+        stride: usize,
+    ) -> Var {
+        let (len, in_ch) = self.shape(x);
+        let (wr, out_ch) = self.shape(w);
+        assert_eq!(wr, ksize * in_ch, "conv weight rows must be ksize·in_ch");
+        assert!(stride >= 1 && ksize >= 1 && len >= ksize, "conv1d geometry (len {len}, k {ksize})");
+        let out_len = (len - ksize) / stride + 1;
+        let mut out = vec![0.0; out_len * out_ch];
+        for t in 0..out_len {
+            let start = t * stride;
+            let window = &self.data(x)[start * in_ch..(start + ksize) * in_ch];
+            let orow = t * out_ch;
+            for (p, &xv) in window.iter().enumerate() {
+                if xv != 0.0 {
+                    let wrow = &self.data(w)[p * out_ch..(p + 1) * out_ch];
+                    for (j, &wv) in wrow.iter().enumerate() {
+                        out[orow + j] += xv * wv;
+                    }
+                }
+            }
+            if let Some(b) = bias {
+                let bdat = self.data(b);
+                for (j, &bv) in bdat.iter().enumerate() {
+                    out[orow + j] += bv;
+                }
+            }
+        }
+        if let Some(b) = bias {
+            assert_eq!(self.shape(b), (1, out_ch), "conv bias shape");
+        }
+        self.push(Op::Conv1dRows { x, w, bias, ksize, stride }, out, (out_len, out_ch))
+    }
+
+    /// Reinterpret the data with a new shape (same element count).
+    pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
+        let (m, n) = self.shape(a);
+        assert_eq!(m * n, rows * cols, "reshape element count mismatch");
+        let data = self.data(a).to_vec();
+        self.push(Op::Reshape(a), data, (rows, cols))
+    }
+
+    /// Non-overlapping max pooling over rows (`len×ch → ⌈len/size⌉×ch`).
+    pub fn maxpool_rows(&mut self, a: Var, size: usize) -> Var {
+        let (len, ch) = self.shape(a);
+        assert!(size >= 1);
+        let out_len = len.div_ceil(size);
+        let mut out = vec![f32::NEG_INFINITY; out_len * ch];
+        let mut arg = vec![0u32; out_len * ch];
+        for i in 0..len {
+            let o = i / size;
+            for j in 0..ch {
+                let v = self.data(a)[i * ch + j];
+                if v > out[o * ch + j] {
+                    out[o * ch + j] = v;
+                    arg[o * ch + j] = (i * ch + j) as u32;
+                }
+            }
+        }
+        self.push_aux(Op::MaxPoolRows(a), out, (out_len, ch), Vec::new(), arg)
+    }
+
+    /// Mean softmax cross-entropy over rows with a temperature divisor;
+    /// returns a `1×1` loss. Targets are class indices per row.
+    pub fn softmax_ce(&mut self, logits: Var, targets: &[usize], temperature: f32) -> Var {
+        let (m, c) = self.shape(logits);
+        assert_eq!(targets.len(), m, "one target per row");
+        for &t in targets {
+            assert!(t < c, "target {t} out of range ({c} classes)");
+        }
+        let mut probs = self.data(logits).to_vec();
+        dense::softmax_rows(&mut probs, m, c, temperature);
+        let mut loss = 0.0f64;
+        for (r, &t) in probs.chunks(c).zip(targets) {
+            loss -= (r[t].max(1e-12) as f64).ln();
+        }
+        let loss = (loss / m as f64) as f32;
+        self.push_aux(
+            Op::SoftmaxCe { logits, targets: targets.to_vec(), temperature },
+            vec![loss],
+            (1, 1),
+            probs,
+            Vec::new(),
+        )
+    }
+
+    /// Run reverse-mode accumulation from `loss` (must be `1×1`) and push
+    /// parameter gradients into the store.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(self.shape(loss), (1, 1), "backward needs a scalar loss");
+        self.nodes[loss.0].grad[0] = 1.0;
+        for i in (0..self.nodes.len()).rev() {
+            // Split borrows: take this node's grad out, restore after.
+            let grad = std::mem::take(&mut self.nodes[i].grad);
+            if grad.iter().all(|&g| g == 0.0) {
+                self.nodes[i].grad = grad;
+                continue;
+            }
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Input => {}
+                Op::Param(id) => {
+                    let pg = &mut self.params.grads[id.0];
+                    for (p, &g) in pg.iter_mut().zip(&grad) {
+                        *p += g;
+                    }
+                }
+                Op::MatMul(a, b) => {
+                    let (m, k) = self.nodes[a.0].shape;
+                    let (_, n) = self.nodes[b.0].shape;
+                    // dA += dC · Bᵀ ; dB += Aᵀ · dC
+                    let bdat = std::mem::take(&mut self.nodes[b.0].data);
+                    {
+                        let ga = &mut self.nodes[a.0].grad;
+                        dense::matmul_a_bt_accum(&grad, &bdat, ga, m, n, k);
+                    }
+                    self.nodes[b.0].data = bdat;
+                    let adat = std::mem::take(&mut self.nodes[a.0].data);
+                    {
+                        let gb = &mut self.nodes[b.0].grad;
+                        dense::matmul_at_b_accum(&adat, &grad, gb, m, k, n);
+                    }
+                    self.nodes[a.0].data = adat;
+                }
+                Op::SpMM(s, x) => {
+                    let n = self.nodes[x.0].shape.1;
+                    let sp = &self.sparse[s];
+                    sp.spmm_transpose_accum(&grad, &mut self.nodes[x.0].grad, n);
+                }
+                Op::Add(a, b) => {
+                    for (g, &u) in self.nodes[a.0].grad.iter_mut().zip(&grad) {
+                        *g += u;
+                    }
+                    for (g, &u) in self.nodes[b.0].grad.iter_mut().zip(&grad) {
+                        *g += u;
+                    }
+                }
+                Op::AddRow(a, row) => {
+                    for (g, &u) in self.nodes[a.0].grad.iter_mut().zip(&grad) {
+                        *g += u;
+                    }
+                    let n = self.nodes[row.0].shape.1;
+                    for chunk in grad.chunks(n) {
+                        for (g, &u) in self.nodes[row.0].grad.iter_mut().zip(chunk) {
+                            *g += u;
+                        }
+                    }
+                }
+                Op::Sub(a, b) => {
+                    for (g, &u) in self.nodes[a.0].grad.iter_mut().zip(&grad) {
+                        *g += u;
+                    }
+                    for (g, &u) in self.nodes[b.0].grad.iter_mut().zip(&grad) {
+                        *g -= u;
+                    }
+                }
+                Op::MulElem(a, b) => {
+                    let bdat = std::mem::take(&mut self.nodes[b.0].data);
+                    for ((g, &u), &bv) in
+                        self.nodes[a.0].grad.iter_mut().zip(&grad).zip(&bdat)
+                    {
+                        *g += u * bv;
+                    }
+                    self.nodes[b.0].data = bdat;
+                    let adat = std::mem::take(&mut self.nodes[a.0].data);
+                    for ((g, &u), &av) in
+                        self.nodes[b.0].grad.iter_mut().zip(&grad).zip(&adat)
+                    {
+                        *g += u * av;
+                    }
+                    self.nodes[a.0].data = adat;
+                }
+                Op::Scale(a, c) => {
+                    for (g, &u) in self.nodes[a.0].grad.iter_mut().zip(&grad) {
+                        *g += u * c;
+                    }
+                }
+                Op::Tanh(a) => {
+                    let ydat = std::mem::take(&mut self.nodes[i].data);
+                    for ((g, &u), &y) in self.nodes[a.0].grad.iter_mut().zip(&grad).zip(&ydat) {
+                        *g += u * (1.0 - y * y);
+                    }
+                    self.nodes[i].data = ydat;
+                }
+                Op::Relu(a) => {
+                    let ydat = std::mem::take(&mut self.nodes[i].data);
+                    for ((g, &u), &y) in self.nodes[a.0].grad.iter_mut().zip(&grad).zip(&ydat) {
+                        if y > 0.0 {
+                            *g += u;
+                        }
+                    }
+                    self.nodes[i].data = ydat;
+                }
+                Op::Sigmoid(a) => {
+                    let ydat = std::mem::take(&mut self.nodes[i].data);
+                    for ((g, &u), &y) in self.nodes[a.0].grad.iter_mut().zip(&grad).zip(&ydat) {
+                        *g += u * y * (1.0 - y);
+                    }
+                    self.nodes[i].data = ydat;
+                }
+                Op::ConcatCols(a, b) => {
+                    let (m, n1) = self.nodes[a.0].shape;
+                    let n2 = self.nodes[b.0].shape.1;
+                    for r in 0..m {
+                        let urow = &grad[r * (n1 + n2)..(r + 1) * (n1 + n2)];
+                        for (g, &u) in self.nodes[a.0].grad[r * n1..(r + 1) * n1]
+                            .iter_mut()
+                            .zip(&urow[..n1])
+                        {
+                            *g += u;
+                        }
+                        for (g, &u) in self.nodes[b.0].grad[r * n2..(r + 1) * n2]
+                            .iter_mut()
+                            .zip(&urow[n1..])
+                        {
+                            *g += u;
+                        }
+                    }
+                }
+                Op::ConcatRows(a, b) => {
+                    let la = self.nodes[a.0].grad.len();
+                    for (g, &u) in self.nodes[a.0].grad.iter_mut().zip(&grad[..la]) {
+                        *g += u;
+                    }
+                    for (g, &u) in self.nodes[b.0].grad.iter_mut().zip(&grad[la..]) {
+                        *g += u;
+                    }
+                }
+                Op::GatherRowsPad(a, indices) => {
+                    let n = self.nodes[a.0].shape.1;
+                    for (o, &idx) in indices.iter().enumerate() {
+                        let urow = &grad[o * n..(o + 1) * n];
+                        for (g, &u) in
+                            self.nodes[a.0].grad[idx * n..(idx + 1) * n].iter_mut().zip(urow)
+                        {
+                            *g += u;
+                        }
+                    }
+                }
+                Op::MeanRows(a) => {
+                    let (m, n) = self.nodes[a.0].shape;
+                    let inv = 1.0 / m as f32;
+                    for chunk in self.nodes[a.0].grad.chunks_mut(n) {
+                        for (g, &u) in chunk.iter_mut().zip(&grad) {
+                            *g += u * inv;
+                        }
+                    }
+                }
+                Op::SumAll(a) => {
+                    let u = grad[0];
+                    for g in self.nodes[a.0].grad.iter_mut() {
+                        *g += u;
+                    }
+                }
+                Op::Dropout(a) => {
+                    let mask = std::mem::take(&mut self.nodes[i].aux_f);
+                    for ((g, &u), &mv) in self.nodes[a.0].grad.iter_mut().zip(&grad).zip(&mask) {
+                        *g += u * mv;
+                    }
+                    self.nodes[i].aux_f = mask;
+                }
+                Op::Conv1dRows { x, w, bias, ksize, stride } => {
+                    let (_, in_ch) = self.nodes[x.0].shape;
+                    let (out_len, out_ch) = self.nodes[i].shape;
+                    let xdat = std::mem::take(&mut self.nodes[x.0].data);
+                    let wdat = std::mem::take(&mut self.nodes[w.0].data);
+                    for t in 0..out_len {
+                        let start = t * stride;
+                        let urow = &grad[t * out_ch..(t + 1) * out_ch];
+                        for p in 0..ksize * in_ch {
+                            let xv = xdat[start * in_ch + p];
+                            let wrow = &wdat[p * out_ch..(p + 1) * out_ch];
+                            // dW[p][j] += x * u[j]; dX += w[p][j] * u[j]
+                            let gw = &mut self.nodes[w.0].grad[p * out_ch..(p + 1) * out_ch];
+                            let mut gx_acc = 0.0f32;
+                            for ((gwj, &u), &wv) in gw.iter_mut().zip(urow).zip(wrow) {
+                                *gwj += xv * u;
+                                gx_acc += wv * u;
+                            }
+                            self.nodes[x.0].grad[start * in_ch + p] += gx_acc;
+                        }
+                        if let Some(b) = bias {
+                            for (g, &u) in self.nodes[b.0].grad.iter_mut().zip(urow) {
+                                *g += u;
+                            }
+                        }
+                    }
+                    self.nodes[x.0].data = xdat;
+                    self.nodes[w.0].data = wdat;
+                }
+                Op::Reshape(a) => {
+                    for (g, &u) in self.nodes[a.0].grad.iter_mut().zip(&grad) {
+                        *g += u;
+                    }
+                }
+                Op::MaxPoolRows(a) => {
+                    let arg = std::mem::take(&mut self.nodes[i].aux_u);
+                    for (&src, &u) in arg.iter().zip(&grad) {
+                        self.nodes[a.0].grad[src as usize] += u;
+                    }
+                    self.nodes[i].aux_u = arg;
+                }
+                Op::SoftmaxCe { logits, targets, temperature } => {
+                    let (m, c) = self.nodes[logits.0].shape;
+                    let probs = std::mem::take(&mut self.nodes[i].aux_f);
+                    let u = grad[0] / (m as f32 * temperature);
+                    {
+                        let gl = &mut self.nodes[logits.0].grad;
+                        for (r, &t) in targets.iter().enumerate() {
+                            for j in 0..c {
+                                let p = probs[r * c + j];
+                                let y = if j == t { 1.0 } else { 0.0 };
+                                gl[r * c + j] += u * (p - y);
+                            }
+                        }
+                    }
+                    self.nodes[i].aux_f = probs;
+                }
+            }
+            self.nodes[i].grad = grad;
+        }
+    }
+}
+
+/// Row-wise argmax of a logits matrix.
+pub fn argmax_rows(data: &[f32], rows: usize, cols: usize) -> Vec<usize> {
+    assert_eq!(data.len(), rows * cols);
+    data.chunks(cols)
+        .map(|r| {
+            r.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN logits"))
+                .map(|(i, _)| i)
+                .expect("non-empty row")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference check: perturb each input scalar, compare the
+    /// analytic gradient against (f(x+h) - f(x-h)) / 2h.
+    fn grad_check(build: impl Fn(&mut Tape<'_>, Var) -> Var, x0: Vec<f32>, rows: usize, cols: usize) {
+        let mut params = Params::new();
+        // Analytic gradient.
+        let analytic: Vec<f32> = {
+            let mut tape = Tape::new(&mut params);
+            let x = tape.input(x0.clone(), rows, cols);
+            let loss = build(&mut tape, x);
+            tape.backward(loss);
+            tape.grad(x).to_vec()
+        };
+        let h = 1e-3f32;
+        for i in 0..x0.len() {
+            let eval = |delta: f32| -> f32 {
+                let mut xs = x0.clone();
+                xs[i] += delta;
+                let mut p2 = Params::new();
+                let mut tape = Tape::new(&mut p2);
+                let x = tape.input(xs, rows, cols);
+                let loss = build(&mut tape, x);
+                tape.data(loss)[0]
+            };
+            let numeric = (eval(h) - eval(-h)) / (2.0 * h);
+            let a = analytic[i];
+            assert!(
+                (a - numeric).abs() < 2e-2 * (1.0 + a.abs().max(numeric.abs())),
+                "grad mismatch at {i}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_matmul_tanh() {
+        grad_check(
+            |t, x| {
+                let w = t.input(vec![0.5, -0.3, 0.2, 0.8, -0.1, 0.4], 3, 2);
+                let h = t.matmul(x, w);
+                let a = t.tanh(h);
+                t.sum_all(a)
+            },
+            vec![0.1, -0.2, 0.3, 0.5, 0.4, -0.6],
+            2,
+            3,
+        );
+    }
+
+    #[test]
+    fn grad_relu_sigmoid_scale() {
+        grad_check(
+            |t, x| {
+                let r = t.relu(x);
+                let s = t.sigmoid(r);
+                let sc = t.scale(s, 2.5);
+                t.sum_all(sc)
+            },
+            vec![0.3, -0.4, 1.2, -0.1],
+            2,
+            2,
+        );
+    }
+
+    #[test]
+    fn grad_mul_sub_add() {
+        grad_check(
+            |t, x| {
+                let y = t.input(vec![1.0, -2.0, 0.5, 3.0], 2, 2);
+                let m = t.mul(x, y);
+                let s = t.sub(m, y);
+                let a = t.add(s, x);
+                t.sum_all(a)
+            },
+            vec![0.2, 0.7, -0.3, 0.9],
+            2,
+            2,
+        );
+    }
+
+    #[test]
+    fn grad_add_row_bias() {
+        grad_check(
+            |t, x| {
+                let b = t.input(vec![0.1, -0.2], 1, 2);
+                let y = t.add_row(x, b);
+                let a = t.tanh(y);
+                t.sum_all(a)
+            },
+            vec![0.5, 0.6, -0.7, 0.8, 0.9, -1.0],
+            3,
+            2,
+        );
+    }
+
+    #[test]
+    fn grad_concat_and_mean() {
+        grad_check(
+            |t, x| {
+                let y = t.input(vec![0.4, 0.1, -0.9, 0.2], 2, 2);
+                let cc = t.concat_cols(x, y);
+                let cr = t.concat_rows(cc, cc);
+                let m = t.mean_rows(cr);
+                let a = t.tanh(m);
+                t.sum_all(a)
+            },
+            vec![0.3, -0.5, 0.2, 0.8],
+            2,
+            2,
+        );
+    }
+
+    #[test]
+    fn grad_gather_rows_pad() {
+        grad_check(
+            |t, x| {
+                let g = t.gather_rows_pad(x, &[2, 0], 4);
+                let a = t.tanh(g);
+                t.sum_all(a)
+            },
+            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+            3,
+            2,
+        );
+    }
+
+    #[test]
+    fn grad_spmm() {
+        let sp = SparseMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (1, 0, -1.0), (2, 2, 0.5)]);
+        grad_check(
+            move |t, x| {
+                let y = t.spmm(&sp, x);
+                let a = t.tanh(y);
+                t.sum_all(a)
+            },
+            vec![0.2, -0.1, 0.4, 0.3, 0.6, -0.5],
+            3,
+            2,
+        );
+    }
+
+    #[test]
+    fn grad_conv1d_and_maxpool() {
+        grad_check(
+            |t, x| {
+                let w = t.input(vec![0.5, -0.2, 0.1, 0.3, -0.4, 0.6, 0.2, 0.7], 4, 2);
+                let b = t.input(vec![0.05, -0.05], 1, 2);
+                let c = t.conv1d_rows(x, w, Some(b), 2, 1);
+                let p = t.maxpool_rows(c, 2);
+                let a = t.tanh(p);
+                t.sum_all(a)
+            },
+            vec![0.1, 0.9, -0.3, 0.4, 0.8, -0.2, 0.5, 0.6, -0.7, 0.2],
+            5,
+            2,
+        );
+    }
+
+    #[test]
+    fn grad_softmax_ce() {
+        grad_check(
+            |t, x| t.softmax_ce(x, &[1, 0], 0.5),
+            vec![0.2, 0.8, 1.5, -0.4],
+            2,
+            2,
+        );
+    }
+
+    #[test]
+    fn grad_dropout_mask_scales() {
+        grad_check(
+            |t, x| {
+                let d = t.dropout(x, vec![2.0, 0.0, 2.0, 2.0]);
+                t.sum_all(d)
+            },
+            vec![0.4, 0.5, 0.6, 0.7],
+            2,
+            2,
+        );
+    }
+
+    #[test]
+    fn params_accumulate_gradients() {
+        let mut params = Params::new();
+        let w = params.add("w", 2, 1, vec![1.0, 2.0]);
+        {
+            let mut tape = Tape::new(&mut params);
+            let x = tape.input(vec![3.0, 4.0], 1, 2);
+            let wv = tape.param(w);
+            let y = tape.matmul(x, wv); // 3·1 + 4·2 = 11
+            assert_eq!(tape.data(y), &[11.0]);
+            let loss = tape.sum_all(y);
+            tape.backward(loss);
+        }
+        assert_eq!(params.grad(w), &[3.0, 4.0]);
+        // Second pass accumulates.
+        {
+            let mut tape = Tape::new(&mut params);
+            let x = tape.input(vec![1.0, 1.0], 1, 2);
+            let wv = tape.param(w);
+            let y = tape.matmul(x, wv);
+            let loss = tape.sum_all(y);
+            tape.backward(loss);
+        }
+        assert_eq!(params.grad(w), &[4.0, 5.0]);
+        params.zero_grads();
+        assert_eq!(params.grad(w), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn training_reduces_loss_linear_classifier() {
+        // 2-class linearly separable toy problem; a few SGD steps must
+        // reduce the softmax-CE loss.
+        let xs = vec![
+            (vec![1.0f32, 0.2], 0usize),
+            (vec![0.9, -0.1], 0),
+            (vec![-0.8, 0.1], 1),
+            (vec![-1.1, -0.3], 1),
+        ];
+        let mut params = Params::new();
+        let w = params.add("w", 2, 2, vec![0.01, -0.02, 0.03, 0.01]);
+        let b = params.add("b", 1, 2, vec![0.0, 0.0]);
+        let loss_of = |params: &mut Params| -> f32 {
+            let mut total = 0.0;
+            for (x, y) in &xs {
+                let mut tape = Tape::new(params);
+                let xv = tape.input(x.clone(), 1, 2);
+                let wv = tape.param(w);
+                let bv = tape.param(b);
+                let h = tape.matmul(xv, wv);
+                let logits = tape.add_row(h, bv);
+                let loss = tape.softmax_ce(logits, &[*y], 1.0);
+                total += tape.data(loss)[0];
+                tape.backward(loss);
+            }
+            total / xs.len() as f32
+        };
+        let initial = loss_of(&mut params);
+        for _ in 0..50 {
+            params.zero_grads();
+            let _ = loss_of(&mut params);
+            let updates: Vec<(ParamId, Vec<f32>)> = [w, b]
+                .iter()
+                .map(|&id| (id, params.grad(id).to_vec()))
+                .collect();
+            for (id, g) in updates {
+                for (p, gv) in params.data_mut(id).iter_mut().zip(g) {
+                    *p -= 0.5 * gv;
+                }
+            }
+        }
+        params.zero_grads();
+        let trained = loss_of(&mut params);
+        assert!(
+            trained < initial * 0.5,
+            "loss should halve: {initial} -> {trained}"
+        );
+    }
+
+    #[test]
+    fn grad_reshape_passthrough() {
+        grad_check(
+            |t, x| {
+                let r = t.reshape(x, 1, 6);
+                let a = t.tanh(r);
+                t.sum_all(a)
+            },
+            vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6],
+            2,
+            3,
+        );
+    }
+
+    #[test]
+    fn argmax_rows_picks_max() {
+        let d = vec![0.1, 0.9, 0.5, 0.2, 0.3, 0.1];
+        assert_eq!(argmax_rows(&d, 2, 3), vec![1, 1]);
+    }
+
+    #[test]
+    fn absorb_grads_sums() {
+        let mut a = Params::new();
+        let w = a.add("w", 1, 2, vec![0.0, 0.0]);
+        let mut b = a.clone();
+        for p in [&mut a, &mut b] {
+            let mut tape = Tape::new(p);
+            let x = tape.input(vec![1.0, 2.0], 1, 2);
+            let wv = tape.param(w);
+            let m = tape.mul(x, wv);
+            let loss = tape.sum_all(m);
+            tape.backward(loss);
+        }
+        a.absorb_grads(&b);
+        assert_eq!(a.grad(w), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn grad_norm_reports() {
+        let mut params = Params::new();
+        let w = params.add("w", 1, 2, vec![0.0, 0.0]);
+        {
+            let mut tape = Tape::new(&mut params);
+            let x = tape.input(vec![3.0, 4.0], 1, 2);
+            let wv = tape.param(w);
+            let m = tape.mul(x, wv);
+            let loss = tape.sum_all(m);
+            tape.backward(loss);
+        }
+        assert!((params.grad_norm() - 5.0).abs() < 1e-5);
+    }
+}

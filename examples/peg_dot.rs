@@ -1,0 +1,31 @@
+//! Emit Graphviz DOT for a generated application's PEG and one loop's
+//! sub-PEG (the paper's Fig. 5). Pipe into `dot -Tsvg` to render.
+//!
+//! ```sh
+//! cargo run --example peg_dot > peg.dot
+//! ```
+
+use mvgnn::dataset::{generate_app, TABLE2};
+use mvgnn::peg::{build_peg, loop_subpeg, to_dot};
+use mvgnn::profiler::{build_cus, profile_module};
+
+fn main() {
+    // EP is the smallest NPB app (10 loops).
+    let app = generate_app(TABLE2[4], 7);
+    let res = profile_module(&app.module, app.entry, &[]).expect("runs");
+    let cus = build_cus(&app.module);
+    let peg = build_peg(&app.module, &cus, &res.deps);
+
+    let (f, l, pattern) = app.loops[0];
+    let sub = loop_subpeg(&peg, &app.module, &cus, f, l);
+    eprintln!(
+        "app {} — {} PEG nodes / {} edges; printing sub-PEG of loop {:?} ({:?}: {} nodes)",
+        app.spec.name,
+        peg.graph.node_count(),
+        peg.graph.edge_count(),
+        l,
+        pattern,
+        sub.graph.node_count()
+    );
+    println!("{}", to_dot(&sub.graph));
+}

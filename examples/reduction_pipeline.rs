@@ -1,0 +1,51 @@
+//! Reductions through every analysis in the workspace: ground truth,
+//! dynamic profiler, and the three tool baselines — showing exactly where
+//! static tools lose accuracy (the Table III story).
+//!
+//! ```sh
+//! cargo run --example reduction_pipeline
+//! ```
+
+use mvgnn::baselines::{autopar_like, discopop_like, pluto_like};
+use mvgnn::dataset::{build_kernel, KernelKind};
+use mvgnn::ir::Module;
+use mvgnn::profiler::profile_module;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let kinds = [
+        KernelKind::SumReduction,
+        KernelKind::DotProduct,
+        KernelKind::MaxReduction,
+        KernelKind::Histogram,
+        KernelKind::MatVec,
+        KernelKind::PrefixSum,
+    ];
+    println!("{:<16} {:<12} {:>6} {:>8} {:>9} {:>9}", "kernel", "ground", "Pluto", "AutoPar", "DiscoPoP", "agrees?");
+    for kind in kinds {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut m = Module::new("demo");
+        let (f, loops) = build_kernel(&mut m, kind, 0, 16, &mut rng);
+        let res = profile_module(&m, f, &[]).expect("runs");
+        for (l, pattern) in loops {
+            let truth = usize::from(pattern.is_parallelizable());
+            let pluto = pluto_like(&m, f, l).label();
+            let autopar = autopar_like(&m, f, l).label();
+            let runtime = res.loops[&(f, l)];
+            let discopop = discopop_like(&m, f, l, &res.deps, &runtime).label();
+            println!(
+                "{:<16} {:<12} {:>6} {:>8} {:>9} {:>9}",
+                format!("{kind:?}#{}", l.0),
+                format!("{pattern:?}"),
+                pluto,
+                autopar,
+                discopop,
+                if discopop == truth { "yes" } else { "NO" }
+            );
+        }
+    }
+    println!("\nPluto refuses every reduction (no reduction recognition) while");
+    println!("AutoPar and DiscoPoP accept them — the gap behind Table III's");
+    println!("Pluto 60.5% vs DiscoPoP 91.2% on NPB.");
+}

@@ -1,0 +1,44 @@
+//! Train a small MV-GNN, persist it to disk, reload into a fresh model
+//! and verify identical predictions — the deployment round-trip.
+//!
+//! ```sh
+//! cargo run --release --example save_load_model
+//! ```
+
+use mvgnn::core::model::{MvGnn, MvGnnConfig};
+use mvgnn::core::trainer::{evaluate, train, TrainConfig};
+use mvgnn::dataset::{build_corpus, CorpusConfig, Suite};
+use mvgnn::embed::Inst2VecConfig;
+use mvgnn::ir::transform::OptLevel;
+
+fn main() {
+    let ds = build_corpus(&CorpusConfig {
+        seeds: vec![1],
+        opt_levels: vec![OptLevel::O0],
+        per_class: Some(60),
+        test_fraction: 0.25,
+        suite: Some(Suite::Npb),
+        inst2vec: Inst2VecConfig { dim: 16, epochs: 1, negatives: 2, lr: 0.05, seed: 4 },
+        sample: Default::default(),
+        seed: 0x5a5e,
+        label_noise: 0.0,
+    });
+    let probe = &ds.train[0].sample;
+    let cfg = MvGnnConfig::small(probe.node_dim, probe.aw_vocab);
+    let mut model = MvGnn::new(cfg.clone());
+    train(&mut model, &ds.train, &TrainConfig { epochs: 10, ..Default::default() });
+    let metrics = evaluate(&mut model, &ds.test);
+    println!("trained: {metrics}");
+
+    let path = std::env::temp_dir().join("mvgnn_demo.params");
+    std::fs::write(&path, model.save()).expect("write params");
+    println!("saved {} bytes to {}", std::fs::metadata(&path).unwrap().len(), path.display());
+
+    let mut reloaded = MvGnn::new(cfg);
+    let bytes = std::fs::read(&path).expect("read params");
+    reloaded.load(&bytes).expect("layout matches");
+    let again = evaluate(&mut reloaded, &ds.test);
+    println!("reloaded: {again}");
+    assert_eq!(metrics, again, "reloaded model must predict identically");
+    println!("round-trip OK");
+}

@@ -1,0 +1,51 @@
+//! The full user story: write a kernel in the mini language, profile it,
+//! and receive OpenMP pragma suggestions per loop — source in, annotated
+//! parallelisation plan out.
+//!
+//! ```sh
+//! cargo run --example source_to_pragmas
+//! ```
+
+use mvgnn::core::suggest::{annotate_function, Suggestion};
+use mvgnn::lang::compile;
+use mvgnn::profiler::profile_module;
+
+const SOURCE: &str = r#"
+array a[64]: f64;
+array b[64]: f64;
+array sum[1]: f64;
+
+fn main() {
+    // A map: independent iterations.
+    for i in 0..64 {
+        b[i] = a[i] * a[i] + 1.0;
+    }
+    // A reduction into one cell.
+    for i in 0..64 {
+        sum[0] = sum[0] + b[i];
+    }
+    // A loop-carried recurrence.
+    for i in 1..64 {
+        a[i] = a[i - 1] * 0.5 + b[i];
+    }
+}
+"#;
+
+fn main() {
+    let module = compile(SOURCE).expect("source compiles");
+    let entry = module.func_by_name("main").expect("main exists");
+    let result = profile_module(&module, entry, &[]).expect("program runs");
+
+    println!("source:\n{SOURCE}");
+    println!("suggested parallelisation plan:\n");
+    for (line, l, suggestion) in annotate_function(&module, entry, &result.deps) {
+        match &suggestion {
+            Suggestion::Sequential(reason) => {
+                println!("loop {:>2} (line {line:>3}): keep sequential — {reason}", l.0);
+            }
+            _ => {
+                println!("loop {:>2} (line {line:>3}): {}", l.0, suggestion.pragma());
+            }
+        }
+    }
+}

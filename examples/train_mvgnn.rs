@@ -1,0 +1,41 @@
+//! End-to-end training demo: generate a corpus, train the multi-view
+//! model, and report held-out metrics plus per-view agreement.
+//!
+//! ```sh
+//! cargo run --release --example train_mvgnn
+//! ```
+
+use mvgnn::core::model::{MvGnn, MvGnnConfig};
+use mvgnn::core::trainer::{evaluate, train, TrainConfig};
+use mvgnn::dataset::{build_corpus, CorpusConfig, Dataset};
+use mvgnn::embed::Inst2VecConfig;
+use mvgnn::ir::transform::OptLevel;
+
+fn main() {
+    let corpus = CorpusConfig {
+        seeds: vec![1],
+        opt_levels: vec![OptLevel::O0, OptLevel::O2, OptLevel::O5],
+        per_class: Some(150),
+        test_fraction: 0.25,
+        suite: None,
+        inst2vec: Inst2VecConfig { dim: 24, epochs: 2, negatives: 4, lr: 0.05, seed: 5 },
+        sample: Default::default(),
+        seed: 0xf00d,
+        label_noise: 0.03,
+    };
+    println!("building corpus…");
+    let ds = build_corpus(&corpus);
+    let (tp, tn) = Dataset::class_counts(&ds.train);
+    println!("train {} (+{tp}/-{tn}), test {}", ds.train.len(), ds.test.len());
+
+    let probe = &ds.train[0].sample;
+    let mut model = MvGnn::new(MvGnnConfig::small(probe.node_dim, probe.aw_vocab));
+    let cfg = TrainConfig { epochs: 20, batch_size: 16, ..Default::default() };
+    println!("training MV-GNN ({} params)…", model.params.scalar_count());
+    let stats = train(&mut model, &ds.train, &cfg);
+    for e in stats.iter().step_by(4) {
+        println!("epoch {:>3}: loss {:.4} acc {:.3}", e.epoch, e.loss, e.accuracy);
+    }
+    let m = evaluate(&mut model, &ds.test);
+    println!("\nheld-out: {m}");
+}

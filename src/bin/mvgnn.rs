@@ -1,0 +1,105 @@
+//! `mvgnn` — command-line interface to the parallelism-discovery pipeline.
+//!
+//! ```text
+//! mvgnn classify <file.mv>   profile a mini-language program and print a
+//!                            per-loop parallelisation plan with pragmas
+//! mvgnn dot <file.mv>        emit the program's PEG as Graphviz DOT
+//! mvgnn ir <file.mv>         print the lowered IR in its textual form
+//! mvgnn run <file.mv>        execute `main` and print the return value
+//! ```
+
+use mvgnn::core::suggest::{annotate_function, Suggestion};
+use mvgnn::ir::interp::{Interpreter, NoTracer};
+use mvgnn::lang::compile;
+use mvgnn::peg::{build_peg, to_dot};
+use mvgnn::profiler::{build_cus, loop_features, profile_module};
+
+fn usage() -> ! {
+    eprintln!("usage: mvgnn <classify|dot|ir|run> <file.mv>");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (cmd, path) = match (args.get(1), args.get(2)) {
+        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+        _ => usage(),
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mvgnn: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let module = match compile(&src) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("mvgnn: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(entry) = module.func_by_name("main") else {
+        eprintln!("mvgnn: program has no `main`");
+        std::process::exit(1);
+    };
+
+    match cmd {
+        "ir" => print!("{}", mvgnn::ir::text::print_module(&module)),
+        "run" => match Interpreter::new(&module).run(entry, &[], &mut NoTracer) {
+            Ok((ret, stats)) => {
+                println!(
+                    "returned {:?} after {} instructions ({} loads, {} stores)",
+                    ret, stats.steps, stats.loads, stats.stores
+                );
+            }
+            Err(e) => {
+                eprintln!("mvgnn: runtime error: {e}");
+                std::process::exit(1);
+            }
+        },
+        "dot" => {
+            let result = match profile_module(&module, entry, &[]) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("mvgnn: runtime error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let cus = build_cus(&module);
+            let peg = build_peg(&module, &cus, &result.deps);
+            print!("{}", to_dot(&peg.graph));
+        }
+        "classify" => {
+            let result = match profile_module(&module, entry, &[]) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("mvgnn: runtime error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!("{path}: {} loops\n", module.loop_count());
+            for (line, l, suggestion) in annotate_function(&module, entry, &result.deps) {
+                let runtime = result.loops.get(&(entry, l)).copied().unwrap_or_default();
+                let feats = loop_features(&module, entry, l, &result.deps, &runtime);
+                let verdict = match &suggestion {
+                    Suggestion::Sequential(reason) => format!("sequential ({reason})"),
+                    other => other.pragma(),
+                };
+                println!(
+                    "loop {:>2} @ line {:>4}: {verdict}\n             trips {} | insts {} | cfl {} | esp {:.1} | deps {}/{}/{}",
+                    l.0,
+                    line,
+                    feats.exec_times,
+                    feats.n_inst,
+                    feats.cfl,
+                    feats.esp,
+                    feats.incoming_dep,
+                    feats.internal_dep,
+                    feats.outgoing_dep
+                );
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,136 @@
+//! Cross-crate integration: IR → profiler → PEG → features → model, on
+//! real generated benchmark suites.
+
+use mvgnn::baselines::Metrics;
+use mvgnn::core::model::{MvGnn, MvGnnConfig};
+use mvgnn::core::trainer::{evaluate, train, TrainConfig};
+use mvgnn::dataset::{
+    build_corpus, generate_suite, CorpusConfig, PatternKind, Suite,
+};
+use mvgnn::embed::Inst2VecConfig;
+use mvgnn::ir::transform::OptLevel;
+use mvgnn::ir::verify::verify_module;
+use mvgnn::profiler::{classify_loop, profile_module};
+
+fn tiny_corpus(suite: Option<Suite>, per_class: usize) -> mvgnn::dataset::Dataset {
+    build_corpus(&CorpusConfig {
+        seeds: vec![1],
+        opt_levels: vec![OptLevel::O0, OptLevel::O3],
+        per_class: Some(per_class),
+        test_fraction: 0.25,
+        suite,
+        inst2vec: Inst2VecConfig { dim: 12, epochs: 1, negatives: 2, lr: 0.05, seed: 2 },
+        sample: Default::default(),
+        seed: 0xbeef,
+        label_noise: 0.0,
+    })
+}
+
+/// Every loop of every generated app must (a) verify, (b) execute, and
+/// (c) have a profiler verdict that matches the constructive label.
+#[test]
+fn ground_truth_agrees_with_profiler_across_all_suites() {
+    let mut checked = 0usize;
+    for app in generate_suite(None, 17) {
+        verify_module(&app.module).unwrap_or_else(|e| panic!("{}: {e}", app.spec.name));
+        let res = profile_module(&app.module, app.entry, &[])
+            .unwrap_or_else(|e| panic!("{}: {e}", app.spec.name));
+        for ((f, l, pattern), kind) in app.loops.iter().zip(&app.loop_kinds) {
+            let class = classify_loop(&app.module, *f, *l, &res.deps);
+            if kind.trace_limited() {
+                assert!(
+                    class.is_parallelizable() && !pattern.is_parallelizable(),
+                    "{} loop {l:?}: trace-limited template must look parallel in the trace",
+                    app.spec.name
+                );
+                checked += 1;
+                continue;
+            }
+            assert_eq!(
+                class.is_parallelizable(),
+                pattern.is_parallelizable(),
+                "{} loop {:?} ({:?}): profiler says {:?}",
+                app.spec.name,
+                l,
+                pattern,
+                class
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 840, "Table II total");
+}
+
+/// Optimisation variants must preserve the ground truth: a DOALL loop
+/// stays DOALL at every opt level.
+#[test]
+fn opt_levels_preserve_loop_classification() {
+    let app = generate_suite(Some(Suite::PolyBench), 3)
+        .into_iter()
+        .find(|a| a.spec.name == "2mm")
+        .expect("2mm generated");
+    for level in OptLevel::ALL {
+        let module = mvgnn::ir::transform::optimize(&app.module, level);
+        verify_module(&module).unwrap_or_else(|e| panic!("{level:?}: {e}"));
+        let res = profile_module(&module, app.entry, &[])
+            .unwrap_or_else(|e| panic!("{level:?}: {e}"));
+        for ((f, l, pattern), kind) in app.loops.iter().zip(&app.loop_kinds) {
+            if kind.trace_limited() {
+                continue;
+            }
+            let class = classify_loop(&module, *f, *l, &res.deps);
+            assert_eq!(
+                class.is_parallelizable(),
+                pattern.is_parallelizable(),
+                "{level:?} flipped loop {l:?} ({pattern:?} -> {class:?})"
+            );
+        }
+    }
+}
+
+/// The MV-GNN must learn the task well above chance on held-out loops.
+#[test]
+fn mvgnn_learns_above_chance() {
+    let ds = tiny_corpus(None, 60);
+    assert!(ds.train.len() >= 40, "train set too small: {}", ds.train.len());
+    let probe = &ds.train[0].sample;
+    let mut model = MvGnn::new(MvGnnConfig::small(probe.node_dim, probe.aw_vocab));
+    train(
+        &mut model,
+        &ds.train,
+        &TrainConfig { epochs: 15, batch_size: 12, ..Default::default() },
+    );
+    let m: Metrics = evaluate(&mut model, &ds.test);
+    assert!(
+        m.accuracy() > 0.65,
+        "balanced test accuracy should beat chance clearly: {m}"
+    );
+}
+
+/// BOTS apps include task loops and the corpus carries them through.
+#[test]
+fn bots_task_loops_flow_into_corpus() {
+    let apps = generate_suite(Some(Suite::Bots), 5);
+    assert_eq!(apps.len(), 2);
+    let task_loops: usize = apps
+        .iter()
+        .flat_map(|a| &a.loops)
+        .filter(|(_, _, p)| *p == PatternKind::Task)
+        .count();
+    assert!(task_loops >= 2, "each BOTS app leads with a task loop");
+}
+
+/// Samples coming out of the corpus are structurally sound for the model.
+#[test]
+fn corpus_samples_are_consistent() {
+    let ds = tiny_corpus(Some(Suite::Npb), 40);
+    for s in ds.train.iter().chain(&ds.test) {
+        assert!(s.sample.n > 0);
+        assert_eq!(s.sample.node_feats.len(), s.sample.n * s.sample.node_dim);
+        assert_eq!(s.sample.struct_dists.len(), s.sample.n * s.sample.aw_vocab);
+        assert_eq!(s.sample.adj.rows(), s.sample.n);
+        assert!(s.sample.token_ids.len() >= s.sample.n);
+        assert!(s.sample.node_feats.iter().all(|x| x.is_finite()));
+        assert_eq!(s.suite, Suite::Npb);
+    }
+}

@@ -1,0 +1,71 @@
+//! Soundness of the static tool baselines: a static "Parallel" verdict
+//! must never contradict the dynamic profiler on a loop the profiler can
+//! fully witness (static analysis is allowed to be *incomplete* — extra
+//! NotParallel — but never unsound).
+
+use mvgnn::baselines::{autopar_like, pluto_like};
+use mvgnn::dataset::{build_kernel, generate_suite, KernelKind};
+use mvgnn::ir::Module;
+use mvgnn::profiler::{classify_loop, profile_module};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn static_parallel_verdicts_are_sound_on_all_templates() {
+    for kind in KernelKind::ALL {
+        for seed in [1u64, 9, 77] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut m = Module::new("t");
+            let (f, loops) = build_kernel(&mut m, kind, 0, 16, &mut rng);
+            let res = profile_module(&m, f, &[]).expect("runs");
+            for (l, pattern) in &loops {
+                // Trace-limited templates are exactly the loops where the
+                // trace cannot refute the static analyser either; skip.
+                if kind.trace_limited() {
+                    continue;
+                }
+                let dynamic_ok = classify_loop(&m, f, *l, &res.deps).is_parallelizable();
+                let truth = pattern.is_parallelizable();
+                for (tool, verdict) in [
+                    ("pluto", pluto_like(&m, f, *l)),
+                    ("autopar", autopar_like(&m, f, *l)),
+                ] {
+                    if verdict.label() == 1 {
+                        assert!(
+                            truth && dynamic_ok,
+                            "{tool} UNSOUND on {kind:?} loop {l:?} (seed {seed}): \
+                             claims parallel, ground truth {pattern:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn static_tools_sound_across_generated_suites() {
+    // Whole-suite sweep at one seed: no static tool may green-light a
+    // genuinely serial loop.
+    for app in generate_suite(None, 23) {
+        for ((f, l, pattern), kind) in app.loops.iter().zip(&app.loop_kinds) {
+            if kind.trace_limited() {
+                continue;
+            }
+            if !pattern.is_parallelizable() {
+                assert_eq!(
+                    pluto_like(&app.module, *f, *l).label(),
+                    0,
+                    "{} {kind:?} loop {l:?}: Pluto must reject serial loops",
+                    app.spec.name
+                );
+                assert_eq!(
+                    autopar_like(&app.module, *f, *l).label(),
+                    0,
+                    "{} {kind:?} loop {l:?}: AutoPar must reject serial loops",
+                    app.spec.name
+                );
+            }
+        }
+    }
+}
