@@ -33,7 +33,7 @@ fn main() {
         let ds = build_corpus(&ccfg);
         let probe = &ds.train[0].sample;
         let mut model = MvGnn::new(MvGnnConfig::small(probe.node_dim, probe.aw_vocab));
-        train(&mut model, &ds.train, &cfg.train);
+        mvgnn_bench::or_die(train(&mut model, &ds.train, &cfg.train));
         let acc = evaluate(&mut model, &ds.test).accuracy() * 100.0;
         print_row(
             &[format!("walks l={walk_len} γ={gamma}"), format!("{acc:.1}")],
@@ -82,7 +82,7 @@ fn main() {
     ];
     for (name, mcfg) in variants {
         let mut model = MvGnn::new(mcfg);
-        train(&mut model, &ds.train, &cfg.train);
+        mvgnn_bench::or_die(train(&mut model, &ds.train, &cfg.train));
         let acc = evaluate(&mut model, &ds.test).accuracy() * 100.0;
         print_row(&[name, format!("{acc:.1}")], &w);
     }

@@ -55,7 +55,7 @@ fn main() {
     let (mx, mn) = mags(&mut model, 32);
     println!("pre-train view-logit magnitude: max {mx:.2} mean {mn:.2}");
 
-    let stats = train(&mut model, &ds.train, &cfg.train);
+    let stats = mvgnn_bench::or_die(train(&mut model, &ds.train, &cfg.train));
     for e in stats.iter().step_by(5) {
         println!("epoch {:>3} loss {:.4} train-acc {:.3}", e.epoch, e.loss, e.accuracy);
     }

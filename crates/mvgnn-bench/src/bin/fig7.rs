@@ -20,7 +20,7 @@ fn main() {
     let scale = Scale::from_args();
     let cfg = pipeline_config(scale);
     eprintln!("[fig7] training MV-GNN ({scale:?})…");
-    let (report, _) = run_pipeline(&cfg);
+    let (report, _) = mvgnn_bench::or_die(run_pipeline(&cfg));
 
     println!("\nFig. 7 — loss (above) and accuracy (below) of the training process\n");
     println!("epoch  loss      accuracy");

@@ -13,7 +13,7 @@ fn main() {
     let scale = Scale::from_args();
     let cfg = pipeline_config(scale);
     eprintln!("[fig8] training MV-GNN ({scale:?})…");
-    let (report, _) = run_pipeline(&cfg);
+    let (report, _) = mvgnn_bench::or_die(run_pipeline(&cfg));
 
     println!("\nFig. 8 — importance of views (IMP = N_view / N_multi)\n");
     let w = [12, 8, 8, 9, 9, 9, 34];

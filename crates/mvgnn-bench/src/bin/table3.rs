@@ -9,7 +9,7 @@ fn main() {
     let cfg = pipeline_config(scale);
     eprintln!("[table3] scale {scale:?}: building corpus + training (release build recommended)…");
     let t0 = std::time::Instant::now();
-    let (report, ds) = run_pipeline(&cfg);
+    let (report, ds) = mvgnn_bench::or_die(run_pipeline(&cfg));
     eprintln!(
         "[table3] learned models done in {:.1}s ({} train / {} test samples)",
         t0.elapsed().as_secs_f32(),

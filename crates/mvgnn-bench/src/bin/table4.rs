@@ -8,7 +8,7 @@ fn main() {
     let scale = Scale::from_args();
     let cfg = pipeline_config(scale);
     eprintln!("[table4] training MV-GNN ({scale:?})…");
-    let (report, _ds) = run_pipeline(&cfg);
+    let (report, _ds) = mvgnn_bench::or_die(run_pipeline(&cfg));
 
     println!("\nTable IV — statistics of NPB dataset test\n");
     let w = [10, 10, 26, 22];

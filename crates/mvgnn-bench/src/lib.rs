@@ -81,6 +81,15 @@ pub fn pipeline_config(scale: Scale) -> PipelineConfig {
     }
 }
 
+/// Unwrap a fallible pipeline/training step or exit the benchmark binary
+/// with the error on stderr (benchmarks have no recovery path to offer).
+pub fn or_die<T, E: std::fmt::Display>(result: Result<T, E>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("fatal: {e}");
+        std::process::exit(1);
+    })
+}
+
 /// Print a Markdown-ish table row.
 pub fn print_row(cols: &[String], widths: &[usize]) {
     let cells: Vec<String> =

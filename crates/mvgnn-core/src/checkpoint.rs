@@ -1,0 +1,211 @@
+//! Training checkpoints: a versioned, checksummed container around the
+//! weight snapshot plus the optimizer-facing state needed to resume
+//! (epoch counter, current learning rate, telemetry so far).
+//!
+//! Layout (little-endian):
+//! `magic "MVCK" | version u32 | epoch u64 | lr f32 | retries u32 |
+//!  stats count u32 | (epoch u64, loss f32, accuracy f32)* |
+//!  payload len u64 | FNV-1a checksum u64 | payload`
+//! where the payload is the `save_params` weight blob.
+//!
+//! Writes are atomic: the file is written to a sibling `*.tmp` path and
+//! renamed over the target, so a crash mid-write never leaves a
+//! half-written checkpoint behind. Reads validate magic, version, length
+//! and checksum before any byte of the payload is interpreted, and every
+//! failure is a typed [`MvGnnError::Checkpoint`] — corrupt files degrade
+//! to an error, never a panic.
+
+use crate::error::MvGnnError;
+use crate::trainer::EpochStats;
+use bytes::{Buf, BufMut, BytesMut};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"MVCK";
+const VERSION: u32 = 1;
+
+/// Everything needed to resume an interrupted training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Last completed epoch (0-based).
+    pub epoch: usize,
+    /// Learning rate in effect (after any divergence backoff).
+    pub lr: f32,
+    /// Rollback retries consumed so far.
+    pub retries: usize,
+    /// Telemetry of all completed epochs.
+    pub stats: Vec<EpochStats>,
+    /// Weight snapshot (`save_params` format).
+    pub weights: Vec<u8>,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serialise a checkpoint to its binary form.
+pub fn encode_checkpoint(cp: &Checkpoint) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(64 + cp.stats.len() * 16 + cp.weights.len());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(cp.epoch as u64);
+    buf.put_f32_le(cp.lr);
+    buf.put_u32_le(cp.retries as u32);
+    buf.put_u32_le(cp.stats.len() as u32);
+    for s in &cp.stats {
+        buf.put_u64_le(s.epoch as u64);
+        buf.put_f32_le(s.loss);
+        buf.put_f32_le(s.accuracy);
+    }
+    buf.put_u64_le(cp.weights.len() as u64);
+    buf.put_u64_le(fnv1a(&cp.weights));
+    buf.put_slice(&cp.weights);
+    buf.freeze().to_vec()
+}
+
+fn need(bytes: &[u8], n: usize, what: &str) -> Result<(), MvGnnError> {
+    if bytes.remaining() < n {
+        return Err(MvGnnError::Checkpoint(format!(
+            "truncated before {what} ({} bytes left, need {n})",
+            bytes.remaining()
+        )));
+    }
+    Ok(())
+}
+
+/// Parse and validate a checkpoint's binary form.
+pub fn decode_checkpoint(mut bytes: &[u8]) -> Result<Checkpoint, MvGnnError> {
+    need(bytes, 8, "header")?;
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(MvGnnError::Checkpoint("bad magic (not a MVCK file)".into()));
+    }
+    let version = bytes.get_u32_le();
+    if version != VERSION {
+        return Err(MvGnnError::Checkpoint(format!("unsupported version {version}")));
+    }
+    need(bytes, 20, "epoch/lr/retries")?;
+    let epoch = bytes.get_u64_le() as usize;
+    let lr = bytes.get_f32_le();
+    if !lr.is_finite() || lr <= 0.0 {
+        return Err(MvGnnError::Checkpoint(format!("non-positive or non-finite lr {lr}")));
+    }
+    let retries = bytes.get_u32_le() as usize;
+    let n_stats = bytes.get_u32_le() as usize;
+    need(bytes, n_stats.saturating_mul(16), "epoch stats")?;
+    let mut stats = Vec::with_capacity(n_stats.min(4096));
+    for _ in 0..n_stats {
+        let epoch = bytes.get_u64_le() as usize;
+        let loss = bytes.get_f32_le();
+        let accuracy = bytes.get_f32_le();
+        stats.push(EpochStats { epoch, loss, accuracy });
+    }
+    need(bytes, 16, "payload header")?;
+    let payload_len = bytes.get_u64_le() as usize;
+    let checksum = bytes.get_u64_le();
+    if bytes.remaining() != payload_len {
+        return Err(MvGnnError::Checkpoint(format!(
+            "payload length mismatch: header says {payload_len}, file has {}",
+            bytes.remaining()
+        )));
+    }
+    if fnv1a(bytes) != checksum {
+        return Err(MvGnnError::Checkpoint("payload checksum mismatch".into()));
+    }
+    Ok(Checkpoint { epoch, lr, retries, stats, weights: bytes.to_vec() })
+}
+
+/// Atomically write a checkpoint: serialise to `<path>.tmp`, then rename
+/// over `path` so readers only ever observe complete files.
+pub fn write_checkpoint(path: &Path, cp: &Checkpoint) -> Result<(), MvGnnError> {
+    let encoded = encode_checkpoint(cp);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &encoded)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read and validate a checkpoint file.
+pub fn read_checkpoint(path: &Path) -> Result<Checkpoint, MvGnnError> {
+    let bytes = std::fs::read(path)?;
+    decode_checkpoint(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoint() -> Checkpoint {
+        Checkpoint {
+            epoch: 7,
+            lr: 5e-4,
+            retries: 1,
+            stats: vec![
+                EpochStats { epoch: 6, loss: 0.42, accuracy: 0.8 },
+                EpochStats { epoch: 7, loss: 0.40, accuracy: 0.82 },
+            ],
+            weights: (0u16..999).flat_map(|x| x.to_le_bytes()).collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let cp = sample_checkpoint();
+        let decoded = decode_checkpoint(&encode_checkpoint(&cp)).unwrap();
+        assert_eq!(decoded, cp);
+    }
+
+    #[test]
+    fn atomic_file_roundtrip() {
+        let dir = std::env::temp_dir().join("mvgnn_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        let cp = sample_checkpoint();
+        write_checkpoint(&path, &cp).unwrap();
+        // The temporary staging file must not survive the rename.
+        assert!(!path.with_extension("tmp").exists());
+        assert_eq!(read_checkpoint(&path).unwrap(), cp);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_truncation_point_is_rejected_gracefully() {
+        let full = encode_checkpoint(&sample_checkpoint());
+        for cut in 0..full.len() {
+            let err = decode_checkpoint(&full[..cut]).unwrap_err();
+            assert!(
+                matches!(err, MvGnnError::Checkpoint(_)),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_in_payload_fail_the_checksum() {
+        let cp = sample_checkpoint();
+        let mut bytes = encode_checkpoint(&cp);
+        let payload_start = bytes.len() - cp.weights.len();
+        for victim in [payload_start, payload_start + 17, bytes.len() - 1] {
+            let mut corrupted = bytes.clone();
+            corrupted[victim] ^= 0x40;
+            let err = decode_checkpoint(&corrupted).unwrap_err();
+            assert!(err.to_string().contains("checksum"), "{err}");
+        }
+        // Corrupting the magic is caught before the checksum.
+        bytes[0] = b'X';
+        assert!(decode_checkpoint(&bytes).unwrap_err().to_string().contains("magic"));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = encode_checkpoint(&sample_checkpoint());
+        bytes[4] = 99;
+        let err = decode_checkpoint(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] is keyed by a seed; every injector derives its choice
+//! of victim positions from that seed alone, so a failing test reproduces
+//! bit-for-bit. The plan covers the fault classes the pipeline must
+//! survive: NaN-poisoned weights (training divergence), corrupted
+//! checkpoint bytes, truncated/mangled source programs, and starved
+//! interpreter budgets (truncated traces).
+
+use mvgnn_tensor::tape::Params;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seed-keyed plan of faults to inject.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Poison the model weights with NaN at the start of this epoch
+    /// (consumed once unless [`persistent`](Self::persistent) is set).
+    pub poison_at_epoch: Option<usize>,
+    /// Re-poison on every rollback retry too, so the retry budget is
+    /// guaranteed to exhaust.
+    pub persistent: bool,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing until configured.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, poison_at_epoch: None, persistent: false }
+    }
+
+    /// Arrange for the trainer's weights to be NaN-poisoned at `epoch`.
+    pub fn poison_weights_at(mut self, epoch: usize) -> Self {
+        self.poison_at_epoch = Some(epoch);
+        self
+    }
+
+    /// Make the weight poisoning survive rollbacks (fires every retry).
+    pub fn persistent(mut self) -> Self {
+        self.persistent = true;
+        self
+    }
+
+    /// Overwrite `k` seed-chosen weight entries with NaN.
+    pub fn poison_params(&self, params: &mut Params, k: usize) {
+        let mut state = self.seed ^ 0x7031_50a9_e0f5_41c1;
+        for (_, data, _) in params.iter_mut() {
+            for _ in 0..k {
+                let idx = (splitmix(&mut state) as usize) % data.len().max(1);
+                data[idx] = f32::NAN;
+            }
+        }
+    }
+
+    /// Flip one bit in each of `flips` seed-chosen bytes.
+    pub fn corrupt_bytes(&self, bytes: &mut [u8], flips: usize) {
+        if bytes.is_empty() {
+            return;
+        }
+        let mut state = self.seed ^ 0x94d0_49bb_1331_11eb;
+        for _ in 0..flips {
+            let idx = (splitmix(&mut state) as usize) % bytes.len();
+            let bit = (splitmix(&mut state) % 8) as u8;
+            bytes[idx] ^= 1 << bit;
+        }
+    }
+
+    /// Cut a source program off mid-token, keeping roughly `frac` of it.
+    pub fn truncate_source(&self, src: &str, frac: f64) -> String {
+        let target = ((src.len() as f64) * frac.clamp(0.0, 1.0)) as usize;
+        let mut cut = target.min(src.len());
+        while cut > 0 && !src.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        src[..cut].to_string()
+    }
+
+    /// Deterministically mangle a source program: delete one seed-chosen
+    /// span and swap a pair of characters, producing a malformed but
+    /// plausible-looking input.
+    pub fn mangle_source(&self, src: &str) -> String {
+        if src.len() < 4 {
+            return String::new();
+        }
+        let mut state = self.seed ^ 0xbf58_476d_1ce4_e5b9;
+        let bytes: Vec<char> = src.chars().collect();
+        let start = (splitmix(&mut state) as usize) % (bytes.len() / 2);
+        let len = 1 + (splitmix(&mut state) as usize) % (bytes.len() / 4).max(1);
+        let mut out: Vec<char> =
+            bytes[..start].iter().chain(&bytes[(start + len).min(bytes.len())..]).copied().collect();
+        if out.len() >= 2 {
+            let a = (splitmix(&mut state) as usize) % out.len();
+            let b = (splitmix(&mut state) as usize) % out.len();
+            out.swap(a, b);
+        }
+        out.into_iter().collect()
+    }
+
+    /// An interpreter step budget small enough to truncate any real trace.
+    pub fn starved_step_budget(&self) -> u64 {
+        let mut state = self.seed ^ 0x2545_f491_4f6c_dd1d;
+        5 + splitmix(&mut state) % 20
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injectors_are_deterministic_per_seed() {
+        let plan = FaultPlan::new(9);
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        plan.corrupt_bytes(&mut a, 5);
+        plan.corrupt_bytes(&mut b, 5);
+        assert_eq!(a, b);
+        assert_ne!(a, vec![0u8; 64]);
+        assert_ne!(plan.mangle_source("fn main() { let x = 1; }"), "fn main() { let x = 1; }");
+        assert_eq!(
+            FaultPlan::new(3).mangle_source("abcdefgh"),
+            FaultPlan::new(3).mangle_source("abcdefgh")
+        );
+    }
+
+    #[test]
+    fn poison_makes_weights_non_finite() {
+        let mut params = Params::new();
+        params.add("w", 4, 4, vec![0.5; 16]);
+        FaultPlan::new(1).poison_params(&mut params, 3);
+        let poisoned: usize = (0..params.len())
+            .map(mvgnn_tensor::tape::ParamId)
+            .map(|id| params.data(id).iter().filter(|x| x.is_nan()).count())
+            .sum();
+        assert!(poisoned >= 1, "expected at least one NaN");
+    }
+
+    #[test]
+    fn truncation_respects_char_boundaries() {
+        let plan = FaultPlan::new(2);
+        let src = "loop α { a[i] = b[i]; }";
+        for frac in [0.0, 0.3, 0.62, 1.0] {
+            let cut = plan.truncate_source(src, frac);
+            assert!(src.starts_with(&cut));
+        }
+    }
+}

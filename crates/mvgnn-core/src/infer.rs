@@ -1,0 +1,262 @@
+//! Graceful inference over a whole module: every loop is classified with
+//! per-loop error isolation.
+//!
+//! Faults that hit one loop — a truncated trace (interpreter step limit),
+//! an empty anonymous-walk distribution, a malformed/empty sub-PEG, or
+//! non-finite logits from a damaged model — downgrade *that loop* to a
+//! single-view or conservative "serial" prediction with a diagnostic
+//! attached; the rest of the batch is unaffected and the function never
+//! panics or aborts.
+
+use crate::model::MvGnn;
+use mvgnn_embed::{build_sample, Inst2Vec, SampleConfig};
+use mvgnn_ir::module::{FuncId, LoopId, Module};
+use mvgnn_peg::{build_peg, loop_subpeg};
+use mvgnn_profiler::{build_cus, loop_features, profile_module_resilient, LoopRuntime};
+
+/// Which signal a loop's final prediction came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictionSource {
+    /// Healthy path: the fused multi-view head.
+    Multi,
+    /// Degraded to the node-feature view only.
+    NodeOnly,
+    /// Degraded to the structure (anonymous-walk) view only.
+    StructOnly,
+    /// No trustworthy view: conservatively predicted serial.
+    ConservativeSerial,
+}
+
+/// Per-loop classification outcome.
+#[derive(Debug, Clone)]
+pub struct LoopReport {
+    /// Function owning the loop.
+    pub func: FuncId,
+    /// The loop.
+    pub l: LoopId,
+    /// Source line of the loop header.
+    pub line: u32,
+    /// Predicted class (1 = parallelisable; always 0 for
+    /// [`PredictionSource::ConservativeSerial`]).
+    pub prediction: usize,
+    /// Which signal produced the prediction.
+    pub source: PredictionSource,
+    /// Why the loop was degraded, when it was.
+    pub diagnostic: Option<String>,
+}
+
+fn conservative(
+    func: FuncId,
+    l: LoopId,
+    line: u32,
+    why: impl Into<String>,
+) -> LoopReport {
+    LoopReport {
+        func,
+        l,
+        line,
+        prediction: 0,
+        source: PredictionSource::ConservativeSerial,
+        diagnostic: Some(why.into()),
+    }
+}
+
+/// Classify every loop of `entry` with the trained model.
+///
+/// `max_steps`/`max_call_depth` bound the profiling interpreter (None
+/// keeps the defaults). The returned vector always covers every loop of
+/// the function: faults degrade individual loops, they never abort the
+/// batch.
+pub fn classify_module(
+    model: &mut MvGnn,
+    module: &Module,
+    entry: FuncId,
+    inst2vec: &Inst2Vec,
+    sample_cfg: &SampleConfig,
+    max_steps: Option<u64>,
+    max_call_depth: Option<u32>,
+) -> Vec<LoopReport> {
+    let partial = profile_module_resilient(module, entry, &[], max_steps, max_call_depth);
+    let trace_fault = partial.error.as_ref().map(|e| e.to_string());
+    let cus = build_cus(module);
+    let peg = build_peg(module, &cus, &partial.deps);
+
+    let mut reports = Vec::new();
+    for info in &module.funcs[entry.index()].loops {
+        let l = info.id;
+        let line = info.line_span.0;
+        let runtime = partial.loops.get(&(entry, l)).copied();
+        if runtime.is_none() {
+            if let Some(fault) = &trace_fault {
+                reports.push(conservative(
+                    entry,
+                    l,
+                    line,
+                    format!("no dynamic evidence, trace truncated: {fault}"),
+                ));
+                continue;
+            }
+        }
+        let runtime = runtime.unwrap_or(LoopRuntime::default());
+        let feats = loop_features(module, entry, l, &partial.deps, &runtime);
+        let sub = loop_subpeg(&peg, module, &cus, entry, l);
+        if sub.graph.node_count() == 0 {
+            reports.push(conservative(entry, l, line, "empty sub-PEG"));
+            continue;
+        }
+        let sample = build_sample(&sub, inst2vec, &feats, sample_cfg, None);
+        if sample.node_dim != model.cfg.node_dim || sample.aw_vocab != model.cfg.aw_vocab {
+            reports.push(conservative(
+                entry,
+                l,
+                line,
+                format!(
+                    "sample/model dimension mismatch (node {} vs {}, vocab {} vs {})",
+                    sample.node_dim, model.cfg.node_dim, sample.aw_vocab, model.cfg.aw_vocab
+                ),
+            ));
+            continue;
+        }
+        let empty_walks = sample.struct_dists.iter().all(|&x| x == 0.0);
+        let checked = model.predict_checked(&sample);
+
+        // Preference order degrades with the evidence: a clean trace and
+        // healthy walks trust the fused head; a truncated trace or empty
+        // walk distribution drops the structural signal and falls back to
+        // the node view; non-finite heads fall through to the next view.
+        let candidates: [(Option<usize>, PredictionSource); 3] =
+            if trace_fault.is_some() || empty_walks {
+                [
+                    (checked.node, PredictionSource::NodeOnly),
+                    (checked.structural, PredictionSource::StructOnly),
+                    (None, PredictionSource::ConservativeSerial),
+                ]
+            } else {
+                [
+                    (checked.fused, PredictionSource::Multi),
+                    (checked.node, PredictionSource::NodeOnly),
+                    (checked.structural, PredictionSource::StructOnly),
+                ]
+            };
+        let mut diagnostic = None;
+        if let Some(fault) = &trace_fault {
+            diagnostic = Some(format!("trace truncated: {fault}"));
+        } else if empty_walks {
+            diagnostic = Some("empty anonymous-walk distribution".into());
+        }
+        match candidates.iter().find_map(|(p, src)| p.map(|p| (p, *src))) {
+            Some((prediction, source)) => {
+                if source != PredictionSource::Multi && diagnostic.is_none() {
+                    diagnostic = Some("non-finite logits in the preferred view".into());
+                }
+                reports.push(LoopReport { func: entry, l, line, prediction, source, diagnostic });
+            }
+            None => {
+                let why = match diagnostic {
+                    Some(d) => format!("non-finite logits in every view ({d})"),
+                    None => "non-finite logits in every view".into(),
+                };
+                reports.push(conservative(entry, l, line, why));
+            }
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::model::MvGnnConfig;
+    use mvgnn_embed::Inst2VecConfig;
+    use mvgnn_ir::inst::BinOp;
+    use mvgnn_ir::types::Ty;
+    use mvgnn_ir::FunctionBuilder;
+
+    /// Two loops: a DOALL and a linear recurrence.
+    fn test_module() -> (Module, FuncId) {
+        let mut m = Module::new("t");
+        let a = m.add_array("a", Ty::F64, 32);
+        let out = m.add_array("b", Ty::F64, 32);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let lo = b.const_i64(0);
+        let hi = b.const_i64(32);
+        let st = b.const_i64(1);
+        b.for_loop(lo, hi, st, |b, i| {
+            let x = b.load(a, i);
+            let y = b.bin(BinOp::Mul, x, x);
+            b.store(out, i, y);
+        });
+        let one = b.const_i64(1);
+        b.for_loop(one, hi, st, |b, i| {
+            let p = b.bin(BinOp::Sub, i, one);
+            let x = b.load(out, p);
+            b.store(out, i, x);
+        });
+        let f = b.finish();
+        (m, f)
+    }
+
+    fn setup() -> (Module, FuncId, Inst2Vec, MvGnn) {
+        let (m, f) = test_module();
+        let i2v = Inst2Vec::train(
+            &[&m],
+            &Inst2VecConfig { dim: 8, epochs: 1, negatives: 2, lr: 0.05, seed: 1 },
+        );
+        // Probe one loop to size the model.
+        let reports_cfg = SampleConfig::default();
+        let partial = profile_module_resilient(&m, f, &[], None, None);
+        let cus = build_cus(&m);
+        let peg = build_peg(&m, &cus, &partial.deps);
+        let l0 = m.funcs[f.index()].loops[0].id;
+        let feats = loop_features(&m, f, l0, &partial.deps, &partial.loops[&(f, l0)]);
+        let sub = loop_subpeg(&peg, &m, &cus, f, l0);
+        let probe = build_sample(&sub, &i2v, &feats, &reports_cfg, None);
+        let model = MvGnn::new(MvGnnConfig::small(probe.node_dim, probe.aw_vocab));
+        (m, f, i2v, model)
+    }
+
+    #[test]
+    fn healthy_module_classifies_every_loop_multi_view() {
+        let (m, f, i2v, mut model) = setup();
+        let reports = classify_module(&mut model, &m, f, &i2v, &SampleConfig::default(), None, None);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_eq!(r.source, PredictionSource::Multi, "{r:?}");
+            assert!(r.diagnostic.is_none(), "{r:?}");
+            assert!(r.prediction <= 1);
+        }
+    }
+
+    #[test]
+    fn truncated_trace_degrades_without_aborting() {
+        let (m, f, i2v, mut model) = setup();
+        let budget = FaultPlan::new(4).starved_step_budget();
+        let reports =
+            classify_module(&mut model, &m, f, &i2v, &SampleConfig::default(), Some(budget), None);
+        assert_eq!(reports.len(), 2, "batch must not shrink under truncation");
+        for r in &reports {
+            assert_ne!(r.source, PredictionSource::Multi, "{r:?}");
+            assert!(r.diagnostic.is_some(), "degraded loops need a diagnostic: {r:?}");
+        }
+        // Conservative fallbacks must predict serial.
+        for r in reports.iter().filter(|r| r.source == PredictionSource::ConservativeSerial) {
+            assert_eq!(r.prediction, 0);
+        }
+    }
+
+    #[test]
+    fn poisoned_model_falls_back_to_conservative_serial() {
+        let (m, f, i2v, mut model) = setup();
+        FaultPlan::new(11).poison_params(&mut model.params, 64);
+        let reports = classify_module(&mut model, &m, f, &i2v, &SampleConfig::default(), None, None);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_ne!(
+                r.source,
+                PredictionSource::Multi,
+                "poisoned weights must not be trusted: {r:?}"
+            );
+        }
+    }
+}

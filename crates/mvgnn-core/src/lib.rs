@@ -15,6 +15,10 @@
 //! - [`pipeline`]: end-to-end experiment driver producing every Table III
 //!   / Table IV row
 
+pub mod checkpoint;
+pub mod error;
+pub mod fault;
+pub mod infer;
 pub mod model;
 pub mod patterns;
 pub mod pipeline;
@@ -22,6 +26,10 @@ pub mod suggest;
 pub mod trainer;
 pub mod views;
 
+pub use checkpoint::{read_checkpoint, write_checkpoint, Checkpoint};
+pub use error::MvGnnError;
+pub use fault::FaultPlan;
+pub use infer::{classify_module, LoopReport, PredictionSource};
 pub use model::{MvGnn, MvGnnConfig, ViewMode};
 pub use pipeline::{evaluate_tools, evaluate_tools_with_noise, run_pipeline, PipelineConfig, PipelineReport};
 pub use patterns::{pattern_confusion, predict_pattern, train_patterns, PATTERN_CLASSES};

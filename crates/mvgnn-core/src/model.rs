@@ -239,6 +239,31 @@ impl MvGnn {
         mvgnn_tensor::load_params(&mut self.params, bytes)
     }
 
+    /// Predict with finiteness checking: any head whose logits contain
+    /// NaN/Inf reports `None` instead of an arbitrary argmax, so callers
+    /// can fall back to a healthy view (or a conservative default)
+    /// instead of trusting garbage.
+    pub fn predict_checked(&mut self, s: &GraphSample) -> CheckedPrediction {
+        let mut params = std::mem::take(&mut self.params);
+        let result = {
+            let mut tape = Tape::new(&mut params);
+            let fwd = self.forward_on(&mut tape, s);
+            let c = self.cfg.classes;
+            let check = |tape: &Tape<'_>, v| {
+                let data = tape.data(v);
+                data.iter().all(|x| x.is_finite()).then(|| argmax_rows(data, 1, c)[0])
+            };
+            let fused = check(&tape, fwd.logits);
+            CheckedPrediction {
+                fused,
+                node: fwd.node_logits.map_or(fused, |v| check(&tape, v)),
+                structural: fwd.struct_logits.map_or(fused, |v| check(&tape, v)),
+            }
+        };
+        self.params = params;
+        result
+    }
+
     /// Predict with all three heads: `(fused, node, struct)` — absent
     /// views repeat the fused prediction.
     pub fn predict_detailed(&mut self, s: &GraphSample) -> (usize, usize, usize) {
@@ -263,6 +288,18 @@ impl MvGnn {
         self.params = params;
         result
     }
+}
+
+/// Per-view predictions from [`MvGnn::predict_checked`]; a view is `None`
+/// when its logits were non-finite (absent views mirror the fused head).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckedPrediction {
+    /// The fused (multi-view) head.
+    pub fused: Option<usize>,
+    /// The node-view head.
+    pub node: Option<usize>,
+    /// The structure-view head.
+    pub structural: Option<usize>,
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 //! evaluates the auto-parallelisation tools, and produces the rows behind
 //! Tables III/IV and Figures 7/8.
 
+use crate::error::MvGnnError;
 use crate::model::{MvGnn, MvGnnConfig, ViewMode};
 use crate::trainer::{train, EpochStats, TrainConfig};
 use crate::views::{view_importance, ViewImportance};
@@ -120,9 +121,24 @@ const GROUPS: [(Option<Suite>, &str); 4] = [
 ];
 
 /// Run the learned-model half of the experiment.
-pub fn run_pipeline(cfg: &PipelineConfig) -> (PipelineReport, Dataset) {
+///
+/// Fails with [`MvGnnError::Config`] on an invalid configuration (zero
+/// restarts, out-of-range label noise, or a corpus that yields no
+/// training data) instead of panicking partway through.
+pub fn run_pipeline(cfg: &PipelineConfig) -> Result<(PipelineReport, Dataset), MvGnnError> {
+    if cfg.restarts == 0 {
+        return Err(MvGnnError::Config("restarts must be >= 1".into()));
+    }
+    if !cfg.corpus.label_noise.is_finite() || !(0.0..=1.0).contains(&cfg.corpus.label_noise) {
+        return Err(MvGnnError::Config(format!(
+            "label_noise must be in [0, 1], got {}",
+            cfg.corpus.label_noise
+        )));
+    }
     let ds = build_corpus(&cfg.corpus);
-    assert!(!ds.train.is_empty(), "corpus produced no training data");
+    if ds.train.is_empty() {
+        return Err(MvGnnError::Config("corpus produced no training data".into()));
+    }
     for (suite, name) in [(Suite::Npb, "NPB"), (Suite::PolyBench, "PolyBench"), (Suite::Bots, "BOTS")] {
         let n = ds.test_full.iter().filter(|s| s.suite == suite).count();
         eprintln!("[pipeline] {name} evaluation pool: {n} samples");
@@ -149,13 +165,15 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> (PipelineReport, Dataset) {
     let fit: Vec<LabeledSample> =
         ds.train.iter().filter(|s| !is_val(s)).cloned().collect();
     let val: Vec<LabeledSample> = ds.train.iter().filter(|s| is_val(s)).cloned().collect();
-    let train_best = |base: MvGnnConfig, restarts: usize| {
+    let train_best = |base: MvGnnConfig,
+                      restarts: usize|
+     -> Result<(MvGnn, Vec<EpochStats>), MvGnnError> {
         let mut best: Option<(f64, MvGnn, Vec<EpochStats>)> = None;
         for r in 0..restarts {
             let mut c = base.clone();
             c.seed = base.seed.wrapping_add(r as u64 * 0x9e37);
             let mut m = MvGnn::new(c);
-            let stats = train(&mut m, &fit, &cfg.train);
+            let stats = train(&mut m, &fit, &cfg.train)?;
             let score = if val.is_empty() {
                 stats.last().map(|e| e.accuracy as f64).unwrap_or(0.0)
             } else {
@@ -165,12 +183,15 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> (PipelineReport, Dataset) {
                 best = Some((score, m, stats));
             }
         }
-        let (_, m, stats) = best.expect("at least one restart");
-        (m, stats)
+        // `restarts >= 1` was validated up front, so the loop ran at least
+        // once; guard anyway rather than unwrap.
+        let (_, m, stats) = best
+            .ok_or_else(|| MvGnnError::Config("restarts must be >= 1".into()))?;
+        Ok((m, stats))
     };
 
     // MV-GNN (the paper's model).
-    let (mut mv, fig7) = train_best(mk_cfg(ViewMode::Multi, false), cfg.restarts);
+    let (mut mv, fig7) = train_best(mk_cfg(ViewMode::Multi, false), cfg.restarts)?;
     for (group, name) in GROUPS {
         if let Some(acc) = group_accuracy(&ds, group, |s| mv.predict(&s.sample)) {
             table3.push(Table3Row {
@@ -182,7 +203,7 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> (PipelineReport, Dataset) {
     }
 
     // Static GNN (Shen et al.): single node view, static features only.
-    let (mut static_gnn, _) = train_best(mk_cfg(ViewMode::NodeOnly, true), cfg.restarts);
+    let (mut static_gnn, _) = train_best(mk_cfg(ViewMode::NodeOnly, true), cfg.restarts)?;
     for (group, name) in GROUPS {
         if let Some(acc) = group_accuracy(&ds, group, |s| static_gnn.predict(&s.sample)) {
             table3.push(Table3Row {
@@ -269,7 +290,7 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> (PipelineReport, Dataset) {
     }
     table4.sort_by(|a, b| a.app.cmp(&b.app));
 
-    (PipelineReport { table3, fig7, fig8, table4 }, ds)
+    Ok((PipelineReport { table3, fig7, fig8, table4 }, ds))
 }
 
 /// Group all samples (train + test) of one suite by app, deduplicated to
@@ -384,8 +405,19 @@ mod tests {
     }
 
     #[test]
+    fn invalid_pipeline_configs_fail_fast() {
+        let zero_restarts = PipelineConfig { restarts: 0, ..tiny_pipeline_cfg() };
+        assert!(matches!(run_pipeline(&zero_restarts), Err(MvGnnError::Config(_))));
+        let mut bad_noise = tiny_pipeline_cfg();
+        bad_noise.corpus.label_noise = 1.5;
+        assert!(matches!(run_pipeline(&bad_noise), Err(MvGnnError::Config(_))));
+        bad_noise.corpus.label_noise = f64::NAN;
+        assert!(matches!(run_pipeline(&bad_noise), Err(MvGnnError::Config(_))));
+    }
+
+    #[test]
     fn pipeline_produces_all_artifacts() {
-        let (report, ds) = run_pipeline(&tiny_pipeline_cfg());
+        let (report, ds) = run_pipeline(&tiny_pipeline_cfg()).unwrap();
         assert!(!ds.train.is_empty());
         // Table III has rows for every learned model on the full dataset.
         let models: std::collections::HashSet<&str> =

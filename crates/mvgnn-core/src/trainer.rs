@@ -1,16 +1,30 @@
-//! Mini-batch training with rayon data-parallel gradient accumulation.
+//! Mini-batch training with rayon data-parallel gradient accumulation,
+//! divergence recovery, and checkpoint/resume.
 //!
 //! Each batch is split across worker threads; every worker clones the
 //! parameter store, accumulates gradients over its shard, and the shards
 //! are reduced into the master store before the optimizer step — the
 //! standard synchronous data-parallel scheme, safe by construction
 //! (no shared mutable state).
+//!
+//! Robustness: the trainer snapshots the weights after every completed
+//! epoch. If an epoch produces a non-finite loss or gradient norm it
+//! rolls back to the last good snapshot, halves the learning rate,
+//! resets the optimizer moments, and retries; after
+//! [`TrainConfig::max_retries`] rollbacks it gives up with
+//! [`MvGnnError::Diverged`]. When [`TrainConfig::checkpoint_path`] is
+//! set, each completed epoch is also persisted atomically so an
+//! interrupted run can continue via [`TrainConfig::resume_from`].
 
+use crate::checkpoint::{read_checkpoint, write_checkpoint, Checkpoint};
+use crate::error::MvGnnError;
+use crate::fault::FaultPlan;
 use crate::model::MvGnn;
 use mvgnn_dataset::LabeledSample;
 use mvgnn_tensor::optim::{clip_grad_norm, Adam};
 use mvgnn_tensor::tape::{argmax_rows, Params, Tape};
 use rayon::prelude::*;
+use std::path::PathBuf;
 
 /// Training hyperparameters.
 #[derive(Debug, Clone)]
@@ -31,11 +45,32 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Use rayon data-parallel gradient accumulation.
     pub parallel: bool,
+    /// Divergence rollbacks allowed before training fails.
+    pub max_retries: usize,
+    /// When set, write an atomic checkpoint here after every epoch.
+    pub checkpoint_path: Option<PathBuf>,
+    /// When set, restore weights/lr/telemetry from this checkpoint and
+    /// continue from the following epoch.
+    pub resume_from: Option<PathBuf>,
+    /// Deterministic fault injection (robustness tests only).
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 30, batch_size: 16, lr: 1e-3, clip: 10.0, aux_weight: 0.3, seed: 42, parallel: true }
+        Self {
+            epochs: 30,
+            batch_size: 16,
+            lr: 1e-3,
+            clip: 10.0,
+            aux_weight: 0.3,
+            seed: 42,
+            parallel: true,
+            max_retries: 3,
+            checkpoint_path: None,
+            resume_from: None,
+            fault: None,
+        }
     }
 }
 
@@ -93,45 +128,139 @@ fn shard_grads(
     (local, loss_sum, correct)
 }
 
+/// Outcome of one epoch over the data.
+enum EpochRun {
+    Done { loss: f32, accuracy: f32 },
+    /// A non-finite loss or gradient norm was observed; carries the
+    /// offending value for diagnostics.
+    Diverged { loss: f32 },
+}
+
+fn run_epoch(
+    model: &mut MvGnn,
+    data: &[LabeledSample],
+    order: &[usize],
+    cfg: &TrainConfig,
+    opt: &mut Adam,
+) -> EpochRun {
+    let mut epoch_loss = 0.0f64;
+    let mut epoch_correct = 0usize;
+    for batch_idx in order.chunks(cfg.batch_size) {
+        let batch: Vec<&LabeledSample> = batch_idx.iter().map(|&i| &data[i]).collect();
+        model.params.zero_grads();
+        let threads = if cfg.parallel { rayon::current_num_threads().max(1) } else { 1 };
+        let shard_size = batch.len().div_ceil(threads);
+        let results: Vec<(Params, f64, usize)> = if cfg.parallel && batch.len() > 1 {
+            batch
+                .par_chunks(shard_size)
+                .map(|shard| shard_grads(model, &model.params, shard, cfg.aux_weight))
+                .collect()
+        } else {
+            vec![shard_grads(model, &model.params, &batch, cfg.aux_weight)]
+        };
+        for (local, loss, correct) in results {
+            model.params.absorb_grads(&local);
+            epoch_loss += loss;
+            epoch_correct += correct;
+        }
+        // clip_grad_norm returns the PRE-clip norm, so a NaN/Inf gradient
+        // anywhere in the store surfaces here — bail before the optimizer
+        // step can smear it into the weights.
+        let grad_norm = clip_grad_norm(&mut model.params, cfg.clip);
+        if !grad_norm.is_finite() {
+            return EpochRun::Diverged { loss: (epoch_loss / data.len() as f64) as f32 };
+        }
+        opt.step(&mut model.params);
+    }
+    let loss = (epoch_loss / data.len() as f64) as f32;
+    if !loss.is_finite() {
+        return EpochRun::Diverged { loss };
+    }
+    EpochRun::Done { loss, accuracy: epoch_correct as f32 / data.len() as f32 }
+}
+
 /// Train the model; returns per-epoch telemetry.
-pub fn train(model: &mut MvGnn, data: &[LabeledSample], cfg: &TrainConfig) -> Vec<EpochStats> {
-    assert!(!data.is_empty(), "empty training set");
-    let mut opt = Adam::new(cfg.lr);
-    let mut stats = Vec::with_capacity(cfg.epochs);
+///
+/// Fails fast with [`MvGnnError::Config`] on an invalid configuration,
+/// and with [`MvGnnError::Diverged`] if training keeps producing
+/// non-finite losses after exhausting the rollback budget. `epochs == 0`
+/// is a valid no-op and returns an empty telemetry vector.
+pub fn train(
+    model: &mut MvGnn,
+    data: &[LabeledSample],
+    cfg: &TrainConfig,
+) -> Result<Vec<EpochStats>, MvGnnError> {
+    if data.is_empty() {
+        return Err(MvGnnError::Config("training set is empty".into()));
+    }
+    if cfg.batch_size == 0 {
+        return Err(MvGnnError::Config("batch_size must be >= 1".into()));
+    }
+    if !cfg.lr.is_finite() || cfg.lr <= 0.0 {
+        return Err(MvGnnError::Config(format!("lr must be finite and positive, got {}", cfg.lr)));
+    }
+    if cfg.epochs == 0 {
+        return Ok(Vec::new());
+    }
+
+    let mut lr = cfg.lr;
+    let mut retries = 0usize;
+    let mut stats: Vec<EpochStats> = Vec::with_capacity(cfg.epochs);
+    let mut start_epoch = 0usize;
+
+    if let Some(path) = &cfg.resume_from {
+        let cp = read_checkpoint(path)?;
+        model.load(&cp.weights)?;
+        lr = cp.lr;
+        retries = cp.retries;
+        stats = cp.stats;
+        start_epoch = cp.epoch + 1;
+    }
+
+    let mut opt = Adam::new(lr);
+    let mut last_good = model.save();
+    let mut fault_armed = cfg.fault.as_ref().and_then(|f| f.poison_at_epoch).is_some();
     let mut order: Vec<usize> = (0..data.len()).collect();
-    for epoch in 0..cfg.epochs {
+    let mut epoch = start_epoch;
+    while epoch < cfg.epochs {
+        if let Some(plan) = &cfg.fault {
+            if plan.poison_at_epoch == Some(epoch) && (fault_armed || plan.persistent) {
+                plan.poison_params(&mut model.params, 2);
+                fault_armed = false;
+            }
+        }
         // Deterministic shuffle.
         order.sort_by_key(|&i| mix(cfg.seed ^ epoch as u64, i as u64));
-        let mut epoch_loss = 0.0f64;
-        let mut epoch_correct = 0usize;
-        for batch_idx in order.chunks(cfg.batch_size) {
-            let batch: Vec<&LabeledSample> = batch_idx.iter().map(|&i| &data[i]).collect();
-            model.params.zero_grads();
-            let threads = if cfg.parallel { rayon::current_num_threads().max(1) } else { 1 };
-            let shard_size = batch.len().div_ceil(threads);
-            let results: Vec<(Params, f64, usize)> = if cfg.parallel && batch.len() > 1 {
-                batch
-                    .par_chunks(shard_size)
-                    .map(|shard| shard_grads(model, &model.params, shard, cfg.aux_weight))
-                    .collect()
-            } else {
-                vec![shard_grads(model, &model.params, &batch, cfg.aux_weight)]
-            };
-            for (local, loss, correct) in results {
-                model.params.absorb_grads(&local);
-                epoch_loss += loss;
-                epoch_correct += correct;
+        match run_epoch(model, data, &order, cfg, &mut opt) {
+            EpochRun::Done { loss, accuracy } => {
+                stats.push(EpochStats { epoch, loss, accuracy });
+                last_good = model.save();
+                if let Some(path) = &cfg.checkpoint_path {
+                    write_checkpoint(
+                        path,
+                        &Checkpoint {
+                            epoch,
+                            lr,
+                            retries,
+                            stats: stats.clone(),
+                            weights: last_good.to_vec(),
+                        },
+                    )?;
+                }
+                epoch += 1;
             }
-            clip_grad_norm(&mut model.params, cfg.clip);
-            opt.step(&mut model.params);
+            EpochRun::Diverged { loss } => {
+                if retries >= cfg.max_retries {
+                    return Err(MvGnnError::Diverged { epoch, retries, loss });
+                }
+                retries += 1;
+                lr *= 0.5;
+                model.load(&last_good)?;
+                opt = Adam::new(lr);
+            }
         }
-        stats.push(EpochStats {
-            epoch,
-            loss: (epoch_loss / data.len() as f64) as f32,
-            accuracy: epoch_correct as f32 / data.len() as f32,
-        });
     }
-    stats
+    Ok(stats)
 }
 
 /// Evaluate accuracy on a sample slice.
@@ -166,13 +295,17 @@ mod tests {
         })
     }
 
+    fn tiny_model(ds: &mvgnn_dataset::Dataset) -> MvGnn {
+        let s0 = &ds.train[0].sample;
+        MvGnn::new(MvGnnConfig::small(s0.node_dim, s0.aw_vocab))
+    }
+
     #[test]
     fn training_improves_over_initial() {
         let ds = tiny_dataset();
-        let s0 = &ds.train[0].sample;
-        let mut model = MvGnn::new(MvGnnConfig::small(s0.node_dim, s0.aw_vocab));
+        let mut model = tiny_model(&ds);
         let cfg = TrainConfig { epochs: 12, batch_size: 8, ..Default::default() };
-        let stats = train(&mut model, &ds.train, &cfg);
+        let stats = train(&mut model, &ds.train, &cfg).unwrap();
         assert_eq!(stats.len(), 12);
         let first = stats[0];
         let last = stats.last().unwrap();
@@ -190,17 +323,15 @@ mod tests {
         // Data-parallel reduction must be equivalent to serial
         // accumulation (up to f32 summation order; predictions agree).
         let ds = tiny_dataset();
-        let s0 = &ds.train[0].sample;
-        let mk = || MvGnn::new(MvGnnConfig::small(s0.node_dim, s0.aw_vocab));
         let run = |parallel: bool| {
-            let mut model = mk();
+            let mut model = tiny_model(&ds);
             let cfg = TrainConfig {
                 epochs: 3,
                 batch_size: 8,
                 parallel,
                 ..Default::default()
             };
-            train(&mut model, &ds.train, &cfg);
+            train(&mut model, &ds.train, &cfg).unwrap();
             ds.test.iter().map(|s| model.predict(&s.sample)).collect::<Vec<_>>()
         };
         let a = run(true);
@@ -216,9 +347,118 @@ mod tests {
     #[test]
     fn evaluate_reports_metrics() {
         let ds = tiny_dataset();
-        let s0 = &ds.train[0].sample;
-        let mut model = MvGnn::new(MvGnnConfig::small(s0.node_dim, s0.aw_vocab));
+        let mut model = tiny_model(&ds);
         let m = evaluate(&mut model, &ds.test);
         assert_eq!(m.total(), ds.test.len());
+    }
+
+    #[test]
+    fn zero_epochs_is_a_no_op() {
+        let ds = tiny_dataset();
+        let mut model = tiny_model(&ds);
+        let before = model.save();
+        let cfg = TrainConfig { epochs: 0, ..Default::default() };
+        let stats = train(&mut model, &ds.train, &cfg).unwrap();
+        assert!(stats.is_empty());
+        assert_eq!(&*model.save(), &*before, "weights must be untouched");
+    }
+
+    #[test]
+    fn invalid_configs_fail_fast() {
+        let ds = tiny_dataset();
+        let mut model = tiny_model(&ds);
+        let empty = train(&mut model, &[], &TrainConfig::default());
+        assert!(matches!(empty, Err(MvGnnError::Config(_))));
+        let bad_batch =
+            train(&mut model, &ds.train, &TrainConfig { batch_size: 0, ..Default::default() });
+        assert!(matches!(bad_batch, Err(MvGnnError::Config(_))));
+        let bad_lr =
+            train(&mut model, &ds.train, &TrainConfig { lr: f32::NAN, ..Default::default() });
+        assert!(matches!(bad_lr, Err(MvGnnError::Config(_))));
+    }
+
+    #[test]
+    fn divergence_rolls_back_and_recovers() {
+        let ds = tiny_dataset();
+        let mut model = tiny_model(&ds);
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 8,
+            fault: Some(FaultPlan::new(7).poison_weights_at(2)),
+            ..Default::default()
+        };
+        let stats = train(&mut model, &ds.train, &cfg).unwrap();
+        assert_eq!(stats.len(), 4, "all epochs must complete after rollback");
+        assert!(stats.iter().all(|s| s.loss.is_finite()));
+        // The recovered weights must be usable.
+        let m = evaluate(&mut model, &ds.test);
+        assert_eq!(m.total(), ds.test.len());
+    }
+
+    #[test]
+    fn persistent_divergence_exhausts_retries() {
+        let ds = tiny_dataset();
+        let mut model = tiny_model(&ds);
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 8,
+            max_retries: 2,
+            fault: Some(FaultPlan::new(7).poison_weights_at(1).persistent()),
+            ..Default::default()
+        };
+        match train(&mut model, &ds.train, &cfg) {
+            Err(MvGnnError::Diverged { epoch, retries, .. }) => {
+                assert_eq!(epoch, 1);
+                assert_eq!(retries, 2);
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_training() {
+        let dir = std::env::temp_dir().join("mvgnn_trainer_resume_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("train.ckpt");
+        let ds = tiny_dataset();
+
+        // Full 6-epoch reference run with checkpointing enabled.
+        let mut reference = tiny_model(&ds);
+        let full_cfg = TrainConfig {
+            epochs: 6,
+            batch_size: 8,
+            checkpoint_path: Some(ckpt.clone()),
+            ..Default::default()
+        };
+        let full = train(&mut reference, &ds.train, &full_cfg).unwrap();
+
+        // Interrupted run: stop after 3 epochs, then resume to 6.
+        let mut model = tiny_model(&ds);
+        let half_cfg = TrainConfig { epochs: 3, ..full_cfg.clone() };
+        train(&mut model, &ds.train, &half_cfg).unwrap();
+        let mut resumed = tiny_model(&ds);
+        let resume_cfg = TrainConfig { resume_from: Some(ckpt.clone()), ..full_cfg.clone() };
+        let rest = train(&mut resumed, &ds.train, &resume_cfg).unwrap();
+
+        assert_eq!(rest.len(), 6, "resume must carry prior telemetry forward");
+        assert_eq!(&rest[..3], &full[..3]);
+        let preds_full: Vec<usize> = ds.test.iter().map(|s| reference.predict(&s.sample)).collect();
+        let preds_res: Vec<usize> = ds.test.iter().map(|s| resumed.predict(&s.sample)).collect();
+        assert_eq!(preds_full, preds_res, "resumed run must match the uninterrupted one");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected_not_panicked() {
+        let dir = std::env::temp_dir().join("mvgnn_trainer_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("bad.ckpt");
+        std::fs::write(&ckpt, b"MVCKgarbage that is definitely not a checkpoint").unwrap();
+        let ds = tiny_dataset();
+        let mut model = tiny_model(&ds);
+        let cfg = TrainConfig { resume_from: Some(ckpt), epochs: 2, ..Default::default() };
+        let err = train(&mut model, &ds.train, &cfg).unwrap_err();
+        assert!(matches!(err, MvGnnError::Checkpoint(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

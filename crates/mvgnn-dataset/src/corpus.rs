@@ -106,6 +106,11 @@ pub fn base_key(app: &str, seed: u64, f: mvgnn_ir::module::FuncId, l: mvgnn_ir::
 
 /// Apply the deterministic annotation-noise rule to a ground-truth label.
 pub fn noisy_label(base_key: u64, corpus_seed: u64, noise: f64, label: usize) -> usize {
+    // A noise level is a probability; NaN or out-of-range values from
+    // callers that bypass the pipeline-level validation are clamped to
+    // [0, 1] rather than silently flipping more (or fewer) labels than
+    // any probability could.
+    let noise = if noise.is_nan() { 0.0 } else { noise.clamp(0.0, 1.0) };
     if noise > 0.0 {
         let roll = mix64(base_key ^ corpus_seed ^ 0x0a15e) as f64 / u64::MAX as f64;
         if roll < noise {
@@ -270,6 +275,30 @@ mod tests {
             seed: 77,
             label_noise: 0.0,
         }
+    }
+
+    #[test]
+    fn label_noise_boundaries_are_clamped() {
+        use mvgnn_ir::module::{FuncId, LoopId};
+        let keys: Vec<u64> = (0..200u64).map(|i| base_key("app", i, FuncId(0), LoopId(i as u32))).collect();
+        // 0.0 and anything below: identity.
+        for noise in [0.0, -0.1, f64::NEG_INFINITY, f64::NAN] {
+            assert!(
+                keys.iter().all(|&k| noisy_label(k, 7, noise, 1) == 1),
+                "noise {noise} must not flip labels"
+            );
+        }
+        // 1.0 and anything above: certain flip.
+        for noise in [1.0, 1.1, f64::INFINITY] {
+            assert!(
+                keys.iter().all(|&k| noisy_label(k, 7, noise, 1) == 0),
+                "noise {noise} must flip every label"
+            );
+        }
+        // Interior values flip roughly the requested fraction.
+        let flipped = keys.iter().filter(|&&k| noisy_label(k, 7, 0.3, 1) == 0).count();
+        let frac = flipped as f64 / keys.len() as f64;
+        assert!((0.15..=0.45).contains(&frac), "flip fraction {frac}");
     }
 
     #[test]

@@ -6,15 +6,12 @@
 
 /// Compute the SortPooling row order: indices of the rows of `keys`
 /// sorted descending, truncated to `k`. `keys` is one value per node (the
-/// last channel of the final GCN layer).
+/// last channel of the final GCN layer). NaN keys (a damaged model) get a
+/// deterministic total order rather than a panic — the non-finite logits
+/// they produce are rejected downstream.
 pub fn sort_order(keys: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..keys.len()).collect();
-    idx.sort_by(|&a, &b| {
-        keys[b]
-            .partial_cmp(&keys[a])
-            .expect("NaN sort key in SortPooling")
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| keys[b].total_cmp(&keys[a]).then(a.cmp(&b)));
     idx.truncate(k);
     idx
 }
@@ -46,5 +43,12 @@ mod tests {
     #[test]
     fn empty_input_is_fine() {
         assert!(sort_order(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn nan_keys_do_not_panic_and_stay_deterministic() {
+        let keys = [0.5, f32::NAN, 0.7, f32::NAN];
+        assert_eq!(sort_order(&keys, 4), sort_order(&keys, 4));
+        assert_eq!(sort_order(&keys, 4).len(), 4);
     }
 }

@@ -27,4 +27,7 @@ pub use analysis::{classify_loop, reduction_targets, LoopClass};
 pub use cu::{build_cus, CuGraph, CuId, CuInfo, CuKind};
 pub use deps::{DepGraph, DepKind, Dependence};
 pub use features::{loop_features, DynamicFeatures};
-pub use profiler::{profile_module, DependenceProfiler, LoopRuntime, ProfileResult};
+pub use profiler::{
+    profile_module, profile_module_resilient, DependenceProfiler, LoopRuntime, PartialProfile,
+    ProfileResult,
+};

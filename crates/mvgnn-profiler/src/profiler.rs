@@ -145,15 +145,22 @@ impl Tracer for DependenceProfiler {
     }
 
     fn on_loop_iter(&mut self, func: FuncId, l: LoopId) {
-        let top = self.stack.last_mut().expect("iter without active loop");
-        debug_assert_eq!((top.func, top.l), (func, l), "loop iter/stack mismatch");
-        top.iter += 1;
+        // A malformed event stream (iter with no enclosing enter) is
+        // tolerated: the iteration is still counted, only the carried-dep
+        // attribution for it is lost. Aborting here would take the whole
+        // profiling run down with it.
+        if let Some(top) = self.stack.last_mut() {
+            debug_assert_eq!((top.func, top.l), (func, l), "loop iter/stack mismatch");
+            top.iter += 1;
+        }
         self.loops.entry((func, l)).or_default().iterations += 1;
     }
 
     fn on_loop_exit(&mut self, func: FuncId, l: LoopId) {
-        let top = self.stack.pop().expect("exit without active loop");
-        debug_assert_eq!((top.func, top.l), (func, l), "loop exit/stack mismatch");
+        // Tolerate an unmatched exit for the same reason as on_loop_iter.
+        if let Some(top) = self.stack.pop() {
+            debug_assert_eq!((top.func, top.l), (func, l), "loop exit/stack mismatch");
+        }
     }
 }
 
@@ -193,6 +200,58 @@ pub fn profile_module_with_memory(
     let (ret, stats) = interp.run_with_memory(entry, args, mem, &mut prof)?;
     let (deps, loops) = prof.into_parts();
     Ok(ProfileResult { deps, loops, stats, ret })
+}
+
+/// What a resilient profiling run salvaged: the dependence state observed
+/// up to the point the execution stopped, plus the error (if any) that
+/// cut it short.
+#[derive(Debug)]
+pub struct PartialProfile {
+    /// Dependences observed before the stop (complete iff `error` is None).
+    pub deps: DepGraph,
+    /// Per-loop runtime counters observed before the stop.
+    pub loops: std::collections::HashMap<(FuncId, LoopId), LoopRuntime>,
+    /// Entry return value (None when the run was cut short).
+    pub ret: Option<Value>,
+    /// The fault that truncated the trace, if the run did not finish.
+    pub error: Option<InterpError>,
+}
+
+impl PartialProfile {
+    /// True when the trace ran to completion.
+    pub fn is_complete(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Profile with explicit interpreter budgets, keeping whatever dependence
+/// state was collected when the execution faults (step limit, call-depth
+/// limit, out-of-bounds, …) instead of discarding it. A truncated trace
+/// still yields the dependences and loop counters of the executed prefix,
+/// which downstream consumers can treat as a degraded (single-view or
+/// conservative) signal.
+pub fn profile_module_resilient(
+    module: &Module,
+    entry: FuncId,
+    args: &[Value],
+    max_steps: Option<u64>,
+    max_call_depth: Option<u32>,
+) -> PartialProfile {
+    let mut interp = Interpreter::new(module);
+    if let Some(n) = max_steps {
+        interp = interp.with_max_steps(n);
+    }
+    if let Some(n) = max_call_depth {
+        interp = interp.with_max_call_depth(n);
+    }
+    let mut mem = interp.fresh_memory();
+    let mut prof = DependenceProfiler::new();
+    let (ret, error) = match interp.run_with_memory(entry, args, &mut mem, &mut prof) {
+        Ok((ret, _stats)) => (ret, None),
+        Err(e) => (None, Some(e)),
+    };
+    let (deps, loops) = prof.into_parts();
+    PartialProfile { deps, loops, ret, error }
 }
 
 #[cfg(test)]
@@ -382,6 +441,23 @@ mod tests {
         assert_eq!(res.loops[&(f, outer)].iterations, 3);
         assert_eq!(res.loops[&(f, inner.unwrap())].entries, 3);
         assert_eq!(res.loops[&(f, inner.unwrap())].iterations, 15);
+    }
+
+    #[test]
+    fn resilient_profiling_salvages_a_truncated_trace() {
+        let (m, f, l) = doall_module(64);
+        // A starved step budget cuts the loop off mid-flight…
+        let partial = profile_module_resilient(&m, f, &[], Some(30), None);
+        assert!(matches!(partial.error, Some(InterpError::StepLimit(_))), "{:?}", partial.error);
+        assert!(!partial.is_complete());
+        // …but the executed prefix is still there.
+        let rt = partial.loops.get(&(f, l)).copied().unwrap_or_default();
+        assert!(rt.entries >= 1, "loop entry must survive truncation");
+        assert!(rt.iterations >= 1 && rt.iterations < 64, "{rt:?}");
+        // An adequate budget reports a complete run.
+        let full = profile_module_resilient(&m, f, &[], None, None);
+        assert!(full.is_complete());
+        assert_eq!(full.loops[&(f, l)].iterations, 64);
     }
 
     #[test]

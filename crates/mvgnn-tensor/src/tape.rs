@@ -728,14 +728,16 @@ impl<'p> Tape<'p> {
     }
 }
 
-/// Row-wise argmax of a logits matrix.
+/// Row-wise argmax of a logits matrix. NaN logits (a diverged or damaged
+/// model) are ordered by `total_cmp` instead of panicking — divergence is
+/// detected and handled by the callers' finiteness checks.
 pub fn argmax_rows(data: &[f32], rows: usize, cols: usize) -> Vec<usize> {
     assert_eq!(data.len(), rows * cols);
     data.chunks(cols)
         .map(|r| {
             r.iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN logits"))
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
                 .expect("non-empty row")
         })

@@ -26,7 +26,8 @@ fn main() {
     let probe = &ds.train[0].sample;
     let cfg = MvGnnConfig::small(probe.node_dim, probe.aw_vocab);
     let mut model = MvGnn::new(cfg.clone());
-    train(&mut model, &ds.train, &TrainConfig { epochs: 10, ..Default::default() });
+    train(&mut model, &ds.train, &TrainConfig { epochs: 10, ..Default::default() })
+        .expect("training must succeed");
     let metrics = evaluate(&mut model, &ds.test);
     println!("trained: {metrics}");
 

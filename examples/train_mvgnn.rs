@@ -32,7 +32,13 @@ fn main() {
     let mut model = MvGnn::new(MvGnnConfig::small(probe.node_dim, probe.aw_vocab));
     let cfg = TrainConfig { epochs: 20, batch_size: 16, ..Default::default() };
     println!("training MV-GNN ({} params)…", model.params.scalar_count());
-    let stats = train(&mut model, &ds.train, &cfg);
+    let stats = match train(&mut model, &ds.train, &cfg) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("training failed: {e}");
+            std::process::exit(1);
+        }
+    };
     for e in stats.iter().step_by(4) {
         println!("epoch {:>3}: loss {:.4} acc {:.3}", e.epoch, e.loss, e.accuracy);
     }

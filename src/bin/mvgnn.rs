@@ -12,7 +12,7 @@ use mvgnn::core::suggest::{annotate_function, Suggestion};
 use mvgnn::ir::interp::{Interpreter, NoTracer};
 use mvgnn::lang::compile;
 use mvgnn::peg::{build_peg, to_dot};
-use mvgnn::profiler::{build_cus, loop_features, profile_module};
+use mvgnn::profiler::{build_cus, loop_features, profile_module_resilient};
 
 fn usage() -> ! {
     eprintln!("usage: mvgnn <classify|dot|ir|run> <file.mv>");
@@ -59,32 +59,38 @@ fn main() {
             }
         },
         "dot" => {
-            let result = match profile_module(&module, entry, &[]) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("mvgnn: runtime error: {e}");
-                    std::process::exit(1);
-                }
-            };
+            // A partial trace still yields a (partial) PEG — better than
+            // aborting on a runaway or faulting program.
+            let result = profile_module_resilient(&module, entry, &[], None, None);
+            if let Some(e) = &result.error {
+                eprintln!("mvgnn: warning: trace incomplete ({e}); PEG reflects the executed prefix");
+            }
             let cus = build_cus(&module);
             let peg = build_peg(&module, &cus, &result.deps);
             print!("{}", to_dot(&peg.graph));
         }
         "classify" => {
-            let result = match profile_module(&module, entry, &[]) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("mvgnn: runtime error: {e}");
-                    std::process::exit(1);
-                }
-            };
+            let result = profile_module_resilient(&module, entry, &[], None, None);
+            if let Some(e) = &result.error {
+                eprintln!(
+                    "mvgnn: warning: trace incomplete ({e}); verdicts degrade conservatively"
+                );
+            }
             println!("{path}: {} loops\n", module.loop_count());
             for (line, l, suggestion) in annotate_function(&module, entry, &result.deps) {
                 let runtime = result.loops.get(&(entry, l)).copied().unwrap_or_default();
                 let feats = loop_features(&module, entry, l, &result.deps, &runtime);
-                let verdict = match &suggestion {
-                    Suggestion::Sequential(reason) => format!("sequential ({reason})"),
-                    other => other.pragma(),
+                // With an incomplete trace the dependence evidence is a
+                // lower bound: a loop the fault cut off entirely gets a
+                // conservative serial verdict, and any "parallel" verdict
+                // is flagged as based on a partial trace.
+                let verdict = match (&suggestion, &result.error) {
+                    (Suggestion::Sequential(reason), _) => format!("sequential ({reason})"),
+                    (_, Some(_)) if runtime.entries == 0 => {
+                        "sequential (conservative: loop not reached before the fault)".to_string()
+                    }
+                    (other, Some(_)) => format!("{} [partial trace]", other.pragma()),
+                    (other, None) => other.pragma(),
                 };
                 println!(
                     "loop {:>2} @ line {:>4}: {verdict}\n             trips {} | insts {} | cfl {} | esp {:.1} | deps {}/{}/{}",

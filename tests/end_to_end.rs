@@ -99,7 +99,8 @@ fn mvgnn_learns_above_chance() {
         &mut model,
         &ds.train,
         &TrainConfig { epochs: 15, batch_size: 12, ..Default::default() },
-    );
+    )
+    .expect("training must succeed");
     let m: Metrics = evaluate(&mut model, &ds.test);
     assert!(
         m.accuracy() > 0.65,

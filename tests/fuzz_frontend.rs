@@ -1,0 +1,93 @@
+//! Never-panic fuzzing of the two text front ends: the `.mv` language
+//! (lexer → parser → lowering) and the IR text parser. Any input —
+//! printable noise, raw bytes, token soup, or a mangled valid program —
+//! must come back as `Ok` or a typed error, never a panic.
+
+use mvgnn::core::FaultPlan;
+use mvgnn::ir::text::{parse_module, print_module};
+use mvgnn::lang::{compile, parse, tokenize};
+use proptest::prelude::*;
+
+const VALID: &str = r#"
+array a[32]: f64;
+array b[32]: f64;
+
+fn main() {
+    for i in 0..32 {
+        b[i] = a[i] * 2.0 + 1.0;
+    }
+    for i in 1..32 {
+        a[i] = a[i - 1] * 0.5;
+    }
+}
+"#;
+
+fn frontend_survives(src: &str) {
+    if let Ok(tokens) = tokenize(src) {
+        let _ = parse(&tokens);
+    }
+    let _ = compile(src);
+}
+
+/// Join random picks from the language's own vocabulary: inputs that lex
+/// cleanly but stress the parser and lowering far deeper than raw noise.
+fn token_soup(picks: &[u8]) -> String {
+    const VOCAB: &[&str] = &[
+        "fn", "for", "in", "array", "let", "if", "else", "return", "main", "i", "x", "a", "b",
+        "f64", "i64", "0", "1", "64", "2.5", "..", "{", "}", "(", ")", "[", "]", ";", ":", ",",
+        "=", "+", "-", "*", "/", "%", "<", ">", "==",
+    ];
+    picks
+        .iter()
+        .map(|&p| VOCAB[p as usize % VOCAB.len()])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Printable-ASCII noise through the whole .mv front end.
+    #[test]
+    fn lang_frontend_never_panics_on_printable_noise(src in "[ -~]{0,90}") {
+        frontend_survives(&src);
+    }
+
+    /// Arbitrary bytes (lossily decoded, so including newlines, control
+    /// characters and U+FFFD) through the whole .mv front end.
+    #[test]
+    fn lang_frontend_never_panics_on_raw_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..120)) {
+        frontend_survives(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// Well-lexed token soup: every pick is a legal token, so the parser
+    /// and lowering see deep, almost-valid structures.
+    #[test]
+    fn lang_frontend_never_panics_on_token_soup(picks in proptest::collection::vec(any::<u8>(), 0..60)) {
+        frontend_survives(&token_soup(&picks));
+    }
+
+    /// Seed-keyed corruption of a known-good program.
+    #[test]
+    fn lang_frontend_never_panics_on_mangled_valid_source(seed in 0u64..10_000, frac in 0.0f64..1.0) {
+        let plan = FaultPlan::new(seed);
+        frontend_survives(&plan.truncate_source(VALID, frac));
+        frontend_survives(&plan.mangle_source(VALID));
+    }
+
+    /// IR text parser on printable noise.
+    #[test]
+    fn ir_text_parser_never_panics_on_noise(src in "[ -~]{0,90}") {
+        let _ = parse_module(&src);
+    }
+
+    /// IR text parser on corrupted but realistic module listings.
+    #[test]
+    fn ir_text_parser_never_panics_on_mangled_listing(seed in 0u64..10_000, frac in 0.0f64..1.0) {
+        let m = compile(VALID).expect("reference program compiles");
+        let listing = print_module(&m);
+        let plan = FaultPlan::new(seed);
+        let _ = parse_module(&plan.truncate_source(&listing, frac));
+        let _ = parse_module(&plan.mangle_source(&listing));
+    }
+}

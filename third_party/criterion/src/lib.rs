@@ -1,0 +1,163 @@
+//! Hermetic stand-in for `criterion`. Each benchmark body runs a small
+//! fixed number of timed iterations and prints a single min-time line,
+//! so `cargo bench` smoke-tests the hot paths offline without the real
+//! statistics machinery.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Iterations per benchmark body; enough for a smoke signal, cheap
+/// enough for CI.
+const ITERS: u32 = 3;
+
+/// Opaque value-consumer mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+pub struct BenchmarkId {
+    function_id: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a displayable parameter.
+    pub fn new<P: Display>(function_id: impl Into<String>, parameter: P) -> Self {
+        Self {
+            function_id: function_id.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function_id, self.parameter)
+    }
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    best_ns: u128,
+}
+
+impl Bencher {
+    /// Run `routine` [`ITERS`] times, keeping the fastest wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..ITERS {
+            let start = Instant::now();
+            hint::black_box(routine());
+            let ns = start.elapsed().as_nanos();
+            self.best_ns = self.best_ns.min(ns);
+        }
+    }
+}
+
+fn run_one(name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { best_ns: u128::MAX };
+    f(&mut b);
+    if b.best_ns == u128::MAX {
+        println!("bench {name:<40} (no measurement)");
+    } else {
+        println!("bench {:<40} {:>12} ns/iter (min of {})", name, b.best_ns, ITERS);
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark keyed by a [`BenchmarkId`] with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark keyed by a plain name.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, f);
+        self
+    }
+
+    /// End the group (no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Fresh driver with default settings.
+    pub fn default() -> Self {
+        Self {}
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Standalone named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+}
+
+/// Declare a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bodies() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 1), &7u32, |b, &x| {
+            b.iter(|| ran += x)
+        });
+        group.finish();
+        assert_eq!(ran, 7 * ITERS);
+    }
+}

@@ -1,0 +1,46 @@
+//! Hermetic stand-in for `parking_lot`. The workspace declares but does
+//! not currently use it; thin wrappers over `std::sync` keep the common
+//! API available (poisoning is swallowed, matching parking_lot
+//! semantics).
+
+/// `std::sync::Mutex` with parking_lot's non-poisoning `lock()`.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Lock, ignoring poisoning.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consume the mutex.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// `std::sync::RwLock` with parking_lot's non-poisoning accessors.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Self(std::sync::RwLock::new(value))
+    }
+
+    /// Shared lock, ignoring poisoning.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Exclusive lock, ignoring poisoning.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}

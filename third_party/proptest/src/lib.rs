@@ -1,0 +1,687 @@
+//! Hermetic stand-in for `proptest`: a deterministic random-testing
+//! mini-engine exposing the strategy combinators and macros this
+//! workspace uses. No shrinking and no failure persistence — a failing
+//! case panics with its deterministic case index, which is enough to
+//! reproduce it (same test name + index → same inputs, every run).
+
+// Let the crate's own tests use `proptest::…` paths like downstream code.
+extern crate self as proptest;
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to execute per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// SplitMix64 generator seeded from the test name and case index, so
+    /// every run of a given test explores the identical input sequence.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Deterministic RNG for one (test, case) pair.
+        pub fn new(test_name: &str, case: u32) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut rng = Self {
+                state: h ^ (u64::from(case) << 32) ^ 0x9e37_79b9_7f4a_7c15,
+            };
+            rng.next_u64();
+            rng
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; panics when `n == 0`.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "TestRng::below(0)");
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A generator of random values of one type.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: `sample`
+    /// draws a concrete value directly.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from a strategy derived from it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Reject generated values failing a predicate.
+        fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence: whence.into(),
+                f,
+            }
+        }
+
+        /// Build recursive values: apply `recurse` to the strategy `depth`
+        /// times, mixing in the original leaf at every level so generated
+        /// trees stay bounded. The `_desired_size` / `_expected_branch`
+        /// hints of the real API are accepted and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                strat = Union::new(vec![leaf.clone(), recurse(strat).boxed()]).boxed();
+            }
+            strat
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            Self(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter '{}' rejected 1000 consecutive values", self.whence);
+        }
+    }
+
+    /// Uniform choice between same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Union over the given arms; panics when empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "empty prop_oneof!");
+            Self { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len());
+            self.arms[i].sample(rng)
+        }
+    }
+
+    /// Strategy always yielding a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    (*self.start() as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + rng.unit_f64() as $t * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    // --- tiny regex-subset string strategy --------------------------------
+
+    /// One regex atom: a literal or a character class.
+    enum Atom {
+        Lit(char),
+        /// Inclusive character ranges; single chars are `(c, c)`.
+        Class(Vec<(char, char)>),
+    }
+
+    impl Atom {
+        fn sample(&self, rng: &mut TestRng) -> char {
+            match self {
+                Atom::Lit(c) => *c,
+                Atom::Class(ranges) => {
+                    let total: u32 = ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+                    let mut k = rng.below(total as usize) as u32;
+                    for &(a, b) in ranges {
+                        let w = b as u32 - a as u32 + 1;
+                        if k < w {
+                            return char::from_u32(a as u32 + k).unwrap_or(a);
+                        }
+                        k -= w;
+                    }
+                    unreachable!()
+                }
+            }
+        }
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> (Atom, usize) {
+        let mut ranges = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let a = if chars[i] == '\\' {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                ranges.push((a, chars[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((a, a));
+                i += 1;
+            }
+        }
+        assert!(i < chars.len(), "unterminated character class in regex strategy");
+        (Atom::Class(ranges), i + 1)
+    }
+
+    fn parse_quantifier(chars: &[char], i: usize) -> (usize, usize, usize) {
+        match chars.get(i) {
+            Some('?') => (0, 1, i + 1),
+            Some('*') => (0, 8, i + 1),
+            Some('+') => (1, 8, i + 1),
+            Some('{') => {
+                let mut j = i + 1;
+                let mut lo = 0usize;
+                while chars[j].is_ascii_digit() {
+                    lo = lo * 10 + chars[j] as usize - '0' as usize;
+                    j += 1;
+                }
+                let hi = if chars[j] == ',' {
+                    j += 1;
+                    let mut h = 0usize;
+                    while chars[j].is_ascii_digit() {
+                        h = h * 10 + chars[j] as usize - '0' as usize;
+                        j += 1;
+                    }
+                    h
+                } else {
+                    lo
+                };
+                assert!(chars[j] == '}', "unterminated {{m,n}} in regex strategy");
+                (lo, hi, j + 1)
+            }
+            _ => (1, 1, i),
+        }
+    }
+
+    /// Sample a string from a small regex subset: literals, `.`,
+    /// `[a-z0-9_]`-style classes, and the `? * + {n} {m,n}` quantifiers.
+    pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let (atom, next) = match chars[i] {
+                '[' => parse_class(&chars, i + 1),
+                '.' => (Atom::Class(vec![(' ', '~')]), i + 1),
+                '\\' => (Atom::Lit(chars[i + 1]), i + 2),
+                c => (Atom::Lit(c), i + 1),
+            };
+            let (lo, hi, next) = parse_quantifier(&chars, next);
+            let n = lo + rng.below(hi - lo + 1);
+            for _ in 0..n {
+                out.push(atom.sample(rng));
+            }
+            i = next;
+        }
+        out
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            sample_regex(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical `any::<T>()` strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Mostly ASCII with an occasional wider scalar, mirroring the
+            // fuzz-friendly spread of real proptest.
+            if rng.below(8) == 0 {
+                char::from_u32(rng.next_u64() as u32 % 0xD800).unwrap_or('\u{fffd}')
+            } else {
+                char::from_u32(0x20 + rng.next_u64() as u32 % 0x5F).unwrap_or('?')
+            }
+        }
+    }
+
+    macro_rules! arbitrary_float {
+        ($($t:ident),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    match rng.below(16) {
+                        0 => $t::NAN,
+                        1 => $t::INFINITY,
+                        2 => $t::NEG_INFINITY,
+                        3 => 0.0,
+                        _ => (rng.unit_f64() as $t - 0.5) * 2.0e6,
+                    }
+                }
+            }
+        )*};
+    }
+
+    arbitrary_float!(f32, f64);
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            Self { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below(self.size.hi - self.size.lo + 1);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Vector strategy over an element strategy.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Define property tests: each `fn` runs `config.cases` deterministic
+/// random cases. Requires an explicit `#[test]` attribute on each
+/// property, exactly like the real macro.
+#[macro_export]
+macro_rules! proptest {
+    (@body $config:expr;) => {};
+    (@body $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::new(stringify!($name), case);
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)+
+                $body
+            }
+        }
+        $crate::proptest!(@body $config; $($rest)*);
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body $config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@body $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies with a shared value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let strat = proptest::collection::vec(0u32..100, 1..8);
+        let a = strat.sample(&mut TestRng::new("t", 3));
+        let b = strat.sample(&mut TestRng::new("t", 3));
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| x < 100));
+        assert!((1..8).contains(&a.len()));
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::new("re", 0);
+        for _ in 0..200 {
+            let s = crate::strategy::sample_regex("[a-z][a-z0-9]{0,5}", &mut rng);
+            assert!((1..=6).contains(&s.len()), "bad len: {s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro binds tuple patterns and honours strategies.
+        #[test]
+        fn macro_binds_patterns((n, v) in (2usize..10).prop_flat_map(|n| {
+            (Just(n), proptest::collection::vec(0..n, 1..4))
+        })) {
+            prop_assert!(n >= 2 && n < 10);
+            for x in v {
+                prop_assert!(x < n);
+            }
+        }
+
+        /// prop_oneof + recursive strategies produce bounded structures.
+        #[test]
+        fn recursive_strategies_terminate(depth in depth_strategy()) {
+            prop_assert!(count(&depth) <= 64, "runaway recursion: {depth:?}");
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf(u8),
+        Node(Vec<Tree>),
+    }
+
+    fn count(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(kids) => 1 + kids.iter().map(count).sum::<usize>(),
+        }
+    }
+
+    fn depth_strategy() -> impl Strategy<Value = Tree> {
+        any::<u8>().prop_map(Tree::Leaf).prop_recursive(3, 16, 3, |inner| {
+            proptest::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        })
+    }
+}

@@ -1,0 +1,114 @@
+//! Hermetic stand-in for the `rayon` crate.
+//!
+//! Every `par_*` entry point returns the corresponding **sequential**
+//! `std` iterator, so all downstream combinators (`map`, `flat_map`,
+//! `zip`, `for_each`, `collect`, …) are the ordinary [`Iterator`]
+//! methods. Results are identical to rayon's (the workspace only uses
+//! order-insensitive reductions); only wall-clock parallelism is lost.
+
+/// Number of worker threads in the (sequential) pool.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Run two closures "in parallel" (sequentially here).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Sequential re-exports of the rayon parallel-iterator traits.
+pub mod prelude {
+    /// `into_par_iter()` for owned collections and ranges.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in: the plain `into_iter`.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` for collections iterable by reference.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item iterator type.
+        type Iter: Iterator;
+        /// Sequential stand-in: the plain `iter`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `par_iter_mut()` for collections iterable by mutable reference.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Item iterator type.
+        type Iter: Iterator;
+        /// Sequential stand-in: the plain `iter_mut`.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    /// `par_chunks()` over shared slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in: the plain `chunks`.
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+    }
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(size)
+        }
+    }
+
+    /// `par_chunks_mut()` over mutable slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in: the plain `chunks_mut`.
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_behave_like_std() {
+        let v = vec![1, 2, 3, 4, 5];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+        let sums: Vec<i32> = v.par_chunks(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 7, 5]);
+        let squares: Vec<u32> = (0u32..4).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9]);
+        let mut buf = [1i32, 2, 3, 4];
+        buf.par_chunks_mut(2).for_each(|c| c.reverse());
+        assert_eq!(buf, [2, 1, 4, 3]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Hermetic stand-in for `serde`: marker traits plus the no-op derive
+//! macros from the sibling `serde_derive` stub. The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` annotations — no code path
+//! serialises through serde — so marker traits are sufficient.
+
+/// Marker for serialisable types (no methods in the stand-in).
+pub trait Serialize {}
+
+/// Marker for deserialisable types (no methods in the stand-in).
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker mirroring serde's owned-deserialisation helper.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

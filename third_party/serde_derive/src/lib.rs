@@ -1,0 +1,18 @@
+//! Hermetic stand-in for `serde_derive`: the derives expand to nothing.
+//! Nothing in this workspace serialises through serde — the attributes
+//! only mark types as serialisable for future tooling — so empty
+//! expansions keep every annotated type compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
