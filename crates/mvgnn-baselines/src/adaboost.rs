@@ -44,7 +44,7 @@ impl AdaBoost {
             .map(|d| {
                 let mut v: Vec<(f32, usize)> =
                     features.iter().enumerate().map(|(i, f)| (f[d], i)).collect();
-                v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN feature"));
+                v.sort_by(|a, b| a.0.total_cmp(&b.0));
                 v
             })
             .collect();

@@ -87,7 +87,7 @@ impl DecisionTree {
         for d in 0..dim {
             let mut vals: Vec<(f32, usize)> =
                 idx.iter().map(|&i| (features[i][d], labels[i])).collect();
-            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN feature"));
+            vals.sort_by(|a, b| a.0.total_cmp(&b.0));
             let mut left = [0usize; 2];
             let mut right = parent_counts;
             for w in 0..vals.len() - 1 {

@@ -1,0 +1,119 @@
+//! Inference-throughput benchmark: loops/sec for batched (packed
+//! `GraphBatch`) versus per-sample execution of the same model on the
+//! same loop population.
+//!
+//! Batched and per-sample inference are bit-identical (asserted here and
+//! property-tested in `tests/batch_parity.rs`), so this measures pure
+//! tape-amortisation: one packed program per chunk instead of one per
+//! loop. Emits `BENCH_throughput.json` next to the working directory for
+//! trend tracking.
+
+use mvgnn_bench::{pipeline_config, Scale};
+use mvgnn_core::{MvGnn, MvGnnConfig};
+use mvgnn_dataset::build_corpus;
+use mvgnn_embed::GraphSample;
+use std::time::Instant;
+
+const BATCH: usize = 32;
+
+/// Minimum length of one timing window; sub-millisecond windows are
+/// dominated by scheduler noise on a loaded machine.
+const MIN_WINDOW_SECS: f64 = 0.1;
+
+/// Repetitions of `f` needed to fill one [`MIN_WINDOW_SECS`] window.
+fn calibrate(f: &mut impl FnMut()) -> usize {
+    let t = Instant::now();
+    f();
+    let once = t.elapsed().as_secs_f64();
+    ((MIN_WINDOW_SECS / once.max(1e-9)).ceil() as usize).clamp(1, 10_000)
+}
+
+/// Best-of-`reps` wall time for one call of each of `f` and `g`, in
+/// seconds. The two measurements are interleaved window by window so a
+/// frequency or load shift on the host hits both paths alike instead of
+/// skewing whichever happened to run second; each window repeats its
+/// function enough to fill [`MIN_WINDOW_SECS`], so one descheduling blip
+/// cannot dominate a measurement.
+fn best_secs_pair(reps: usize, mut f: impl FnMut(), mut g: impl FnMut()) -> (f64, f64) {
+    let f_per = calibrate(&mut f);
+    let g_per = calibrate(&mut g);
+    let (mut best_f, mut best_g) = (f64::MAX, f64::MAX);
+    for _ in 0..reps {
+        let t = Instant::now();
+        for _ in 0..f_per {
+            f();
+        }
+        best_f = best_f.min(t.elapsed().as_secs_f64() / f_per as f64);
+        let t = Instant::now();
+        for _ in 0..g_per {
+            g();
+        }
+        best_g = best_g.min(t.elapsed().as_secs_f64() / g_per as f64);
+    }
+    (best_f, best_g)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = pipeline_config(scale);
+    eprintln!("[throughput] building corpus ({scale:?})…");
+    let ds = build_corpus(&cfg.corpus);
+    // Bench over the whole corpus (train + test): throughput is a property
+    // of the kernels, not of the split, and the larger population keeps
+    // most chunks at the full BATCH width.
+    let samples: Vec<&GraphSample> =
+        ds.train.iter().chain(ds.test.iter()).map(|s| &s.sample).collect();
+    let probe = samples[0];
+    let mut model = if cfg.paper_scale {
+        MvGnn::new(MvGnnConfig::paper(probe.node_dim, probe.aw_vocab))
+    } else {
+        MvGnn::new(MvGnnConfig::small(probe.node_dim, probe.aw_vocab))
+    };
+    let n = samples.len();
+    eprintln!("[throughput] {n} loops, batch size {BATCH}");
+
+    // Warm-up + parity assertion: the two paths must agree exactly.
+    let mut single_preds = Vec::with_capacity(n);
+    for s in &samples {
+        single_preds.push(model.predict(s));
+    }
+    let batched_preds: Vec<usize> =
+        samples.chunks(BATCH).flat_map(|c| model.predict_batch(c)).collect();
+    assert_eq!(single_preds, batched_preds, "batched/per-sample predictions diverged");
+
+    let reps = if scale == Scale::Quick { 5 } else { 7 };
+    // Both closures capture the model, so measure via raw pointer-free
+    // sequential borrows: RefCell keeps the closures independent.
+    let model = std::cell::RefCell::new(model);
+    let (t_single, t_batched) = best_secs_pair(
+        reps,
+        || {
+            let mut m = model.borrow_mut();
+            for s in &samples {
+                std::hint::black_box(m.predict(s));
+            }
+        },
+        || {
+            let mut m = model.borrow_mut();
+            for chunk in samples.chunks(BATCH) {
+                std::hint::black_box(m.predict_batch(chunk));
+            }
+        },
+    );
+
+    let single_lps = n as f64 / t_single;
+    let batched_lps = n as f64 / t_batched;
+    let speedup = batched_lps / single_lps;
+    println!("\nInference throughput ({n} loops, best of {reps}):");
+    println!("  per-sample : {single_lps:>10.1} loops/sec  ({t_single:.3} s)");
+    println!("  batched({BATCH:>2}): {batched_lps:>10.1} loops/sec  ({t_batched:.3} s)");
+    println!("  speedup    : {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"loops\": {n},\n  \"batch_size\": {BATCH},\n  \"reps\": {reps},\n  \
+         \"single_loops_per_sec\": {single_lps:.2},\n  \
+         \"batched_loops_per_sec\": {batched_lps:.2},\n  \"speedup\": {speedup:.3}\n}}\n"
+    );
+    mvgnn_bench::or_die(std::fs::write("BENCH_throughput.json", json));
+    eprintln!("[throughput] wrote BENCH_throughput.json");
+}

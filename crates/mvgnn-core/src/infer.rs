@@ -61,12 +61,30 @@ fn conservative(
     }
 }
 
+/// Samples per packed forward pass during module classification.
+const INFER_CHUNK: usize = 32;
+
+/// A loop that survived the pre-checks and awaits model inference.
+struct PendingLoop {
+    l: LoopId,
+    line: u32,
+    sample: mvgnn_embed::GraphSample,
+    empty_walks: bool,
+}
+
 /// Classify every loop of `entry` with the trained model.
 ///
 /// `max_steps`/`max_call_depth` bound the profiling interpreter (None
 /// keeps the defaults). The returned vector always covers every loop of
 /// the function: faults degrade individual loops, they never abort the
 /// batch.
+///
+/// Healthy loops are classified in packed batches of [`INFER_CHUNK`] —
+/// one tape per chunk instead of one per loop. Per-loop fault isolation
+/// is preserved: finiteness is judged per row, and any row showing a
+/// non-finite head is re-run through single-sample inference so its
+/// degradation path (view fallback, conservative serial) is decided
+/// exactly as before, in isolation from its chunk-mates.
 pub fn classify_module(
     model: &mut MvGnn,
     module: &Module,
@@ -81,14 +99,19 @@ pub fn classify_module(
     let cus = build_cus(module);
     let peg = build_peg(module, &cus, &partial.deps);
 
-    let mut reports = Vec::new();
-    for info in &module.funcs[entry.index()].loops {
+    // Pass 1 — pre-checks: anything that can fail before the model runs
+    // produces its conservative report immediately; the rest queue up
+    // for batched inference. Report slots keep the loop order.
+    let loops = &module.funcs[entry.index()].loops;
+    let mut reports: Vec<Option<LoopReport>> = (0..loops.len()).map(|_| None).collect();
+    let mut pending: Vec<(usize, PendingLoop)> = Vec::new();
+    for (slot, info) in loops.iter().enumerate() {
         let l = info.id;
         let line = info.line_span.0;
         let runtime = partial.loops.get(&(entry, l)).copied();
         if runtime.is_none() {
             if let Some(fault) = &trace_fault {
-                reports.push(conservative(
+                reports[slot] = Some(conservative(
                     entry,
                     l,
                     line,
@@ -101,12 +124,12 @@ pub fn classify_module(
         let feats = loop_features(module, entry, l, &partial.deps, &runtime);
         let sub = loop_subpeg(&peg, module, &cus, entry, l);
         if sub.graph.node_count() == 0 {
-            reports.push(conservative(entry, l, line, "empty sub-PEG"));
+            reports[slot] = Some(conservative(entry, l, line, "empty sub-PEG"));
             continue;
         }
         let sample = build_sample(&sub, inst2vec, &feats, sample_cfg, None);
         if sample.node_dim != model.cfg.node_dim || sample.aw_vocab != model.cfg.aw_vocab {
-            reports.push(conservative(
+            reports[slot] = Some(conservative(
                 entry,
                 l,
                 line,
@@ -118,49 +141,67 @@ pub fn classify_module(
             continue;
         }
         let empty_walks = sample.struct_dists.iter().all(|&x| x == 0.0);
-        let checked = model.predict_checked(&sample);
+        pending.push((slot, PendingLoop { l, line, sample, empty_walks }));
+    }
 
-        // Preference order degrades with the evidence: a clean trace and
-        // healthy walks trust the fused head; a truncated trace or empty
-        // walk distribution drops the structural signal and falls back to
-        // the node view; non-finite heads fall through to the next view.
-        let candidates: [(Option<usize>, PredictionSource); 3] =
-            if trace_fault.is_some() || empty_walks {
-                [
-                    (checked.node, PredictionSource::NodeOnly),
-                    (checked.structural, PredictionSource::StructOnly),
-                    (None, PredictionSource::ConservativeSerial),
-                ]
-            } else {
-                [
-                    (checked.fused, PredictionSource::Multi),
-                    (checked.node, PredictionSource::NodeOnly),
-                    (checked.structural, PredictionSource::StructOnly),
-                ]
-            };
-        let mut diagnostic = None;
-        if let Some(fault) = &trace_fault {
-            diagnostic = Some(format!("trace truncated: {fault}"));
-        } else if empty_walks {
-            diagnostic = Some("empty anonymous-walk distribution".into());
-        }
-        match candidates.iter().find_map(|(p, src)| p.map(|p| (p, *src))) {
-            Some((prediction, source)) => {
-                if source != PredictionSource::Multi && diagnostic.is_none() {
-                    diagnostic = Some("non-finite logits in the preferred view".into());
-                }
-                reports.push(LoopReport { func: entry, l, line, prediction, source, diagnostic });
-            }
-            None => {
-                let why = match diagnostic {
-                    Some(d) => format!("non-finite logits in every view ({d})"),
-                    None => "non-finite logits in every view".into(),
+    // Pass 2 — batched inference over the surviving loops.
+    for chunk in pending.chunks(INFER_CHUNK) {
+        let samples: Vec<&mvgnn_embed::GraphSample> =
+            chunk.iter().map(|(_, p)| &p.sample).collect();
+        let checked_rows = model.predict_checked_batch(&samples);
+        for ((slot, p), batch_checked) in chunk.iter().zip(checked_rows) {
+            // Per-graph fault fallback: a row with any non-finite head is
+            // re-run alone so its degradation verdict comes from the
+            // original single-sample path.
+            let faulty = batch_checked.fused.is_none()
+                || batch_checked.node.is_none()
+                || batch_checked.structural.is_none();
+            let checked =
+                if faulty { model.predict_checked(&p.sample) } else { batch_checked };
+
+            // Preference order degrades with the evidence: a clean trace
+            // and healthy walks trust the fused head; a truncated trace or
+            // empty walk distribution drops the structural signal and
+            // falls back to the node view; non-finite heads fall through
+            // to the next view.
+            let candidates: [(Option<usize>, PredictionSource); 3] =
+                if trace_fault.is_some() || p.empty_walks {
+                    [
+                        (checked.node, PredictionSource::NodeOnly),
+                        (checked.structural, PredictionSource::StructOnly),
+                        (None, PredictionSource::ConservativeSerial),
+                    ]
+                } else {
+                    [
+                        (checked.fused, PredictionSource::Multi),
+                        (checked.node, PredictionSource::NodeOnly),
+                        (checked.structural, PredictionSource::StructOnly),
+                    ]
                 };
-                reports.push(conservative(entry, l, line, why));
+            let mut diagnostic = None;
+            if let Some(fault) = &trace_fault {
+                diagnostic = Some(format!("trace truncated: {fault}"));
+            } else if p.empty_walks {
+                diagnostic = Some("empty anonymous-walk distribution".into());
             }
+            reports[*slot] = Some(match candidates.iter().find_map(|(pr, src)| pr.map(|pr| (pr, *src))) {
+                Some((prediction, source)) => {
+                    if source != PredictionSource::Multi && diagnostic.is_none() {
+                        diagnostic = Some("non-finite logits in the preferred view".into());
+                    }
+                    LoopReport { func: entry, l: p.l, line: p.line, prediction, source, diagnostic }
+                }
+                None => {
+                    let why = match diagnostic {
+                        Some(d) => format!("non-finite logits in every view ({d})"),
+                        None => "non-finite logits in every view".into(),
+                    };
+                    conservative(entry, p.l, p.line, why)
+                }
+            });
         }
     }
-    reports
+    reports.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

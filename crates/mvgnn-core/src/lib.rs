@@ -31,6 +31,7 @@ pub use error::MvGnnError;
 pub use fault::FaultPlan;
 pub use infer::{classify_module, LoopReport, PredictionSource};
 pub use model::{MvGnn, MvGnnConfig, ViewMode};
+pub use views::{NodeFeatureEncoder, StructuralEncoder, ViewEncoder};
 pub use pipeline::{evaluate_tools, evaluate_tools_with_noise, run_pipeline, PipelineConfig, PipelineReport};
 pub use patterns::{pattern_confusion, predict_pattern, train_patterns, PATTERN_CLASSES};
 pub use suggest::{annotate_function, suggest, Suggestion};

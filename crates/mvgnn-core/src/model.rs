@@ -1,8 +1,17 @@
-//! The MV-GNN model (paper Fig. 3).
+//! The MV-GNN model (paper Fig. 3), built from composable
+//! [`ViewEncoder`]s and executed over packed [`GraphBatch`]es.
+//!
+//! Every public prediction surface routes through one batched forward
+//! pass: a mini-batch of graphs becomes one block-diagonal tape program,
+//! and the per-sample entry points ([`MvGnn::forward_on`],
+//! [`MvGnn::predict`], …) are batch-of-one wrappers. Batched and
+//! per-sample execution are bit-identical — every primitive on the path
+//! is row- or segment-local — so batching is purely a throughput knob.
 
-use mvgnn_embed::GraphSample;
-use mvgnn_gnn::{Dgcnn, DgcnnConfig};
-use mvgnn_nn::{Embedding, Linear};
+use crate::views::{NodeFeatureEncoder, StructuralEncoder, ViewEncoder};
+use mvgnn_embed::{GraphBatch, GraphSample};
+use mvgnn_gnn::DgcnnConfig;
+use mvgnn_nn::Linear;
 use mvgnn_tensor::init;
 use mvgnn_tensor::tape::{argmax_rows, Params, Tape, Var};
 use rand::rngs::StdRng;
@@ -109,122 +118,173 @@ pub struct Forward {
     pub struct_logits: Option<Var>,
 }
 
-/// The multi-view GNN.
+/// Model outputs for a packed batch; every logit tensor has one row per
+/// graph of the batch.
+pub struct ForwardBatch {
+    /// Fused logits (or the active single view's logits),
+    /// `batch × classes`.
+    pub logits: Var,
+    /// Per-view auxiliary logits, aligned with the model's view list
+    /// (`None` for views the [`ViewMode`] disables).
+    pub view_logits: Vec<Option<Var>>,
+}
+
+/// The multi-view GNN: an ordered list of [`ViewEncoder`]s whose
+/// per-graph representations are fused by `W·tanh(h_1 ⊕ … ⊕ h_v) + b`
+/// (paper Eq. 5) and classified by a shared head, with one auxiliary head
+/// per view for the Fig. 8 analysis.
 pub struct MvGnn {
     /// Configuration (public for ablation drivers).
     pub cfg: MvGnnConfig,
     /// Persistent parameters.
     pub params: Params,
-    node_view: Dgcnn,
-    struct_view: Dgcnn,
-    aw_embed: Embedding,
+    views: Vec<Box<dyn ViewEncoder>>,
     fusion: Linear,
     head: Linear,
-    node_head: Linear,
-    struct_head: Linear,
+    view_heads: Vec<Linear>,
 }
 
 impl MvGnn {
-    /// Register all parameters.
+    /// Register all parameters. Construction order fixes the checkpoint
+    /// layout: node encoder (`node.*`), structural encoder (`struct.*`,
+    /// `aw.table`), `fusion`, `head`, then the per-view auxiliary heads —
+    /// identical to the historical field-per-view layout, so existing
+    /// checkpoints load unchanged.
     pub fn new(cfg: MvGnnConfig) -> Self {
         let mut params = Params::new();
         let mut rng: StdRng = init::rng(cfg.seed);
         assert_eq!(cfg.struct_dgcnn.in_dim, cfg.aw_dim, "struct view consumes AW embeddings");
         assert_eq!(cfg.node_dgcnn.in_dim, cfg.node_dim, "node view consumes node features");
-        let node_view = Dgcnn::new(&mut params, "node", cfg.node_dgcnn.clone(), &mut rng);
-        let struct_view = Dgcnn::new(&mut params, "struct", cfg.struct_dgcnn.clone(), &mut rng);
-        let aw_embed = Embedding::new(&mut params, "aw", cfg.aw_vocab, cfg.aw_dim, &mut rng);
-        let fused_in = cfg.node_dgcnn.embed_dim() + cfg.struct_dgcnn.embed_dim();
+        let views: Vec<Box<dyn ViewEncoder>> = vec![
+            Box::new(NodeFeatureEncoder::new(
+                &mut params,
+                "node",
+                cfg.node_dgcnn.clone(),
+                cfg.drop_dynamic,
+                &mut rng,
+            )),
+            Box::new(StructuralEncoder::new(
+                &mut params,
+                "struct",
+                cfg.struct_dgcnn.clone(),
+                cfg.aw_vocab,
+                cfg.aw_dim,
+                &mut rng,
+            )),
+        ];
+        let fused_in: usize = views.iter().map(|v| v.embed_dim()).sum();
         let fusion = Linear::new(&mut params, "fusion", fused_in, cfg.fusion_dim, true, &mut rng);
         let head = Linear::new(&mut params, "head", cfg.fusion_dim, cfg.classes, true, &mut rng);
-        let node_head = Linear::new(
-            &mut params,
-            "node_head",
-            cfg.node_dgcnn.embed_dim(),
-            cfg.classes,
-            true,
-            &mut rng,
-        );
-        let struct_head = Linear::new(
-            &mut params,
-            "struct_head",
-            cfg.struct_dgcnn.embed_dim(),
-            cfg.classes,
-            true,
-            &mut rng,
-        );
-        Self { cfg, params, node_view, struct_view, aw_embed, fusion, head, node_head, struct_head }
+        let view_heads: Vec<Linear> = views
+            .iter()
+            .map(|v| {
+                Linear::new(
+                    &mut params,
+                    &format!("{}_head", v.name()),
+                    v.embed_dim(),
+                    cfg.classes,
+                    true,
+                    &mut rng,
+                )
+            })
+            .collect();
+        Self { cfg, params, views, fusion, head, view_heads }
     }
 
-    /// Node-feature matrix of a sample, honouring `drop_dynamic`: the
-    /// static-only configuration (Shen et al.) zeroes the Table I vector
-    /// *and* erases what only a profiler can know about edges — the
-    /// carried/loop-independent distinction is merged into one dep count.
-    fn node_feature_input(&self, tape: &mut Tape<'_>, s: &GraphSample) -> Var {
-        let mut feats = s.node_feats.clone();
-        if self.cfg.drop_dynamic {
-            let dyn_dim = mvgnn_profiler::DynamicFeatures::DIM;
-            let edge_dim = mvgnn_embed::sample::EDGE_DIM;
-            for r in 0..s.n {
-                let off = r * s.node_dim + (s.node_dim - dyn_dim);
-                feats[off..off + dyn_dim].fill(0.0);
-                // Edge census layout: [defuse o/i, carried RAW o/i,
-                // carried WAR o/i, carried WAW o/i, indep o/i, hier o/i];
-                // the dep counts come from profiling, so the static-only
-                // model loses them entirely (def-use and hierarchy are
-                // static facts and stay).
-                let eoff = r * s.node_dim + (s.node_dim - dyn_dim - edge_dim);
-                feats[eoff + 2..eoff + 10].fill(0.0);
-            }
-        }
-        tape.input(feats, s.n, s.node_dim)
+    /// Which views the configured [`ViewMode`] activates, aligned with the
+    /// view list.
+    fn active_views(&self) -> Vec<bool> {
+        self.views
+            .iter()
+            .map(|v| match self.cfg.mode {
+                ViewMode::Multi => true,
+                ViewMode::NodeOnly => v.name() == "node",
+                ViewMode::StructOnly => v.name() == "struct",
+            })
+            .collect()
     }
 
-    /// Record the forward pass for one sample. The caller owns the tape so
-    /// training can attach losses; `Self::params` must back the tape.
-    pub fn forward_on(
-        &self,
-        tape: &mut Tape<'_>,
-        s: &GraphSample,
-    ) -> Forward {
-        assert_eq!(s.node_dim, self.cfg.node_dim, "sample/node-dim mismatch");
-        assert_eq!(s.aw_vocab, self.cfg.aw_vocab, "sample/AW-vocab mismatch");
-        let use_node = self.cfg.mode != ViewMode::StructOnly;
-        let use_struct = self.cfg.mode != ViewMode::NodeOnly;
+    /// Record the forward pass for a packed batch. The caller owns the
+    /// tape so training can attach losses; `Self::params` must back the
+    /// tape. Row `g` of every output depends only on graph `g`.
+    pub fn forward_batch(&self, tape: &mut Tape<'_>, batch: &GraphBatch) -> ForwardBatch {
+        assert_eq!(batch.node_dim, self.cfg.node_dim, "sample/node-dim mismatch");
+        assert_eq!(batch.aw_vocab, self.cfg.aw_vocab, "sample/AW-vocab mismatch");
+        let active = self.active_views();
 
-        let mut node_embed = None;
-        if use_node {
-            let x = self.node_feature_input(tape, s);
-            node_embed = Some(self.node_view.embed(tape, &s.adj, x));
-        }
-        let mut struct_embed = None;
-        if use_struct {
-            let dists = tape.input(s.struct_dists.clone(), s.n, s.aw_vocab);
-            let emb = self.aw_embed.forward_soft(tape, dists);
-            struct_embed = Some(self.struct_view.embed(tape, &s.adj, emb));
-        }
+        let embeds: Vec<Option<Var>> = self
+            .views
+            .iter()
+            .zip(&active)
+            .map(|(v, &on)| on.then(|| v.encode_batch(tape, batch)))
+            .collect();
+        let view_logits: Vec<Option<Var>> = embeds
+            .iter()
+            .zip(&self.view_heads)
+            .map(|(e, h)| e.map(|e| h.forward(tape, e)))
+            .collect();
 
-        let node_logits = node_embed.map(|e| self.node_head.forward(tape, e));
-        let struct_logits = struct_embed.map(|e| self.struct_head.forward(tape, e));
-
-        let logits = match (node_embed, struct_embed) {
-            (Some(n), Some(st)) => {
-                // h = W·tanh(h_n ⊕ h_s) + b  (paper Eq. 5), then the head.
-                let cat = tape.concat_cols(n, st);
-                let t = tape.tanh(cat);
-                let fused = self.fusion.forward(tape, t);
-                self.head.forward(tape, fused)
+        let live: Vec<Var> = embeds.iter().copied().flatten().collect();
+        let logits = if live.len() == self.views.len() {
+            // h = W·tanh(h_1 ⊕ … ⊕ h_v) + b  (paper Eq. 5), then the head.
+            let mut cat = live[0];
+            for &e in &live[1..] {
+                cat = tape.concat_cols(cat, e);
             }
-            (Some(_), None) => node_logits.expect("node head exists"),
-            (None, Some(_)) => struct_logits.expect("struct head exists"),
-            (None, None) => unreachable!("at least one view is always active"),
+            let t = tape.tanh(cat);
+            let fused = self.fusion.forward(tape, t);
+            self.head.forward(tape, fused)
+        } else {
+            // Single-view mode: that view's head IS the model output.
+            view_logits
+                .iter()
+                .copied()
+                .flatten()
+                .next()
+                .expect("at least one view is always active")
         };
-        Forward { logits, node_logits, struct_logits }
+        ForwardBatch { logits, view_logits }
+    }
+
+    /// Record the forward pass for one sample — a batch-of-one call into
+    /// [`Self::forward_batch`].
+    pub fn forward_on(&self, tape: &mut Tape<'_>, s: &GraphSample) -> Forward {
+        let batch = GraphBatch::single(s);
+        let fwd = self.forward_batch(tape, &batch);
+        let by_name = |name: &str| {
+            self.views
+                .iter()
+                .position(|v| v.name() == name)
+                .and_then(|i| fwd.view_logits[i])
+        };
+        Forward {
+            logits: fwd.logits,
+            node_logits: by_name("node"),
+            struct_logits: by_name("struct"),
+        }
     }
 
     /// Predict the class of one sample (inference only).
     pub fn predict(&mut self, s: &GraphSample) -> usize {
         self.predict_detailed(s).0
+    }
+
+    /// Predict classes for a slice of samples with one packed forward
+    /// pass per call. Identical to mapping [`Self::predict`] (row-local
+    /// execution), just faster.
+    pub fn predict_batch(&mut self, samples: &[&GraphSample]) -> Vec<usize> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let batch = GraphBatch::from_samples(samples);
+        let mut params = std::mem::take(&mut self.params);
+        let result = {
+            let mut tape = Tape::new(&mut params);
+            let fwd = self.forward_batch(&mut tape, &batch);
+            argmax_rows(tape.data(fwd.logits), samples.len(), self.cfg.classes)
+        };
+        self.params = params;
+        result
     }
 
     /// Serialise the trained weights (architecture config not included;
@@ -244,21 +304,44 @@ impl MvGnn {
     /// can fall back to a healthy view (or a conservative default)
     /// instead of trusting garbage.
     pub fn predict_checked(&mut self, s: &GraphSample) -> CheckedPrediction {
+        self.predict_checked_batch(&[s]).pop().expect("batch of one")
+    }
+
+    /// [`Self::predict_checked`] over a packed batch, one
+    /// [`CheckedPrediction`] per sample. Finiteness is judged per row, so
+    /// one sample's non-finite logits never contaminate its neighbours'
+    /// verdicts.
+    pub fn predict_checked_batch(&mut self, samples: &[&GraphSample]) -> Vec<CheckedPrediction> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let batch = GraphBatch::from_samples(samples);
         let mut params = std::mem::take(&mut self.params);
         let result = {
             let mut tape = Tape::new(&mut params);
-            let fwd = self.forward_on(&mut tape, s);
+            let fwd = self.forward_batch(&mut tape, &batch);
             let c = self.cfg.classes;
-            let check = |tape: &Tape<'_>, v| {
-                let data = tape.data(v);
-                data.iter().all(|x| x.is_finite()).then(|| argmax_rows(data, 1, c)[0])
+            let check_row = |tape: &Tape<'_>, v: Var, g: usize| {
+                let row = &tape.data(v)[g * c..(g + 1) * c];
+                row.iter().all(|x| x.is_finite()).then(|| argmax_rows(row, 1, c)[0])
             };
-            let fused = check(&tape, fwd.logits);
-            CheckedPrediction {
-                fused,
-                node: fwd.node_logits.map_or(fused, |v| check(&tape, v)),
-                structural: fwd.struct_logits.map_or(fused, |v| check(&tape, v)),
-            }
+            let by_name = |name: &str| {
+                self.views
+                    .iter()
+                    .position(|v| v.name() == name)
+                    .and_then(|i| fwd.view_logits[i])
+            };
+            let (node_v, struct_v) = (by_name("node"), by_name("struct"));
+            (0..samples.len())
+                .map(|g| {
+                    let fused = check_row(&tape, fwd.logits, g);
+                    CheckedPrediction {
+                        fused,
+                        node: node_v.map_or(fused, |v| check_row(&tape, v, g)),
+                        structural: struct_v.map_or(fused, |v| check_row(&tape, v, g)),
+                    }
+                })
+                .collect()
         };
         self.params = params;
         result
@@ -267,23 +350,45 @@ impl MvGnn {
     /// Predict with all three heads: `(fused, node, struct)` — absent
     /// views repeat the fused prediction.
     pub fn predict_detailed(&mut self, s: &GraphSample) -> (usize, usize, usize) {
+        self.predict_detailed_batch(&[s]).pop().expect("batch of one")
+    }
+
+    /// [`Self::predict_detailed`] over a packed batch.
+    pub fn predict_detailed_batch(
+        &mut self,
+        samples: &[&GraphSample],
+    ) -> Vec<(usize, usize, usize)> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let batch = GraphBatch::from_samples(samples);
         // Split borrow: move params out, run against a detached tape,
         // put it back. Params is cheap to move (Vec of Vecs).
         let mut params = std::mem::take(&mut self.params);
         let result = {
             let mut tape = Tape::new(&mut params);
-            let fwd = self.forward_on(&mut tape, s);
+            let fwd = self.forward_batch(&mut tape, &batch);
             let c = self.cfg.classes;
-            let fused = argmax_rows(tape.data(fwd.logits), 1, c)[0];
-            let node = fwd
-                .node_logits
-                .map(|v| argmax_rows(tape.data(v), 1, c)[0])
-                .unwrap_or(fused);
-            let st = fwd
-                .struct_logits
-                .map(|v| argmax_rows(tape.data(v), 1, c)[0])
-                .unwrap_or(fused);
-            (fused, node, st)
+            let rows = samples.len();
+            let fused = argmax_rows(tape.data(fwd.logits), rows, c);
+            let by_name = |name: &str| {
+                self.views
+                    .iter()
+                    .position(|v| v.name() == name)
+                    .and_then(|i| fwd.view_logits[i])
+                    .map(|v| argmax_rows(tape.data(v), rows, c))
+            };
+            let node = by_name("node");
+            let st = by_name("struct");
+            (0..rows)
+                .map(|g| {
+                    (
+                        fused[g],
+                        node.as_ref().map_or(fused[g], |n| n[g]),
+                        st.as_ref().map_or(fused[g], |s| s[g]),
+                    )
+                })
+                .collect()
         };
         self.params = params;
         result

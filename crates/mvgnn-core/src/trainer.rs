@@ -21,6 +21,7 @@ use crate::error::MvGnnError;
 use crate::fault::FaultPlan;
 use crate::model::MvGnn;
 use mvgnn_dataset::LabeledSample;
+use mvgnn_embed::GraphBatch;
 use mvgnn_tensor::optim::{clip_grad_norm, Adam};
 use mvgnn_tensor::tape::{argmax_rows, Params, Tape};
 use rayon::prelude::*;
@@ -91,8 +92,14 @@ fn mix(seed: u64, v: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Gradient accumulation over one shard; returns (params-with-grads,
-/// summed loss, correct count).
+/// Gradient accumulation over one shard — a single packed forward and
+/// backward pass over every sample of the shard; returns
+/// (params-with-grads, summed loss, correct count).
+///
+/// `softmax_ce` averages over the batch rows, so the loss is rescaled by
+/// the shard size before `backward` to keep the historical
+/// sum-of-per-sample-losses gradient semantics: shard boundaries change
+/// only f32 summation order, never the math.
 fn shard_grads(
     model: &MvGnn,
     base: &Params,
@@ -101,30 +108,32 @@ fn shard_grads(
 ) -> (Params, f64, usize) {
     let mut local = base.clone();
     local.zero_grads();
-    let mut loss_sum = 0.0f64;
-    let mut correct = 0usize;
     let temperature = model.cfg.temperature;
-    for s in shard {
-        let mut tape = Tape::new(&mut local);
-        let fwd = model.forward_on(&mut tape, &s.sample);
-        let pred = argmax_rows(tape.data(fwd.logits), 1, 2)[0];
-        if pred == s.label {
-            correct += 1;
+    let classes = model.cfg.classes;
+    let samples: Vec<&mvgnn_embed::GraphSample> = shard.iter().map(|s| &s.sample).collect();
+    let labels: Vec<usize> = shard.iter().map(|s| s.label).collect();
+    let batch = GraphBatch::from_samples(&samples);
+
+    let mut tape = Tape::new(&mut local);
+    let fwd = model.forward_batch(&mut tape, &batch);
+    let preds = argmax_rows(tape.data(fwd.logits), shard.len(), classes);
+    let correct = preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+
+    let mut loss = tape.softmax_ce(fwd.logits, &labels, temperature);
+    for aux in fwd.view_logits.iter().copied().flatten() {
+        // In single-view modes the view head IS the main head; adding
+        // its loss again would double-count.
+        if aux == fwd.logits {
+            continue;
         }
-        let mut loss = tape.softmax_ce(fwd.logits, &[s.label], temperature);
-        for aux in [fwd.node_logits, fwd.struct_logits].into_iter().flatten() {
-            // In single-view modes the view head IS the main head; adding
-            // its loss again would double-count.
-            if aux == fwd.logits {
-                continue;
-            }
-            let al = tape.softmax_ce(aux, &[s.label], temperature);
-            let scaled = tape.scale(al, aux_weight);
-            loss = tape.add(loss, scaled);
-        }
-        loss_sum += tape.data(loss)[0] as f64;
-        tape.backward(loss);
+        let al = tape.softmax_ce(aux, &labels, temperature);
+        let scaled = tape.scale(al, aux_weight);
+        loss = tape.add(loss, scaled);
     }
+    let total = tape.scale(loss, shard.len() as f32);
+    let loss_sum = tape.data(total)[0] as f64;
+    tape.backward(total);
+    drop(tape);
     (local, loss_sum, correct)
 }
 
@@ -263,12 +272,15 @@ pub fn train(
     Ok(stats)
 }
 
-/// Evaluate accuracy on a sample slice.
+/// Evaluate accuracy on a sample slice (packed batched inference;
+/// predictions match the per-sample path exactly).
 pub fn evaluate(model: &mut MvGnn, data: &[LabeledSample]) -> mvgnn_baselines::Metrics {
     let mut m = mvgnn_baselines::Metrics::default();
-    for s in data {
-        let pred = model.predict(&s.sample);
-        m.record(pred, s.label);
+    for chunk in data.chunks(32) {
+        let samples: Vec<&mvgnn_embed::GraphSample> = chunk.iter().map(|s| &s.sample).collect();
+        for (pred, s) in model.predict_batch(&samples).into_iter().zip(chunk) {
+            m.record(pred, s.label);
+        }
     }
     m
 }

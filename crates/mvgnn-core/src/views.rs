@@ -1,11 +1,144 @@
-//! View-importance analysis (paper Fig. 8).
+//! The view abstraction and view-importance analysis (paper Fig. 8).
 //!
-//! For each benchmark the paper counts parallel loops identified by the
-//! multi-view model (`N_multi`) and by each single view (`N_n`, `N_s`),
-//! reporting `IMP_view = N_view / N_multi`.
+//! A *view* is one way of looking at a loop sub-PEG: the paper uses a
+//! node-feature view (inst2vec ⊕ node kind ⊕ Table I dynamics) and a
+//! structural view (anonymous-walk distributions through a learned
+//! embedding table). [`ViewEncoder`] is the common surface — each encoder
+//! turns a packed [`GraphBatch`] into a `batch × embed_dim` representation
+//! on the tape — and the fusion layer of [`MvGnn`] composes whatever list
+//! of views it is given. Adding a third view is implementing this trait.
+//!
+//! The second half of the module is the Fig. 8 analysis: for each
+//! benchmark the paper counts parallel loops identified by the multi-view
+//! model (`N_multi`) and by each single view (`N_n`, `N_s`), reporting
+//! `IMP_view = N_view / N_multi`.
 
 use crate::model::MvGnn;
 use mvgnn_dataset::LabeledSample;
+use mvgnn_embed::GraphBatch;
+use mvgnn_gnn::{Dgcnn, DgcnnConfig};
+use mvgnn_nn::Embedding;
+use mvgnn_tensor::tape::{Params, Tape, Var};
+use rand::rngs::StdRng;
+
+/// One way of encoding a packed batch of loop graphs into fixed-width
+/// per-graph representations. Implementations register their parameters
+/// at construction and are pure at call time, so a shared reference can
+/// run on worker threads (rayon gradient shards).
+pub trait ViewEncoder: Send + Sync {
+    /// Stable view name ("node", "struct", …) — also the parameter-name
+    /// prefix, so checkpoint compatibility hangs on it.
+    fn name(&self) -> &str;
+
+    /// Width of one output row.
+    fn embed_dim(&self) -> usize;
+
+    /// Encode every graph of the batch: output is
+    /// `batch.batch × embed_dim()` with row `g` depending only on graph
+    /// `g`'s rows (bit-identical to a batch-of-one call).
+    fn encode_batch(&self, tape: &mut Tape<'_>, batch: &GraphBatch) -> Var;
+}
+
+/// The node-feature view: a DGCNN over the sample's node-feature matrix,
+/// optionally blinding the dynamic (profiler-derived) columns for the
+/// static-only ablation.
+pub struct NodeFeatureEncoder {
+    dgcnn: Dgcnn,
+    drop_dynamic: bool,
+}
+
+impl NodeFeatureEncoder {
+    /// Register parameters under `name.*`.
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        cfg: DgcnnConfig,
+        drop_dynamic: bool,
+        rng: &mut StdRng,
+    ) -> Self {
+        Self { dgcnn: Dgcnn::new(params, name, cfg, rng), drop_dynamic }
+    }
+
+    /// Node-feature matrix of a packed batch, honouring `drop_dynamic`:
+    /// the static-only configuration (Shen et al.) zeroes the Table I
+    /// vector *and* erases what only a profiler can know about edges —
+    /// the carried/loop-independent distinction is merged into one dep
+    /// count.
+    fn feature_input(&self, tape: &mut Tape<'_>, batch: &GraphBatch) -> Var {
+        let mut feats = batch.node_feats.clone();
+        if self.drop_dynamic {
+            let dyn_dim = mvgnn_profiler::DynamicFeatures::DIM;
+            let edge_dim = mvgnn_embed::sample::EDGE_DIM;
+            for r in 0..batch.total_n {
+                let off = r * batch.node_dim + (batch.node_dim - dyn_dim);
+                feats[off..off + dyn_dim].fill(0.0);
+                // Edge census layout: [defuse o/i, carried RAW o/i,
+                // carried WAR o/i, carried WAW o/i, indep o/i, hier o/i];
+                // the dep counts come from profiling, so the static-only
+                // model loses them entirely (def-use and hierarchy are
+                // static facts and stay).
+                let eoff = r * batch.node_dim + (batch.node_dim - dyn_dim - edge_dim);
+                feats[eoff + 2..eoff + 10].fill(0.0);
+            }
+        }
+        tape.input(feats, batch.total_n, batch.node_dim)
+    }
+}
+
+impl ViewEncoder for NodeFeatureEncoder {
+    fn name(&self) -> &str {
+        "node"
+    }
+
+    fn embed_dim(&self) -> usize {
+        self.dgcnn.config().embed_dim()
+    }
+
+    fn encode_batch(&self, tape: &mut Tape<'_>, batch: &GraphBatch) -> Var {
+        let x = self.feature_input(tape, batch);
+        self.dgcnn.embed_batch(tape, &batch.adj, x, &batch.offsets)
+    }
+}
+
+/// The structural view: anonymous-walk distributions soft-looked-up
+/// through a learned embedding table, then a DGCNN (paper Eq. 3/4).
+pub struct StructuralEncoder {
+    dgcnn: Dgcnn,
+    aw_embed: Embedding,
+}
+
+impl StructuralEncoder {
+    /// Register parameters: the DGCNN under `name.*`, then the walk table
+    /// under `aw.table` (this order is the checkpoint layout).
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        cfg: DgcnnConfig,
+        aw_vocab: usize,
+        aw_dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let dgcnn = Dgcnn::new(params, name, cfg, rng);
+        let aw_embed = Embedding::new(params, "aw", aw_vocab, aw_dim, rng);
+        Self { dgcnn, aw_embed }
+    }
+}
+
+impl ViewEncoder for StructuralEncoder {
+    fn name(&self) -> &str {
+        "struct"
+    }
+
+    fn embed_dim(&self) -> usize {
+        self.dgcnn.config().embed_dim()
+    }
+
+    fn encode_batch(&self, tape: &mut Tape<'_>, batch: &GraphBatch) -> Var {
+        let dists = tape.input(batch.struct_dists.clone(), batch.total_n, batch.aw_vocab);
+        let emb = self.aw_embed.forward_soft(tape, dists);
+        self.dgcnn.embed_batch(tape, &batch.adj, emb, &batch.offsets)
+    }
+}
 
 /// Per-benchmark view importances.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +196,9 @@ impl ViewImportance {
     }
 }
 
+/// Samples per packed forward pass in [`view_importance`].
+const IMPORTANCE_CHUNK: usize = 32;
+
 /// Compute view importances over a labeled evaluation set, grouped by the
 /// key function (suite name, app name, …).
 pub fn view_importance(
@@ -72,8 +208,17 @@ pub fn view_importance(
 ) -> Vec<ViewImportance> {
     let mut groups: std::collections::BTreeMap<String, ViewImportance> =
         std::collections::BTreeMap::new();
-    for s in data {
-        let (fused, node, st) = model.predict_detailed(&s.sample);
+    // One forward per chunk instead of one per sample; predictions are
+    // identical to the per-sample path (packed rows never interact).
+    let detailed: Vec<(usize, usize, usize)> = data
+        .chunks(IMPORTANCE_CHUNK)
+        .flat_map(|chunk| {
+            let samples: Vec<&mvgnn_embed::GraphSample> =
+                chunk.iter().map(|s| &s.sample).collect();
+            model.predict_detailed_batch(&samples)
+        })
+        .collect();
+    for (s, &(fused, node, st)) in data.iter().zip(&detailed) {
         let entry = groups.entry(key(s)).or_insert_with(|| ViewImportance {
             benchmark: key(s),
             n_multi: 0,

@@ -12,9 +12,11 @@
 //!   distribution matrix.
 
 pub mod awe;
+pub mod batch;
 pub mod inst2vec;
 pub mod sample;
 
 pub use awe::structural_distributions;
+pub use batch::GraphBatch;
 pub use inst2vec::{Inst2Vec, Inst2VecConfig};
 pub use sample::{build_sample, GraphSample, SampleConfig};

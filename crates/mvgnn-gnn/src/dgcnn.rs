@@ -7,7 +7,7 @@
 //! [`Dgcnn::logits`].
 
 use crate::gcn::GcnLayer;
-use crate::sortpool::sort_order;
+use crate::sortpool::sort_order_segments;
 use mvgnn_nn::{Conv1d, Linear};
 use mvgnn_tensor::tape::{Params, Tape, Var};
 use mvgnn_tensor::SparseMatrix;
@@ -122,17 +122,46 @@ impl Dgcnn {
     }
 
     /// Run up to the input of the dense read-out: `1 × embed_dim`. This is
-    /// the representation the multi-view model fuses.
+    /// the representation the multi-view model fuses. A batch-of-one call
+    /// into [`Self::embed_batch`].
     pub fn embed(&self, tape: &mut Tape<'_>, adj: &SparseMatrix, feats: Var) -> Var {
+        let (n, _) = tape.shape(feats);
+        self.embed_batch(tape, adj, feats, &[0, n])
+    }
+
+    /// Batched forward up to the dense read-out: `batch × embed_dim`.
+    ///
+    /// `feats` packs the graphs' node-feature rows (`offsets[batch]` rows
+    /// total), `adj` is the matching block-diagonal propagation operator
+    /// and `offsets` (length `batch + 1`) delimits each graph's rows.
+    ///
+    /// Row `g` is bit-identical to `embed` on graph `g` alone: the graph
+    /// convs act per block of the block-diagonal operator, SortPooling
+    /// ranks within each segment, conv1's windows (`ksize = stride = D`)
+    /// tile the flattened `k·D` region of each graph exactly, and the
+    /// pooling/conv2 stages use the segment-aware primitives so no window
+    /// straddles two graphs even when `k` is odd.
+    pub fn embed_batch(
+        &self,
+        tape: &mut Tape<'_>,
+        adj: &SparseMatrix,
+        feats: Var,
+        offsets: &[usize],
+    ) -> Var {
         let (n, in_dim) = tape.shape(feats);
         assert_eq!(in_dim, self.cfg.in_dim, "feature width mismatch");
         assert_eq!(adj.rows(), n, "adjacency size mismatch");
+        assert!(offsets.len() >= 2, "offsets needs at least one segment");
+        assert_eq!(offsets[offsets.len() - 1], n, "offsets must cover feats");
+        let batch = offsets.len() - 1;
 
         // Graph conv stack; keep every layer's output for concatenation.
+        // The adjacency is registered once and shared by all layers.
+        let adj = tape.sparse_const(adj);
         let mut h = feats;
         let mut outs: Vec<Var> = Vec::with_capacity(self.gc.len());
         for layer in &self.gc {
-            h = layer.forward(tape, adj, h);
+            h = layer.forward_at(tape, adj, h);
             outs.push(h);
         }
         let mut concat = outs[0];
@@ -140,27 +169,38 @@ impl Dgcnn {
             concat = tape.concat_cols(concat, o);
         }
 
-        // SortPooling: order by the final layer's last channel.
-        let last = *outs.last().expect("non-empty stack");
+        // SortPooling: order by the final layer's last channel, ranking
+        // within each graph's row segment.
+        let last = h; // final conv layer's output
         let (_, last_w) = tape.shape(last);
         let keys: Vec<f32> = tape
             .data(last)
             .chunks(last_w)
             .map(|r| *r.last().expect("non-empty row"))
             .collect();
-        let order = sort_order(&keys, self.cfg.k);
-        let pooled = tape.gather_rows_pad(concat, &order, self.cfg.k);
+        let k = self.cfg.k;
+        let pairs = sort_order_segments(&keys, offsets, k);
+        let pooled = tape.gather_rows_at(concat, &pairs, batch * k);
 
-        // Flatten to a k·D column and convolve.
+        // conv1 has ksize = stride = D over the flattened batch·k·D
+        // column, so each of its windows is exactly one pooled row and
+        // the whole stage is the matmul `pooled[batch·k × D] · W[D ×
+        // out]` plus bias — same kernel, same per-element accumulation
+        // order, without materialising the flattened copy. Windows can
+        // never straddle graphs; the max-pool and conv2 stages still
+        // need the segment-aware variants.
         let d = self.cfg.concat_dim();
-        let flat = tape.reshape(pooled, self.cfg.k * d, 1);
-        let c1 = self.conv1.forward(tape, flat);
+        assert_eq!(self.conv1.geometry(), (1, d, d), "conv1 must tile the concat dim");
+        let w1 = tape.param(self.conv1.w);
+        let b1 = tape.param(self.conv1.b);
+        let m1 = tape.matmul(pooled, w1);
+        let c1 = tape.add_row(m1, b1);
         let a1 = tape.relu(c1);
-        let p1 = tape.maxpool_rows(a1, 2);
-        let c2 = self.conv2.forward(tape, p1);
+        let p1 = tape.maxpool_rows_seg(a1, 2, k);
+        let c2 = self.conv2.forward_seg(tape, p1, k.div_ceil(2));
         let a2 = tape.relu(c2);
         let (rows, cols) = tape.shape(a2);
-        tape.reshape(a2, 1, rows * cols)
+        tape.reshape(a2, batch, rows * cols / batch)
     }
 
     /// Full forward pass to class logits (`1 × classes`).
@@ -280,6 +320,111 @@ mod tests {
             }
         }
         assert!(acc >= 0.9, "cycle-vs-chain accuracy {acc}");
+    }
+
+    #[test]
+    fn embed_batch_rows_bit_identical_to_single_passes() {
+        let mut params = Params::new();
+        let mut rng = init::rng(9);
+        // Odd k so maxpool/conv2 segments would straddle graphs if the
+        // batched path used the plain primitives.
+        let mut cfg = small_cfg(3);
+        cfg.k = 7;
+        let model = Dgcnn::new(&mut params, "d", cfg, &mut rng);
+
+        let graphs: Vec<(mvgnn_tensor::SparseMatrix, Vec<f32>, usize)> = [2usize, 9, 5, 13]
+            .iter()
+            .enumerate()
+            .map(|(gi, &n)| {
+                let edges: Vec<(u32, u32)> =
+                    (0..n - 1).map(|i| (i as u32, (i as u32 + 1) % n as u32)).collect();
+                let adj = gcn_adjacency(&Csr::from_edges(n, &edges));
+                // Constant feature block per graph: forces key ties inside
+                // each graph, exercising the tie-break path.
+                let feats = vec![0.1 * (gi as f32 + 1.0); n * 3];
+                (adj, feats, n)
+            })
+            .collect();
+
+        // Singles.
+        let mut singles: Vec<Vec<f32>> = Vec::new();
+        for (adj, feats, n) in &graphs {
+            let mut tape = Tape::new(&mut params);
+            let x = tape.input(feats.clone(), *n, 3);
+            let e = model.embed(&mut tape, adj, x);
+            singles.push(tape.data(e).to_vec());
+        }
+
+        // One batch.
+        let adjs: Vec<&mvgnn_tensor::SparseMatrix> = graphs.iter().map(|(a, _, _)| a).collect();
+        let bd = mvgnn_tensor::SparseMatrix::block_diag(&adjs);
+        let mut feats = Vec::new();
+        let mut offsets = vec![0usize];
+        for (_, f, n) in &graphs {
+            feats.extend_from_slice(f);
+            offsets.push(offsets[offsets.len() - 1] + n);
+        }
+        let total = offsets[offsets.len() - 1];
+        let mut tape = Tape::new(&mut params);
+        let x = tape.input(feats, total, 3);
+        let e = model.embed_batch(&mut tape, &bd, x, &offsets);
+        let (rows, cols) = tape.shape(e);
+        assert_eq!(rows, graphs.len());
+        let batched = tape.data(e);
+        for (g, single) in singles.iter().enumerate() {
+            assert_eq!(cols, single.len());
+            for (j, (&b, &s)) in batched[g * cols..(g + 1) * cols].iter().zip(single).enumerate() {
+                assert_eq!(b.to_bits(), s.to_bits(), "graph {g} dim {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn embed_batch_gradients_match_summed_single_gradients() {
+        // sum_all over the batch embedding must accumulate the same
+        // parameter gradients as summing each graph's embedding alone.
+        let build = |batched: bool| -> Vec<Vec<f32>> {
+            let mut params = Params::new();
+            let mut rng = init::rng(17);
+            let model = Dgcnn::new(&mut params, "d", small_cfg(2), &mut rng);
+            let mk = |n: usize| {
+                let edges: Vec<(u32, u32)> =
+                    (0..n - 1).map(|i| (i as u32, i as u32 + 1)).collect();
+                gcn_adjacency(&Csr::from_edges(n, &edges))
+            };
+            let (na, nb) = (6usize, 4usize);
+            let (aa, ab) = (mk(na), mk(nb));
+            let fa: Vec<f32> = (0..na * 2).map(|i| (i as f32 * 0.07).sin()).collect();
+            let fb: Vec<f32> = (0..nb * 2).map(|i| (i as f32 * 0.11).cos()).collect();
+            if batched {
+                let bd = mvgnn_tensor::SparseMatrix::block_diag(&[&aa, &ab]);
+                let packed: Vec<f32> = fa.iter().chain(&fb).copied().collect();
+                let mut tape = Tape::new(&mut params);
+                let x = tape.input(packed, na + nb, 2);
+                let e = model.embed_batch(&mut tape, &bd, x, &[0, na, na + nb]);
+                let loss = tape.sum_all(e);
+                tape.backward(loss);
+            } else {
+                for (adj, f, n) in [(&aa, &fa, na), (&ab, &fb, nb)] {
+                    let mut tape = Tape::new(&mut params);
+                    let x = tape.input(f.clone(), n, 2);
+                    let e = model.embed(&mut tape, adj, x);
+                    let loss = tape.sum_all(e);
+                    tape.backward(loss);
+                }
+            }
+            (0..params.len())
+                .map(|i| params.grad(mvgnn_tensor::tape::ParamId(i)).to_vec())
+                .collect()
+        };
+        let gb = build(true);
+        let gs = build(false);
+        assert_eq!(gb.len(), gs.len());
+        for (b, s) in gb.iter().zip(&gs) {
+            for (x, y) in b.iter().zip(s) {
+                assert!((x - y).abs() <= 1e-5, "grad mismatch {x} vs {y}");
+            }
+        }
     }
 
     #[test]

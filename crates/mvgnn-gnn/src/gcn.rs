@@ -2,7 +2,7 @@
 
 use mvgnn_graph::Csr;
 use mvgnn_nn::Linear;
-use mvgnn_tensor::tape::{Params, Tape, Var};
+use mvgnn_tensor::tape::{Params, SparseId, Tape, Var};
 use mvgnn_tensor::SparseMatrix;
 use rand::rngs::StdRng;
 
@@ -48,7 +48,14 @@ impl GcnLayer {
 
     /// Record `tanh(Â·H·W + b)` on the tape.
     pub fn forward(&self, tape: &mut Tape<'_>, adj: &SparseMatrix, h: Var) -> Var {
-        let agg = tape.spmm(adj, h);
+        let adj = tape.sparse_const(adj);
+        self.forward_at(tape, adj, h)
+    }
+
+    /// [`Self::forward`] against an operator already registered on the
+    /// tape, so a layer stack shares one stored copy of the adjacency.
+    pub fn forward_at(&self, tape: &mut Tape<'_>, adj: SparseId, h: Var) -> Var {
+        let agg = tape.spmm_at(adj, h);
         let lin = self.lin.forward(tape, agg);
         tape.tanh(lin)
     }

@@ -16,6 +16,28 @@ pub fn sort_order(keys: &[f32], k: usize) -> Vec<usize> {
     idx
 }
 
+/// Batched SortPooling orders over a packed key vector. `offsets`
+/// (length `batch + 1`) delimits each graph's rows; within a segment the
+/// ranking is exactly [`sort_order`] on that segment's keys (ties break by
+/// *local* node index, so a graph's order is independent of where it sits
+/// in the batch). Returns `(dst, src)` row pairs addressing a `batch · k`
+/// row output: graph `g`'s rank-`r` node lands on row `g·k + r`; rows of
+/// graphs with fewer than `k` nodes are simply absent (zero padding).
+pub fn sort_order_segments(keys: &[f32], offsets: &[usize], k: usize) -> Vec<(usize, usize)> {
+    assert!(offsets.len() >= 2, "offsets needs at least one segment");
+    assert_eq!(offsets[offsets.len() - 1], keys.len(), "offsets must cover keys");
+    let batch = offsets.len() - 1;
+    let mut pairs = Vec::with_capacity(batch * k);
+    for g in 0..batch {
+        let (lo, hi) = (offsets[g], offsets[g + 1]);
+        let order = sort_order(&keys[lo..hi], k);
+        for (rank, &local) in order.iter().enumerate() {
+            pairs.push((g * k + rank, lo + local));
+        }
+    }
+    pairs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,5 +72,35 @@ mod tests {
         let keys = [0.5, f32::NAN, 0.7, f32::NAN];
         assert_eq!(sort_order(&keys, 4), sort_order(&keys, 4));
         assert_eq!(sort_order(&keys, 4).len(), 4);
+    }
+
+    #[test]
+    fn segments_match_per_graph_sort_order() {
+        let keys = [0.1, 0.9, 0.5, /* | */ 0.7, 0.2];
+        let offsets = [0usize, 3, 5];
+        let pairs = sort_order_segments(&keys, &offsets, 2);
+        // graph 0: sort_order([0.1,0.9,0.5],2) = [1,2] -> dst 0,1
+        // graph 1: sort_order([0.7,0.2],2) = [0,1] -> dst 2,3 src 3,4
+        assert_eq!(pairs, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn short_segments_leave_padding_rows_unassigned() {
+        let keys = [0.4, /* | */ 0.8, 0.6, 0.1];
+        let offsets = [0usize, 1, 4];
+        let pairs = sort_order_segments(&keys, &offsets, 3);
+        // graph 0 has 1 node -> only dst row 0; rows 1,2 stay zero-padded.
+        assert_eq!(pairs, vec![(0, 0), (3, 1), (4, 2), (5, 3)]);
+    }
+
+    #[test]
+    fn ties_break_by_local_index_regardless_of_position() {
+        // The same all-tied graph placed first or second must produce the
+        // same local ranking — batch position cannot leak into the order.
+        let solo = sort_order(&[0.5, 0.5, 0.5], 3);
+        let pairs = sort_order_segments(&[1.0, 0.5, 0.5, 0.5], &[0, 1, 4], 3);
+        let locals: Vec<usize> =
+            pairs.iter().filter(|(d, _)| *d >= 3).map(|(_, s)| s - 1).collect();
+        assert_eq!(locals, solo);
     }
 }

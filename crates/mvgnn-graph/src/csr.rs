@@ -98,6 +98,31 @@ impl Csr {
         self.neighbors(s).binary_search(&t).is_ok()
     }
 
+    /// Disjoint union of graphs: nodes of part `i` are renumbered by the
+    /// sum of the preceding parts' node counts, giving the block-diagonal
+    /// adjacency that packs a mini-batch of graphs into one traversal
+    /// structure.
+    pub fn block_diag(parts: &[&Csr]) -> Csr {
+        let n: usize = parts.iter().map(|p| p.node_count()).sum();
+        let e: usize = parts.iter().map(|p| p.edge_count()).sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(e);
+        offsets.push(0u32);
+        let mut node_off = 0u32;
+        let mut edge_off = 0u32;
+        for p in parts {
+            for &o in &p.offsets[1..] {
+                offsets.push(o + edge_off);
+            }
+            for &t in &p.targets {
+                targets.push(t + node_off);
+            }
+            node_off += p.node_count() as u32;
+            edge_off += p.edge_count() as u32;
+        }
+        Csr { offsets, targets }
+    }
+
     /// Transposed CSR (in-neighbours become out-neighbours).
     pub fn transpose(&self) -> Csr {
         let n = self.node_count();
@@ -222,6 +247,28 @@ mod tests {
         assert!((row_sums[0] - 1.0).abs() < 1e-6);
         assert!((row_sums[1] - 1.0).abs() < 1e-6);
         assert_eq!(row_sums[3], 0.0); // sink has no outgoing mass
+    }
+
+    #[test]
+    fn block_diag_offsets_neighbours() {
+        let a = Csr::from_edges(2, &[(0, 1)]);
+        let b = Csr::from_edges(3, &[(0, 2), (2, 1)]);
+        let bd = Csr::block_diag(&[&a, &b]);
+        assert_eq!(bd.node_count(), 5);
+        assert_eq!(bd.edge_count(), 3);
+        assert_eq!(bd.neighbors(0), &[1]);
+        assert_eq!(bd.neighbors(2), &[4]); // b's 0 -> 2 shifted by 2
+        assert_eq!(bd.neighbors(4), &[3]);
+        assert!(!bd.contains_edge(1, 2), "no cross-part edges");
+    }
+
+    #[test]
+    fn block_diag_with_empty_part() {
+        let a = Csr::from_edges(0, &[]);
+        let b = Csr::from_edges(2, &[(1, 0)]);
+        let bd = Csr::block_diag(&[&a, &b]);
+        assert_eq!(bd.node_count(), 2);
+        assert_eq!(bd.neighbors(1), &[0]);
     }
 
     #[test]

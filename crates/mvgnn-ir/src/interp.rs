@@ -428,8 +428,8 @@ mod tests {
         crate::verify::verify_module(&m).unwrap();
         let interp = Interpreter::new(&m);
         let mut mem = interp.fresh_memory();
-        for i in 0..10 {
-            mem[a.index()][i] = Value::F64(i as f64);
+        for (i, slot) in mem[a.index()].iter_mut().take(10).enumerate() {
+            *slot = Value::F64(i as f64);
         }
         let mut log = LoopLog::default();
         let (ret, stats) = interp.run_with_memory(f, &[], &mut mem, &mut log).unwrap();

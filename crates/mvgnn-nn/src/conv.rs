@@ -50,12 +50,27 @@ impl Conv1d {
         self.out_ch
     }
 
+    /// `(in_ch, ksize, stride)` — the window geometry.
+    pub fn geometry(&self) -> (usize, usize, usize) {
+        (self.in_ch, self.ksize, self.stride)
+    }
+
     /// Record the convolution on the tape.
     pub fn forward(&self, tape: &mut Tape<'_>, x: Var) -> Var {
         assert_eq!(tape.shape(x).1, self.in_ch, "conv1d input channels");
         let w = tape.param(self.w);
         let b = tape.param(self.b);
         tape.conv1d_rows(x, w, Some(b), self.ksize, self.stride)
+    }
+
+    /// Segment-aware convolution: `x` packs equally-sized row segments
+    /// (one per graph of a batch) and windows never straddle a segment
+    /// boundary. With a single segment this is exactly [`Self::forward`].
+    pub fn forward_seg(&self, tape: &mut Tape<'_>, x: Var, seg_len: usize) -> Var {
+        assert_eq!(tape.shape(x).1, self.in_ch, "conv1d input channels");
+        let w = tape.param(self.w);
+        let b = tape.param(self.b);
+        tape.conv1d_rows_seg(x, w, Some(b), self.ksize, self.stride, seg_len)
     }
 }
 

@@ -11,30 +11,101 @@ use rayon::prelude::*;
 /// parallel. Below it the sequential loop wins on fork-join overhead.
 const PAR_THRESHOLD: usize = 1 << 16;
 
+/// Row count of the largest matmul register tile; the column count is 16
+/// (4×16 f32 = 8 ymm accumulators plus broadcast/load registers).
+const MR: usize = 4;
+
+/// MRB×NRB register-tile micro-kernel:
+/// `ct[r][j0..j0+NRB] = Σ_p at[r][p] · b[p][j]` for MRB full rows.
+/// The fixed-size `acc` array is promoted to vector registers, so the
+/// k-loop runs load/store-free instead of round-tripping every partial
+/// sum through memory, and the MRB independent rows hide FMA latency.
+///
+/// Every output element accumulates in ascending-`p` order with fused
+/// multiply-adds regardless of MRB/NRB, so any greedy decomposition of a
+/// matrix into these tiles produces bit-identical results — in
+/// particular, a graph's rows inside a packed batch match the same graph
+/// multiplied alone.
+#[inline(always)]
+fn mm_kernel<const MRB: usize, const NRB: usize>(
+    at: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    j0: usize,
+    ct: &mut [f32],
+) {
+    let mut acc = [[0.0f32; NRB]; MRB];
+    for p in 0..k {
+        let brow: &[f32; NRB] = b[p * n + j0..p * n + j0 + NRB].try_into().unwrap();
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = at[r * k + p];
+            for j in 0..NRB {
+                accr[j] = av.mul_add(brow[j], accr[j]);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        ct[r * n + j0..r * n + j0 + NRB].copy_from_slice(accr);
+    }
+}
+
+/// One block of up to MR rows: greedy column decomposition into
+/// 16/8/4/2/1-wide register tiles (no scalar fallback path).
+fn mm_block<const MRB: usize>(at: &[f32], b: &[f32], k: usize, n: usize, ct: &mut [f32]) {
+    let mut j0 = 0;
+    while j0 + 16 <= n {
+        mm_kernel::<MRB, 16>(at, b, k, n, j0, ct);
+        j0 += 16;
+    }
+    if j0 + 8 <= n {
+        mm_kernel::<MRB, 8>(at, b, k, n, j0, ct);
+        j0 += 8;
+    }
+    if j0 + 4 <= n {
+        mm_kernel::<MRB, 4>(at, b, k, n, j0, ct);
+        j0 += 4;
+    }
+    if j0 + 2 <= n {
+        mm_kernel::<MRB, 2>(at, b, k, n, j0, ct);
+        j0 += 2;
+    }
+    if j0 < n {
+        mm_kernel::<MRB, 1>(at, b, k, n, j0, ct);
+    }
+}
+
+/// Up to MR rows of output: greedy row decomposition into 4/2/1-row
+/// blocks.
+fn mm_rows(at: &[f32], b: &[f32], k: usize, n: usize, ct: &mut [f32]) {
+    let rows = ct.len() / n;
+    let mut r0 = 0;
+    while r0 + 4 <= rows {
+        mm_block::<4>(&at[r0 * k..(r0 + 4) * k], b, k, n, &mut ct[r0 * n..(r0 + 4) * n]);
+        r0 += 4;
+    }
+    if r0 + 2 <= rows {
+        mm_block::<2>(&at[r0 * k..(r0 + 2) * k], b, k, n, &mut ct[r0 * n..(r0 + 2) * n]);
+        r0 += 2;
+    }
+    if r0 < rows {
+        mm_block::<1>(&at[r0 * k..(r0 + 1) * k], b, k, n, &mut ct[r0 * n..(r0 + 1) * n]);
+    }
+}
+
 /// `c[m×n] = a[m×k] · b[k×n]` (c is overwritten).
 pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "lhs size");
     assert_eq!(b.len(), k * n, "rhs size");
     assert_eq!(c.len(), m * n, "out size");
     let work = m * n * k;
-    let row = |ci: &mut [f32], ai: &[f32]| {
-        ci.fill(0.0);
-        for (p, &av) in ai.iter().enumerate() {
-            if av != 0.0 {
-                let brow = &b[p * n..(p + 1) * n];
-                for (cv, &bv) in ci.iter_mut().zip(brow) {
-                    *cv += av * bv;
-                }
-            }
-        }
-    };
     if work >= PAR_THRESHOLD {
-        c.par_chunks_mut(n)
-            .zip(a.par_chunks(k))
-            .for_each(|(ci, ai)| row(ci, ai));
+        c.par_chunks_mut(MR * n)
+            .zip(a.par_chunks(MR * k))
+            .for_each(|(ct, at)| mm_rows(at, b, k, n, ct));
     } else {
-        for (ci, ai) in c.chunks_mut(n).zip(a.chunks(k)) {
-            row(ci, ai);
+        for (ct, at) in c.chunks_mut(MR * n).zip(a.chunks(MR * k)) {
+            mm_rows(at, b, k, n, ct);
         }
     }
 }
@@ -77,6 +148,67 @@ pub fn matmul_a_bt_accum(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize
             *cv += acc;
         }
     }
+}
+
+/// Branchless single-precision `tanh` via the identity `1 − 2/(e²ˣ + 1)`
+/// with an inlined polynomial `exp` (Cephes minimax coefficients). Every
+/// step is straight-line float/int arithmetic, so the elementwise loop in
+/// [`tanh_vec`] autovectorises — libm's `tanhf`/`expf` are opaque calls
+/// and do not. Stays within ~2e-7 of libm `tanh`, saturates exactly to
+/// ±1 for |x| ≥ 10, and propagates NaN.
+#[inline(always)]
+fn tanh_branchless(x: f32) -> f32 {
+    // z = 2x, clamped to where tanh is already ±1 at f32 precision
+    // (|z| ≥ 20 ⇒ 2/(e^z + 1) < 5e-9 < one ulp of 1.0). Written as two
+    // selects rather than min/max so NaN falls through unchanged (both
+    // comparisons are false) and poisons the rest of the pipeline —
+    // min/max would swallow it, and a separate is_nan fix-up branch
+    // defeats vectorisation.
+    let z2 = 2.0 * x;
+    #[allow(clippy::manual_clamp)] // clamp() keeps NaN out; we need it through
+    let z = if z2 > 20.0 {
+        20.0
+    } else if z2 < -20.0 {
+        -20.0
+    } else {
+        z2
+    };
+    // exp(z): split z = n·ln2 + r, evaluate a polynomial on r, scale by
+    // 2ⁿ through the exponent bits. The 1.5·2²³ magic constant rounds
+    // n to the nearest integer without a branch or an fenv round trip.
+    const LOG2E: f32 = std::f32::consts::LOG2_E;
+    // Exactly 0x1.63p-1: the low mantissa bits are zero so n·LN2_HI is
+    // exact for |n| ≤ 29 — don't shorten the literal.
+    #[allow(clippy::excessive_precision)]
+    const LN2_HI: f32 = 0.693_359_375;
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    const MAGIC: f32 = 12_582_912.0;
+    let nf = z.mul_add(LOG2E, MAGIC);
+    let n = nf - MAGIC;
+    let r = n.mul_add(-LN2_LO, n.mul_add(-LN2_HI, z));
+    // Degree-6 minimax polynomial for exp(r) on |r| ≤ ln2 / 2.
+    let mut p = 1.987_569_1e-4f32;
+    p = p.mul_add(r, 1.398_199_9e-3);
+    p = p.mul_add(r, 8.333_452e-3);
+    p = p.mul_add(r, 4.166_579_6e-2);
+    p = p.mul_add(r, 1.666_666_6e-1);
+    p = p.mul_add(r, 0.5);
+    let p = (p * r).mul_add(r, r + 1.0);
+    // 2ⁿ, read straight out of the magic sum's low mantissa bits:
+    // nf = 1.5·2²³ + n has bit pattern 0x4B400000 + n (mantissa ulp is
+    // exactly 1.0 in that binade), so no float→int cast is needed — a
+    // saturating `as i32` cast would scalarise the loop. NaN reaches
+    // here with r = NaN and a garbage (but well-defined) scale, so the
+    // result is still NaN without any explicit fix-up.
+    let ni = (nf.to_bits() as i32).wrapping_sub(0x4B40_0000);
+    let e = p * f32::from_bits((ni.wrapping_add(127).wrapping_shl(23)) as u32);
+    1.0 - 2.0 / (e + 1.0)
+}
+
+/// Elementwise `tanh` of a slice into a fresh vec (vectorised; see
+/// [`tanh_branchless`] for the numerics).
+pub fn tanh_vec(x: &[f32]) -> Vec<f32> {
+    x.iter().map(|&v| tanh_branchless(v)).collect()
 }
 
 /// Transpose `a[m×n]` into a fresh `n×m` vec.
@@ -229,6 +361,35 @@ mod tests {
         softmax_rows(&mut hot, 1, 2, 0.5);
         softmax_rows(&mut cold, 1, 2, 2.0);
         assert!(hot[1] > cold[1], "low temperature must sharpen the max");
+    }
+
+    #[test]
+    fn tanh_vec_tracks_libm() {
+        let xs: Vec<f32> = (-4000..=4000).map(|i| i as f32 * 0.005).collect();
+        for (&x, &t) in xs.iter().zip(&tanh_vec(&xs)) {
+            let want = (x as f64).tanh() as f32;
+            assert!((t - want).abs() <= 3e-7, "tanh({x}) = {t}, want {want}");
+        }
+    }
+
+    #[test]
+    fn tanh_vec_saturates_and_propagates_specials() {
+        let out = tanh_vec(&[
+            15.0,
+            -15.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            0.0,
+            -0.0,
+        ]);
+        assert_eq!(out[0], 1.0);
+        assert_eq!(out[1], -1.0);
+        assert_eq!(out[2], 1.0);
+        assert_eq!(out[3], -1.0);
+        assert!(out[4].is_nan());
+        assert_eq!(out[5], 0.0);
+        assert_eq!(out[6], 0.0);
     }
 
     #[test]

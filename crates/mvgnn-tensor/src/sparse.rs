@@ -1,6 +1,11 @@
 //! CSR sparse matrices — the GCN propagation operators `Â`.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Work threshold above which `spmm` fans rows out across rayon workers
+/// (matches `dense::matmul`'s threshold).
+const PAR_THRESHOLD: usize = 1 << 16;
 
 /// An immutable CSR sparse matrix of f32 values.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,6 +50,34 @@ impl SparseMatrix {
         Self { rows, cols, row_ptr, col_idx, values }
     }
 
+    /// Direct sum of matrices: a block-diagonal matrix with the given
+    /// blocks on the diagonal, in order. Applying it to a row-packed dense
+    /// batch is exactly the per-block products — the batched GCN
+    /// propagation operator over packed graphs.
+    pub fn block_diag(blocks: &[&SparseMatrix]) -> Self {
+        let rows: usize = blocks.iter().map(|b| b.rows).sum();
+        let cols: usize = blocks.iter().map(|b| b.cols).sum();
+        let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        row_ptr.push(0u32);
+        let mut col_off = 0u32;
+        let mut nnz_off = 0u32;
+        for b in blocks {
+            for &p in &b.row_ptr[1..] {
+                row_ptr.push(p + nnz_off);
+            }
+            for &c in &b.col_idx {
+                col_idx.push(c + col_off);
+            }
+            values.extend_from_slice(&b.values);
+            col_off += b.cols as u32;
+            nnz_off += b.nnz() as u32;
+        }
+        Self { rows, cols, row_ptr, col_idx, values }
+    }
+
     /// Identity matrix of size `n`.
     pub fn identity(n: usize) -> Self {
         let triplets: Vec<(u32, u32, f32)> = (0..n as u32).map(|i| (i, i, 1.0)).collect();
@@ -74,17 +107,28 @@ impl SparseMatrix {
     }
 
     /// `out[rows×n] = self[rows×cols] · dense[cols×n]` (out overwritten).
+    ///
+    /// Output rows are independent, so large products (packed batches
+    /// through a block-diagonal operator) fan out across rayon workers;
+    /// each row accumulates in the same order either way, keeping the
+    /// result bit-identical to the serial path.
     pub fn spmm(&self, dense: &[f32], out: &mut [f32], n: usize) {
         assert_eq!(dense.len(), self.cols * n, "dense operand shape");
         assert_eq!(out.len(), self.rows * n, "output shape");
-        out.fill(0.0);
-        for r in 0..self.rows {
-            let orow = &mut out[r * n..(r + 1) * n];
+        let spmm_row = |r: usize, orow: &mut [f32]| {
+            orow.fill(0.0);
             for (c, v) in self.row(r) {
                 let drow = &dense[c as usize * n..(c as usize + 1) * n];
                 for (o, &d) in orow.iter_mut().zip(drow) {
                     *o += v * d;
                 }
+            }
+        };
+        if self.nnz() * n >= PAR_THRESHOLD {
+            out.par_chunks_mut(n).enumerate().for_each(|(r, orow)| spmm_row(r, orow));
+        } else {
+            for (r, orow) in out.chunks_mut(n).enumerate() {
+                spmm_row(r, orow);
             }
         }
     }
@@ -180,5 +224,36 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn oob_triplet_panics() {
         SparseMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn block_diag_spmm_equals_per_block_spmm() {
+        let a = SparseMatrix::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, -1.0)]);
+        let b = SparseMatrix::from_triplets(3, 3, &[(0, 2, 0.5), (2, 1, 3.0)]);
+        let bd = SparseMatrix::block_diag(&[&a, &b]);
+        assert_eq!(bd.rows(), 5);
+        assert_eq!(bd.cols(), 5);
+        assert_eq!(bd.nnz(), 4);
+        let xa: Vec<f32> = vec![1.0, 2.0, 3.0, 4.0]; // 2×2
+        let xb: Vec<f32> = vec![5.0, 6.0, 7.0, 8.0, 9.0, 10.0]; // 3×2
+        let packed: Vec<f32> = xa.iter().chain(&xb).copied().collect();
+        let mut out = vec![0.0f32; 10];
+        bd.spmm(&packed, &mut out, 2);
+        let mut oa = vec![0.0f32; 4];
+        a.spmm(&xa, &mut oa, 2);
+        let mut ob = vec![0.0f32; 6];
+        b.spmm(&xb, &mut ob, 2);
+        assert_eq!(&out[..4], &oa[..]);
+        assert_eq!(&out[4..], &ob[..]);
+    }
+
+    #[test]
+    fn block_diag_of_empty_block_keeps_alignment() {
+        let a = SparseMatrix::from_triplets(2, 2, &[(1, 1, 4.0)]);
+        let empty = SparseMatrix::from_triplets(0, 0, &[]);
+        let bd = SparseMatrix::block_diag(&[&empty, &a, &empty]);
+        assert_eq!(bd.rows(), 2);
+        let row1: Vec<_> = bd.row(1).collect();
+        assert_eq!(row1, vec![(1, 4.0)]);
     }
 }

@@ -9,6 +9,12 @@
 
 use crate::dense;
 use crate::sparse::SparseMatrix;
+use rayon::prelude::*;
+
+/// Flop threshold above which row-independent ops fan out across rayon
+/// workers (matches `dense::matmul`'s threshold); below it the fork-join
+/// overhead outweighs the work.
+const PAR_THRESHOLD: usize = 1 << 16;
 
 /// Persistent parameter store (data + gradient accumulators).
 #[derive(Debug, Clone, Default)]
@@ -123,6 +129,12 @@ impl Params {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Var(usize);
 
+/// Handle to a sparse operator registered with [`Tape::sparse_const`].
+/// Lets a stack of layers share one stored copy of the matrix instead of
+/// cloning it per [`Tape::spmm`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SparseId(usize);
+
 #[derive(Debug, Clone)]
 enum Op {
     Input,
@@ -140,11 +152,14 @@ enum Op {
     ConcatCols(Var, Var),
     ConcatRows(Var, Var),
     GatherRowsPad(Var, Vec<usize>),
+    GatherRowsAt(Var, Vec<(u32, u32)>),
     MeanRows(Var),
     SumAll(Var),
+    SegmentSum(Var, Vec<usize>),
+    SegmentSoftmax(Var, Vec<usize>),
     Dropout(Var),
-    Conv1dRows { x: Var, w: Var, bias: Option<Var>, ksize: usize, stride: usize },
-    MaxPoolRows(Var),
+    Conv1dRows { x: Var, w: Var, bias: Option<Var>, ksize: usize, stride: usize, seg_len: usize },
+    MaxPoolRows { x: Var, size: usize, seg_len: usize },
     Reshape(Var),
     SoftmaxCe { logits: Var, targets: Vec<usize>, temperature: f32 },
 }
@@ -156,8 +171,6 @@ struct Node {
     shape: (usize, usize),
     /// Op-specific float payload (softmax probs, dropout mask).
     aux_f: Vec<f32>,
-    /// Op-specific index payload (argmax positions).
-    aux_u: Vec<u32>,
 }
 
 /// The autograd tape. Holds a mutable borrow of the parameter store for
@@ -190,20 +203,16 @@ impl<'p> Tape<'p> {
     }
 
     fn push(&mut self, op: Op, data: Vec<f32>, shape: (usize, usize)) -> Var {
-        self.push_aux(op, data, shape, Vec::new(), Vec::new())
+        self.push_aux(op, data, shape, Vec::new())
     }
 
-    fn push_aux(
-        &mut self,
-        op: Op,
-        data: Vec<f32>,
-        shape: (usize, usize),
-        aux_f: Vec<f32>,
-        aux_u: Vec<u32>,
-    ) -> Var {
+    fn push_aux(&mut self, op: Op, data: Vec<f32>, shape: (usize, usize), aux_f: Vec<f32>) -> Var {
         debug_assert_eq!(data.len(), shape.0 * shape.1);
-        let grad = vec![0.0; data.len()];
-        self.nodes.push(Node { op, data, grad, shape, aux_f, aux_u });
+        // Gradient buffers are allocated lazily at the start of
+        // [`Tape::backward`]: a forward-only tape (inference) never pays
+        // for them, which at batch scale is hundreds of kilobytes of
+        // zeroed allocations per call.
+        self.nodes.push(Node { op, data, grad: Vec::new(), shape, aux_f });
         Var(self.nodes.len() - 1)
     }
 
@@ -245,15 +254,29 @@ impl<'p> Tape<'p> {
         self.push(Op::MatMul(a, b), out, (m, n))
     }
 
+    /// Register a constant sparse operator on the tape (one clone). The
+    /// handle can back any number of [`Tape::spmm_at`] calls.
+    pub fn sparse_const(&mut self, a: &SparseMatrix) -> SparseId {
+        self.sparse.push(a.clone());
+        SparseId(self.sparse.len() - 1)
+    }
+
     /// Sparse `A · x` where `A` is a constant propagation operator.
     pub fn spmm(&mut self, a: &SparseMatrix, x: Var) -> Var {
-        let (r, n) = self.shape(x);
-        assert_eq!(a.cols(), r, "spmm operand rows");
-        let mut out = vec![0.0; a.rows() * n];
-        a.spmm(self.data(x), &mut out, n);
-        self.sparse.push(a.clone());
-        let idx = self.sparse.len() - 1;
-        self.push(Op::SpMM(idx, x), out, (a.rows(), n))
+        let a = self.sparse_const(a);
+        self.spmm_at(a, x)
+    }
+
+    /// [`Tape::spmm`] against an operator already registered with
+    /// [`Tape::sparse_const`].
+    pub fn spmm_at(&mut self, a: SparseId, x: Var) -> Var {
+        let sp = &self.sparse[a.0];
+        let (r, n) = self.nodes[x.0].shape;
+        assert_eq!(sp.cols(), r, "spmm operand rows");
+        let rows = sp.rows();
+        let mut out = vec![0.0; rows * n];
+        sp.spmm(&self.nodes[x.0].data, &mut out, n);
+        self.push(Op::SpMM(a.0, x), out, (rows, n))
     }
 
     /// Elementwise sum (same shape).
@@ -269,12 +292,15 @@ impl<'p> Tape<'p> {
     pub fn add_row(&mut self, a: Var, row: Var) -> Var {
         let (m, n) = self.shape(a);
         assert_eq!(self.shape(row), (1, n), "bias must be 1×{n}");
-        let rdat = self.data(row).to_vec();
-        let out: Vec<f32> = self
-            .data(a)
-            .chunks(n)
-            .flat_map(|r| r.iter().zip(&rdat).map(|(x, y)| x + y).collect::<Vec<_>>())
-            .collect();
+        let out = {
+            let adat = self.data(a);
+            let rdat = self.data(row);
+            let mut out = Vec::with_capacity(adat.len());
+            for r in adat.chunks_exact(n) {
+                out.extend(r.iter().zip(rdat).map(|(x, y)| x + y));
+            }
+            out
+        };
         self.push(Op::AddRow(a, row), out, (m, n))
     }
 
@@ -303,9 +329,12 @@ impl<'p> Tape<'p> {
         self.push(Op::Scale(a, c), out, shape)
     }
 
-    /// Hyperbolic tangent.
+    /// Hyperbolic tangent (vectorised; see [`dense::tanh_vec`] for the
+    /// numerics — within ~2e-7 of libm, exact ±1 saturation, NaN
+    /// propagation). The backward pass uses the stored output, so
+    /// gradients are consistent with what was computed.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let out: Vec<f32> = self.data(a).iter().map(|x| x.tanh()).collect();
+        let out = dense::tanh_vec(self.data(a));
         let shape = self.shape(a);
         self.push(Op::Tanh(a), out, shape)
     }
@@ -364,6 +393,78 @@ impl<'p> Tape<'p> {
         self.push(Op::GatherRowsPad(a, indices.to_vec()), out, (k, n))
     }
 
+    /// Scatter-gather rows by explicit `(dst, src)` pairs into an
+    /// `out_rows`-row output; rows no pair targets stay zero. This is the
+    /// batched SortPooling data movement: each graph's sorted rows land in
+    /// its own `k`-row slot of the packed output, with per-graph zero
+    /// padding interleaved (which [`Tape::gather_rows_pad`], padding only
+    /// at the tail, cannot express).
+    pub fn gather_rows_at(&mut self, a: Var, pairs: &[(usize, usize)], out_rows: usize) -> Var {
+        let (m, n) = self.shape(a);
+        let mut out = vec![0.0; out_rows * n];
+        let mut compact = Vec::with_capacity(pairs.len());
+        for &(dst, src) in pairs {
+            assert!(dst < out_rows, "gather dst {dst} out of bounds ({out_rows} rows)");
+            assert!(src < m, "gather src {src} out of bounds ({m} rows)");
+            out[dst * n..(dst + 1) * n].copy_from_slice(&self.data(a)[src * n..(src + 1) * n]);
+            compact.push((dst as u32, src as u32));
+        }
+        self.push(Op::GatherRowsAt(a, compact), out, (out_rows, n))
+    }
+
+    /// Per-segment column-wise row sum: rows `offsets[g]..offsets[g+1]`
+    /// collapse to output row `g`, giving a `(offsets.len()−1) × d`
+    /// result. `offsets` must be non-decreasing, start at 0 and end at the
+    /// row count; empty segments yield zero rows.
+    pub fn segment_sum(&mut self, a: Var, offsets: &[usize]) -> Var {
+        let (m, n) = self.shape(a);
+        check_offsets(offsets, m);
+        let segs = offsets.len() - 1;
+        let mut out = vec![0.0; segs * n];
+        for g in 0..segs {
+            let orow = &mut out[g * n..(g + 1) * n];
+            for r in offsets[g]..offsets[g + 1] {
+                for (o, &x) in orow.iter_mut().zip(&self.data(a)[r * n..(r + 1) * n]) {
+                    *o += x;
+                }
+            }
+        }
+        self.push(Op::SegmentSum(a, offsets.to_vec()), out, (segs, n))
+    }
+
+    /// Column-wise softmax within each row segment: for every column `c`
+    /// and segment `g`, `out[r][c] = exp(x[r][c]) / Σ_{r'∈g} exp(x[r'][c])`
+    /// (max-subtracted for stability). The shape is unchanged; empty
+    /// segments contribute nothing.
+    pub fn segment_softmax(&mut self, a: Var, offsets: &[usize]) -> Var {
+        let (m, n) = self.shape(a);
+        check_offsets(offsets, m);
+        let mut out = self.data(a).to_vec();
+        for g in 0..offsets.len() - 1 {
+            let (lo, hi) = (offsets[g], offsets[g + 1]);
+            if lo == hi {
+                continue;
+            }
+            for c in 0..n {
+                let mut mx = f32::NEG_INFINITY;
+                for r in lo..hi {
+                    mx = mx.max(out[r * n + c]);
+                }
+                let mut denom = 0.0f32;
+                for r in lo..hi {
+                    let e = (out[r * n + c] - mx).exp();
+                    out[r * n + c] = e;
+                    denom += e;
+                }
+                for r in lo..hi {
+                    out[r * n + c] /= denom;
+                }
+            }
+        }
+        let probs = out.clone();
+        self.push_aux(Op::SegmentSoftmax(a, offsets.to_vec()), out, (m, n), probs)
+    }
+
     /// Column-wise mean over rows: `n×d → 1×d`.
     pub fn mean_rows(&mut self, a: Var) -> Var {
         let (m, n) = self.shape(a);
@@ -393,7 +494,7 @@ impl<'p> Tape<'p> {
         let shape = self.shape(a);
         assert_eq!(mask.len(), shape.0 * shape.1, "mask shape mismatch");
         let out: Vec<f32> = self.data(a).iter().zip(&mask).map(|(x, m)| x * m).collect();
-        self.push_aux(Op::Dropout(a), out, shape, mask, Vec::new())
+        self.push_aux(Op::Dropout(a), out, shape, mask)
     }
 
     /// 1-D convolution over rows: input `len×in_ch`, weight
@@ -407,35 +508,83 @@ impl<'p> Tape<'p> {
         ksize: usize,
         stride: usize,
     ) -> Var {
+        let (len, _) = self.shape(x);
+        self.conv1d_rows_seg(x, w, bias, ksize, stride, len)
+    }
+
+    /// Segment-batched 1-D convolution: the input's rows form
+    /// `len/seg_len` equal segments (packed graphs) and the convolution
+    /// runs independently inside each, so windows never straddle a
+    /// segment boundary. Output: `segs·((seg_len−ksize)/stride + 1)`
+    /// rows. With `seg_len == len` this is the plain [`Tape::conv1d_rows`].
+    pub fn conv1d_rows_seg(
+        &mut self,
+        x: Var,
+        w: Var,
+        bias: Option<Var>,
+        ksize: usize,
+        stride: usize,
+        seg_len: usize,
+    ) -> Var {
         let (len, in_ch) = self.shape(x);
         let (wr, out_ch) = self.shape(w);
         assert_eq!(wr, ksize * in_ch, "conv weight rows must be ksize·in_ch");
-        assert!(stride >= 1 && ksize >= 1 && len >= ksize, "conv1d geometry (len {len}, k {ksize})");
-        let out_len = (len - ksize) / stride + 1;
-        let mut out = vec![0.0; out_len * out_ch];
-        for t in 0..out_len {
-            let start = t * stride;
-            let window = &self.data(x)[start * in_ch..(start + ksize) * in_ch];
-            let orow = t * out_ch;
-            for (p, &xv) in window.iter().enumerate() {
-                if xv != 0.0 {
-                    let wrow = &self.data(w)[p * out_ch..(p + 1) * out_ch];
-                    for (j, &wv) in wrow.iter().enumerate() {
-                        out[orow + j] += xv * wv;
-                    }
-                }
-            }
-            if let Some(b) = bias {
-                let bdat = self.data(b);
-                for (j, &bv) in bdat.iter().enumerate() {
-                    out[orow + j] += bv;
-                }
-            }
-        }
+        assert!(
+            stride >= 1 && ksize >= 1 && seg_len >= ksize,
+            "conv1d geometry (seg_len {seg_len}, k {ksize})"
+        );
+        assert!(seg_len > 0 && len % seg_len == 0, "rows {len} not a multiple of segment {seg_len}");
+        let segs = len / seg_len;
+        let seg_out = (seg_len - ksize) / stride + 1;
+        let out_len = segs * seg_out;
         if let Some(b) = bias {
             assert_eq!(self.shape(b), (1, out_ch), "conv bias shape");
         }
-        self.push(Op::Conv1dRows { x, w, bias, ksize, stride }, out, (out_len, out_ch))
+        let xd = self.data(x);
+        let wd = self.data(w);
+        let bd = bias.map(|b| self.data(b));
+        let window_of = |i: usize| {
+            let (g, t) = (i / seg_out, i % seg_out);
+            let start = g * seg_len + t * stride;
+            &xd[start * in_ch..(start + ksize) * in_ch]
+        };
+        // The convolution is a matmul over gathered windows: gather
+        // BLOCK windows at a time into a small contiguous im2col buffer
+        // (kept under the allocator's mmap threshold, and reused across
+        // the block's tiles) and run the register-tiled `dense::matmul`
+        // on it. Each output element accumulates its ksize·in_ch
+        // products in ascending window order with the same kernels
+        // whatever the batch around it looks like, so packed batches
+        // stay bit-identical to per-graph runs; blocks are independent,
+        // so large batches fan out across threads without changing a
+        // single bit.
+        const BLOCK: usize = 64;
+        let run_block = |i0: usize, orows: &mut [f32]| {
+            let nw = orows.len() / out_ch;
+            let mut xcol = vec![0.0f32; nw * wr];
+            for (j, row) in xcol.chunks_exact_mut(wr).enumerate() {
+                row.copy_from_slice(window_of(i0 + j));
+            }
+            dense::matmul(&xcol, wd, orows, nw, wr, out_ch);
+            if let Some(bd) = bd {
+                for orow in orows.chunks_exact_mut(out_ch) {
+                    for (o, &bv) in orow.iter_mut().zip(bd) {
+                        *o += bv;
+                    }
+                }
+            }
+        };
+        let mut out = vec![0.0; out_len * out_ch];
+        if out_len * out_ch * ksize * in_ch >= PAR_THRESHOLD {
+            out.par_chunks_mut(BLOCK * out_ch)
+                .enumerate()
+                .for_each(|(bi, orows)| run_block(bi * BLOCK, orows));
+        } else {
+            for (bi, orows) in out.chunks_mut(BLOCK * out_ch).enumerate() {
+                run_block(bi * BLOCK, orows);
+            }
+        }
+        self.push(Op::Conv1dRows { x, w, bias, ksize, stride, seg_len }, out, (out_len, out_ch))
     }
 
     /// Reinterpret the data with a new shape (same element count).
@@ -448,22 +597,39 @@ impl<'p> Tape<'p> {
 
     /// Non-overlapping max pooling over rows (`len×ch → ⌈len/size⌉×ch`).
     pub fn maxpool_rows(&mut self, a: Var, size: usize) -> Var {
+        let (len, _) = self.shape(a);
+        self.maxpool_rows_seg(a, size, len.max(1))
+    }
+
+    /// Segment-batched max pooling: rows form `len/seg_len` equal segments
+    /// pooled independently, so an odd `seg_len` pads its own tail window
+    /// instead of leaking into the next segment. Output:
+    /// `segs·⌈seg_len/size⌉` rows. With `seg_len == len` this is the plain
+    /// [`Tape::maxpool_rows`].
+    pub fn maxpool_rows_seg(&mut self, a: Var, size: usize, seg_len: usize) -> Var {
         let (len, ch) = self.shape(a);
         assert!(size >= 1);
-        let out_len = len.div_ceil(size);
+        assert!(seg_len > 0 && len % seg_len == 0, "rows {len} not a multiple of segment {seg_len}");
+        let segs = len / seg_len;
+        let seg_out = seg_len.div_ceil(size);
+        let out_len = segs * seg_out;
+        // Values only; argmax routing is recomputed in `backward`, so a
+        // forward-only tape never pays for the index bookkeeping.
         let mut out = vec![f32::NEG_INFINITY; out_len * ch];
-        let mut arg = vec![0u32; out_len * ch];
-        for i in 0..len {
-            let o = i / size;
-            for j in 0..ch {
-                let v = self.data(a)[i * ch + j];
-                if v > out[o * ch + j] {
-                    out[o * ch + j] = v;
-                    arg[o * ch + j] = (i * ch + j) as u32;
+        for (aseg, oseg) in
+            self.data(a).chunks_exact(seg_len * ch).zip(out.chunks_exact_mut(seg_out * ch))
+        {
+            for (window, orow) in aseg.chunks(size * ch).zip(oseg.chunks_exact_mut(ch)) {
+                for row in window.chunks_exact(ch) {
+                    for (o, &v) in orow.iter_mut().zip(row) {
+                        if v > *o {
+                            *o = v;
+                        }
+                    }
                 }
             }
         }
-        self.push_aux(Op::MaxPoolRows(a), out, (out_len, ch), Vec::new(), arg)
+        self.push(Op::MaxPoolRows { x: a, size, seg_len }, out, (out_len, ch))
     }
 
     /// Mean softmax cross-entropy over rows with a temperature divisor;
@@ -486,7 +652,6 @@ impl<'p> Tape<'p> {
             vec![loss],
             (1, 1),
             probs,
-            Vec::new(),
         )
     }
 
@@ -494,6 +659,11 @@ impl<'p> Tape<'p> {
     /// parameter gradients into the store.
     pub fn backward(&mut self, loss: Var) {
         assert_eq!(self.shape(loss), (1, 1), "backward needs a scalar loss");
+        for node in &mut self.nodes {
+            if node.grad.is_empty() {
+                node.grad = vec![0.0; node.data.len()];
+            }
+        }
         self.nodes[loss.0].grad[0] = 1.0;
         for i in (0..self.nodes.len()).rev() {
             // Split borrows: take this node's grad out, restore after.
@@ -643,6 +813,17 @@ impl<'p> Tape<'p> {
                         }
                     }
                 }
+                Op::GatherRowsAt(a, pairs) => {
+                    let n = self.nodes[a.0].shape.1;
+                    for &(dst, src) in &pairs {
+                        let urow = &grad[dst as usize * n..(dst as usize + 1) * n];
+                        let gr = &mut self.nodes[a.0].grad
+                            [src as usize * n..(src as usize + 1) * n];
+                        for (g, &u) in gr.iter_mut().zip(urow) {
+                            *g += u;
+                        }
+                    }
+                }
                 Op::MeanRows(a) => {
                     let (m, n) = self.nodes[a.0].shape;
                     let inv = 1.0 / m as f32;
@@ -658,6 +839,38 @@ impl<'p> Tape<'p> {
                         *g += u;
                     }
                 }
+                Op::SegmentSum(a, offsets) => {
+                    let n = self.nodes[a.0].shape.1;
+                    for g in 0..offsets.len() - 1 {
+                        let urow = &grad[g * n..(g + 1) * n];
+                        for r in offsets[g]..offsets[g + 1] {
+                            for (gr, &u) in
+                                self.nodes[a.0].grad[r * n..(r + 1) * n].iter_mut().zip(urow)
+                            {
+                                *gr += u;
+                            }
+                        }
+                    }
+                }
+                Op::SegmentSoftmax(a, offsets) => {
+                    // dX = Y ⊙ (U − 1·(Σ_seg U⊙Y)) column-wise per segment.
+                    let n = self.nodes[a.0].shape.1;
+                    let probs = std::mem::take(&mut self.nodes[i].aux_f);
+                    for g in 0..offsets.len() - 1 {
+                        let (lo, hi) = (offsets[g], offsets[g + 1]);
+                        for c in 0..n {
+                            let mut dot = 0.0f32;
+                            for r in lo..hi {
+                                dot += grad[r * n + c] * probs[r * n + c];
+                            }
+                            for r in lo..hi {
+                                self.nodes[a.0].grad[r * n + c] +=
+                                    probs[r * n + c] * (grad[r * n + c] - dot);
+                            }
+                        }
+                    }
+                    self.nodes[i].aux_f = probs;
+                }
                 Op::Dropout(a) => {
                     let mask = std::mem::take(&mut self.nodes[i].aux_f);
                     for ((g, &u), &mv) in self.nodes[a.0].grad.iter_mut().zip(&grad).zip(&mask) {
@@ -665,29 +878,35 @@ impl<'p> Tape<'p> {
                     }
                     self.nodes[i].aux_f = mask;
                 }
-                Op::Conv1dRows { x, w, bias, ksize, stride } => {
-                    let (_, in_ch) = self.nodes[x.0].shape;
-                    let (out_len, out_ch) = self.nodes[i].shape;
+                Op::Conv1dRows { x, w, bias, ksize, stride, seg_len } => {
+                    let (len, in_ch) = self.nodes[x.0].shape;
+                    let (_, out_ch) = self.nodes[i].shape;
+                    let segs = len / seg_len;
+                    let seg_out = (seg_len - ksize) / stride + 1;
                     let xdat = std::mem::take(&mut self.nodes[x.0].data);
                     let wdat = std::mem::take(&mut self.nodes[w.0].data);
-                    for t in 0..out_len {
-                        let start = t * stride;
-                        let urow = &grad[t * out_ch..(t + 1) * out_ch];
-                        for p in 0..ksize * in_ch {
-                            let xv = xdat[start * in_ch + p];
-                            let wrow = &wdat[p * out_ch..(p + 1) * out_ch];
-                            // dW[p][j] += x * u[j]; dX += w[p][j] * u[j]
-                            let gw = &mut self.nodes[w.0].grad[p * out_ch..(p + 1) * out_ch];
-                            let mut gx_acc = 0.0f32;
-                            for ((gwj, &u), &wv) in gw.iter_mut().zip(urow).zip(wrow) {
-                                *gwj += xv * u;
-                                gx_acc += wv * u;
+                    for seg in 0..segs {
+                        for t in 0..seg_out {
+                            let start = seg * seg_len + t * stride;
+                            let orow = seg * seg_out + t;
+                            let urow = &grad[orow * out_ch..(orow + 1) * out_ch];
+                            for p in 0..ksize * in_ch {
+                                let xv = xdat[start * in_ch + p];
+                                let wrow = &wdat[p * out_ch..(p + 1) * out_ch];
+                                // dW[p][j] += x * u[j]; dX += w[p][j] * u[j]
+                                let gw =
+                                    &mut self.nodes[w.0].grad[p * out_ch..(p + 1) * out_ch];
+                                let mut gx_acc = 0.0f32;
+                                for ((gwj, &u), &wv) in gw.iter_mut().zip(urow).zip(wrow) {
+                                    *gwj += xv * u;
+                                    gx_acc += wv * u;
+                                }
+                                self.nodes[x.0].grad[start * in_ch + p] += gx_acc;
                             }
-                            self.nodes[x.0].grad[start * in_ch + p] += gx_acc;
-                        }
-                        if let Some(b) = bias {
-                            for (g, &u) in self.nodes[b.0].grad.iter_mut().zip(urow) {
-                                *g += u;
+                            if let Some(b) = bias {
+                                for (g, &u) in self.nodes[b.0].grad.iter_mut().zip(urow) {
+                                    *g += u;
+                                }
                             }
                         }
                     }
@@ -699,12 +918,30 @@ impl<'p> Tape<'p> {
                         *g += u;
                     }
                 }
-                Op::MaxPoolRows(a) => {
-                    let arg = std::mem::take(&mut self.nodes[i].aux_u);
-                    for (&src, &u) in arg.iter().zip(&grad) {
-                        self.nodes[a.0].grad[src as usize] += u;
+                Op::MaxPoolRows { x, size, seg_len } => {
+                    // Recompute the argmax routing from the saved input;
+                    // first strictly-greater row wins, matching forward.
+                    let (len, ch) = self.nodes[x.0].shape;
+                    let seg_out = seg_len.div_ceil(size);
+                    let mut xg = std::mem::take(&mut self.nodes[x.0].grad);
+                    let xd = &self.nodes[x.0].data;
+                    for s in 0..len / seg_len {
+                        for w in 0..seg_out {
+                            let i0 = s * seg_len + w * size;
+                            let i1 = (i0 + size).min((s + 1) * seg_len);
+                            let ob = (s * seg_out + w) * ch;
+                            for j in 0..ch {
+                                let mut best = i0;
+                                for r in i0 + 1..i1 {
+                                    if xd[r * ch + j] > xd[best * ch + j] {
+                                        best = r;
+                                    }
+                                }
+                                xg[best * ch + j] += grad[ob + j];
+                            }
+                        }
                     }
-                    self.nodes[i].aux_u = arg;
+                    self.nodes[x.0].grad = xg;
                 }
                 Op::SoftmaxCe { logits, targets, temperature } => {
                     let (m, c) = self.nodes[logits.0].shape;
@@ -726,6 +963,15 @@ impl<'p> Tape<'p> {
             self.nodes[i].grad = grad;
         }
     }
+}
+
+/// Validate a segment-offset vector against a row count: non-decreasing,
+/// starting at 0 and ending at `rows`.
+fn check_offsets(offsets: &[usize], rows: usize) {
+    assert!(offsets.len() >= 2, "offsets need at least [0, rows]");
+    assert_eq!(offsets[0], 0, "offsets must start at 0");
+    assert_eq!(offsets[offsets.len() - 1], rows, "offsets must end at the row count");
+    assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be non-decreasing");
 }
 
 /// Row-wise argmax of a logits matrix. NaN logits (a diverged or damaged
@@ -905,6 +1151,135 @@ mod tests {
     }
 
     #[test]
+    fn grad_gather_rows_at() {
+        grad_check(
+            |t, x| {
+                // Two "graphs" of 2+1 rows sorted into 2-row slots each;
+                // slot 3 stays zero padding.
+                let g = t.gather_rows_at(x, &[(0, 1), (1, 0), (2, 2)], 4);
+                let a = t.tanh(g);
+                t.sum_all(a)
+            },
+            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+            3,
+            2,
+        );
+    }
+
+    #[test]
+    fn grad_segment_sum() {
+        grad_check(
+            |t, x| {
+                let s = t.segment_sum(x, &[0, 2, 2, 3]);
+                let a = t.tanh(s);
+                t.sum_all(a)
+            },
+            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+            3,
+            2,
+        );
+    }
+
+    #[test]
+    fn grad_segment_softmax() {
+        grad_check(
+            |t, x| {
+                let s = t.segment_softmax(x, &[0, 2, 4]);
+                let w = t.input(vec![0.3, -0.8, 0.5, 0.9, -0.2, 0.4, 0.1, 0.7], 4, 2);
+                let m = t.mul(s, w);
+                t.sum_all(m)
+            },
+            vec![0.1, 0.9, -0.3, 0.4, 0.8, -0.2, 0.5, 0.6],
+            4,
+            2,
+        );
+    }
+
+    #[test]
+    fn segment_sum_matches_manual() {
+        let mut params = Params::new();
+        let mut tape = Tape::new(&mut params);
+        let x = tape.input(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2);
+        let s = tape.segment_sum(x, &[0, 1, 3]);
+        assert_eq!(tape.shape(s), (2, 2));
+        assert_eq!(tape.data(s), &[1.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn segment_softmax_rows_sum_to_one_per_segment_column() {
+        let mut params = Params::new();
+        let mut tape = Tape::new(&mut params);
+        let x = tape.input(vec![0.5, 2.0, -1.0, 0.3, 4.0, 0.1, 2.5, -0.7], 4, 2);
+        let s = tape.segment_softmax(x, &[0, 3, 4]);
+        let d = tape.data(s);
+        for c in 0..2 {
+            let seg0: f32 = (0..3).map(|r| d[r * 2 + c]).sum();
+            assert!((seg0 - 1.0).abs() < 1e-5, "segment 0 col {c} sums to {seg0}");
+            assert!((d[6 + c] - 1.0).abs() < 1e-5, "singleton segment col {c}");
+        }
+    }
+
+    #[test]
+    fn seg_conv_matches_per_segment_plain_conv() {
+        // Conv over two packed 4-row segments must equal two independent
+        // 4-row convs.
+        let xdat: Vec<f32> = (0..16).map(|i| (i as f32) * 0.1 - 0.8).collect(); // 8×2
+        let wdat: Vec<f32> = (0..12).map(|i| ((i % 5) as f32) * 0.2 - 0.4).collect(); // (2·2)×3
+        let bdat = vec![0.05, -0.1, 0.2];
+        let mut params = Params::new();
+        let mut tape = Tape::new(&mut params);
+        let x = tape.input(xdat.clone(), 8, 2);
+        let w = tape.input(wdat.clone(), 4, 3);
+        let b = tape.input(bdat.clone(), 1, 3);
+        let packed = tape.conv1d_rows_seg(x, w, Some(b), 2, 1, 4);
+        assert_eq!(tape.shape(packed), (6, 3));
+        let packed_out = tape.data(packed).to_vec();
+        for seg in 0..2 {
+            let xs = tape.input(xdat[seg * 8..(seg + 1) * 8].to_vec(), 4, 2);
+            let ws = tape.input(wdat.clone(), 4, 3);
+            let bs = tape.input(bdat.clone(), 1, 3);
+            let single = tape.conv1d_rows(xs, ws, Some(bs), 2, 1);
+            assert_eq!(
+                tape.data(single),
+                &packed_out[seg * 9..(seg + 1) * 9],
+                "segment {seg}"
+            );
+        }
+    }
+
+    #[test]
+    fn seg_maxpool_respects_segment_boundaries() {
+        // Odd segment length: the tail window must not leak into the next
+        // segment.
+        let mut params = Params::new();
+        let mut tape = Tape::new(&mut params);
+        let x = tape.input(vec![1.0, 5.0, 3.0, 9.0, 2.0, 4.0], 6, 1);
+        let p = tape.maxpool_rows_seg(x, 2, 3);
+        assert_eq!(tape.shape(p), (4, 1));
+        // Segment 1 rows [1,5,3]: pools to [5, 3]; segment 2 rows
+        // [9,2,4]: pools to [9, 4]. A straddling pool would give 9 for
+        // the tail of segment 1.
+        assert_eq!(tape.data(p), &[5.0, 3.0, 9.0, 4.0]);
+    }
+
+    #[test]
+    fn grad_conv_seg_and_maxpool_seg() {
+        grad_check(
+            |t, x| {
+                let w = t.input(vec![0.5, -0.2, 0.1, 0.3, -0.4, 0.6, 0.2, 0.7], 4, 2);
+                let b = t.input(vec![0.05, -0.05], 1, 2);
+                let c = t.conv1d_rows_seg(x, w, Some(b), 2, 1, 3);
+                let p = t.maxpool_rows_seg(c, 2, 2);
+                let a = t.tanh(p);
+                t.sum_all(a)
+            },
+            vec![0.1, 0.9, -0.3, 0.4, 0.8, -0.2, 0.5, 0.6, -0.7, 0.2, 0.35, -0.15],
+            6,
+            2,
+        );
+    }
+
+    #[test]
     fn grad_softmax_ce() {
         grad_check(
             |t, x| t.softmax_ce(x, &[1, 0], 0.5),
@@ -1057,3 +1432,4 @@ mod tests {
         assert!((params.grad_norm() - 5.0).abs() < 1e-5);
     }
 }
+

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a PR must pass, in the order that fails
+# fastest. Run from anywhere; exits non-zero on the first failure.
+#
+#   scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> build (release)"
+cargo build --release --workspace --quiet
+
+echo "==> tests (workspace)"
+cargo test -q --workspace
+
+echo "==> clippy (-D warnings)"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+echo "==> panic-site ratchet"
+bash scripts/panic_audit.sh
+
+echo "CI OK"

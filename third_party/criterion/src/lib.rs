@@ -101,11 +101,6 @@ impl BenchmarkGroup<'_> {
 pub struct Criterion {}
 
 impl Criterion {
-    /// Fresh driver with default settings.
-    pub fn default() -> Self {
-        Self {}
-    }
-
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {

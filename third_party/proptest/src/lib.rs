@@ -653,7 +653,7 @@ mod tests {
         fn macro_binds_patterns((n, v) in (2usize..10).prop_flat_map(|n| {
             (Just(n), proptest::collection::vec(0..n, 1..4))
         })) {
-            prop_assert!(n >= 2 && n < 10);
+            prop_assert!((2..10).contains(&n));
             for x in v {
                 prop_assert!(x < n);
             }
@@ -668,7 +668,7 @@ mod tests {
 
     #[derive(Debug, Clone)]
     enum Tree {
-        Leaf(u8),
+        Leaf(#[allow(dead_code)] u8),
         Node(Vec<Tree>),
     }
 
