@@ -90,42 +90,35 @@ impl Ncc {
         let mut curve = Vec::with_capacity(self.cfg.epochs);
         for _epoch in 0..self.cfg.epochs {
             let mut total = 0.0f32;
-            self.params.zero_grads();
+            let mut master = mvgnn_tensor::GradStore::zeros_like(&self.params);
             for (seq, label) in data {
                 if seq.is_empty() {
                     continue;
                 }
                 let seq_c: Vec<usize> = self.clip_seq(seq).to_vec();
-                let mut params = std::mem::take(&mut self.params);
-                let mut tape = Tape::new(&mut params);
+                let mut tape = Tape::new(&self.params);
                 let logits = self.forward_logits(&mut tape, &seq_c);
                 let loss = tape.softmax_ce(logits, &[*label], 1.0);
                 total += tape.data(loss)[0];
                 tape.backward(loss);
-                drop(tape);
-                self.params = params;
+                master.absorb(&tape.into_grads());
             }
-            clip_grad_norm(&mut self.params, 5.0);
-            opt.step(&mut self.params);
+            clip_grad_norm(&mut master, 5.0);
+            opt.step(&mut self.params, &master);
             curve.push(total / data.len() as f32);
         }
         curve
     }
 
     /// Predict the class of one sequence.
-    pub fn predict(&mut self, seq: &[usize]) -> usize {
+    pub fn predict(&self, seq: &[usize]) -> usize {
         if seq.is_empty() {
             return 1; // majority prior
         }
         let seq_c: Vec<usize> = self.clip_seq(seq).to_vec();
-        let mut params = std::mem::take(&mut self.params);
-        let pred = {
-            let mut tape = Tape::new(&mut params);
-            let logits = self.forward_logits(&mut tape, &seq_c);
-            argmax_rows(tape.data(logits), 1, 2)[0]
-        };
-        self.params = params;
-        pred
+        let mut tape = Tape::new(&self.params);
+        let logits = self.forward_logits(&mut tape, &seq_c);
+        argmax_rows(tape.data(logits), 1, 2)[0]
     }
 }
 
@@ -182,7 +175,7 @@ mod tests {
     #[test]
     fn truncates_long_sequences() {
         let i2v = tiny_inst2vec();
-        let mut ncc = Ncc::new(&i2v, quick_cfg());
+        let ncc = Ncc::new(&i2v, quick_cfg());
         let long: Vec<usize> = vec![0; 500];
         let _ = ncc.predict(&long); // must not blow up
     }
@@ -190,7 +183,7 @@ mod tests {
     #[test]
     fn empty_sequence_has_default() {
         let i2v = tiny_inst2vec();
-        let mut ncc = Ncc::new(&i2v, quick_cfg());
+        let ncc = Ncc::new(&i2v, quick_cfg());
         assert_eq!(ncc.predict(&[]), 1);
     }
 

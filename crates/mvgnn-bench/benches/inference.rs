@@ -41,7 +41,7 @@ fn bench_inference(c: &mut Criterion) {
     let sub = loop_subpeg(&peg, &m, &cus, f, l);
     let feats = loop_features(&m, f, l, &res.deps, &res.loops[&(f, l)]);
     let sample = build_sample(&sub, &i2v, &feats, &scfg, None);
-    let mut model = MvGnn::new(MvGnnConfig::small(sample.node_dim, sample.aw_vocab));
+    let model = MvGnn::new(MvGnnConfig::small(sample.node_dim, sample.aw_vocab));
     c.bench_function("mvgnn_predict", |b| {
         b.iter(|| model.predict(&sample));
     });

@@ -34,7 +34,7 @@ fn main() {
         let probe = &ds.train[0].sample;
         let mut model = MvGnn::new(MvGnnConfig::small(probe.node_dim, probe.aw_vocab));
         mvgnn_bench::or_die(train(&mut model, &ds.train, &cfg.train));
-        let acc = evaluate(&mut model, &ds.test).accuracy() * 100.0;
+        let acc = evaluate(&model, &ds.test).accuracy() * 100.0;
         print_row(
             &[format!("walks l={walk_len} γ={gamma}"), format!("{acc:.1}")],
             &w,
@@ -83,7 +83,7 @@ fn main() {
     for (name, mcfg) in variants {
         let mut model = MvGnn::new(mcfg);
         mvgnn_bench::or_die(train(&mut model, &ds.train, &cfg.train));
-        let acc = evaluate(&mut model, &ds.test).accuracy() * 100.0;
+        let acc = evaluate(&model, &ds.test).accuracy() * 100.0;
         print_row(&[name, format!("{acc:.1}")], &w);
     }
 }

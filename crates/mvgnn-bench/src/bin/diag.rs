@@ -30,15 +30,13 @@ fn main() {
     let mut model = MvGnn::new(MvGnnConfig::small(probe.node_dim, probe.aw_vocab));
 
     // Pre-training magnitude of the view embeddings.
-    let mags = |model: &mut MvGnn, n: usize| {
+    let mags = |model: &MvGnn, n: usize| {
         let mut max_abs = 0.0f32;
         let mut mean_abs = 0.0f32;
         let mut count = 0usize;
-        let mut params = std::mem::take(&mut model.params);
         for s in ds.train.iter().take(n) {
-            let mut tape = Tape::new(&mut params);
+            let mut tape = Tape::new(&model.params);
             let fwd = model.forward_on(&mut tape, &s.sample);
-            let _ = fwd;
             // The concat input to fusion is the last tanh's input; easiest
             // proxy: check the logits magnitude and loop over node data.
             for v in [fwd.node_logits, fwd.struct_logits].into_iter().flatten() {
@@ -49,10 +47,9 @@ fn main() {
                 }
             }
         }
-        model.params = params;
         (max_abs, mean_abs / count as f32)
     };
-    let (mx, mn) = mags(&mut model, 32);
+    let (mx, mn) = mags(&model, 32);
     println!("pre-train view-logit magnitude: max {mx:.2} mean {mn:.2}");
 
     let stats = mvgnn_bench::or_die(train(&mut model, &ds.train, &cfg.train));
@@ -61,7 +58,7 @@ fn main() {
     }
     let last = stats.last().unwrap();
     println!("final train acc {:.3}", last.accuracy);
-    let m = evaluate(&mut model, &ds.test);
+    let m = evaluate(&model, &ds.test);
     println!("test: {m}");
     // Per-(suite, pattern) error census on the evaluation pool.
     let mut per: std::collections::BTreeMap<(String, String, usize), (usize, usize)> =
@@ -100,6 +97,6 @@ fn main() {
     for (k, v) in wrong_funcs {
         println!("wrong reduction: {k} ×{v}");
     }
-    let (mx, mn) = mags(&mut model, 32);
+    let (mx, mn) = mags(&model, 32);
     println!("post-train view-logit magnitude: max {mx:.2} mean {mn:.2}");
 }

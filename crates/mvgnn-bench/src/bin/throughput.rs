@@ -1,20 +1,29 @@
 //! Inference-throughput benchmark: loops/sec for batched (packed
 //! `GraphBatch`) versus per-sample execution of the same model on the
-//! same loop population.
+//! same loop population, plus a thread sweep of the concurrent
+//! [`InferenceEngine`].
 //!
-//! Batched and per-sample inference are bit-identical (asserted here and
-//! property-tested in `tests/batch_parity.rs`), so this measures pure
-//! tape-amortisation: one packed program per chunk instead of one per
-//! loop. Emits `BENCH_throughput.json` next to the working directory for
-//! trend tracking.
+//! All paths are bit-identical (asserted here and property-tested in
+//! `tests/batch_parity.rs` / `tests/concurrent_parity.rs`): batching
+//! measures pure tape-amortisation, and the engine sweep measures what
+//! the worker fan-out adds on top for each thread count. Emits
+//! `BENCH_throughput.json` next to the working directory for trend
+//! tracking.
+//!
+//! `--smoke` runs a single engine batch against the sequential path and
+//! exits — a seconds-scale CI wiring check, no JSON written.
 
 use mvgnn_bench::{pipeline_config, Scale};
-use mvgnn_core::{MvGnn, MvGnnConfig};
+use mvgnn_core::{EngineConfig, InferenceEngine, MvGnn, MvGnnConfig};
 use mvgnn_dataset::build_corpus;
 use mvgnn_embed::GraphSample;
+use std::sync::Arc;
 use std::time::Instant;
 
 const BATCH: usize = 32;
+
+/// Engine worker counts swept by the benchmark.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 /// Minimum length of one timing window; sub-millisecond windows are
 /// dominated by scheduler noise on a loaded machine.
@@ -28,78 +37,104 @@ fn calibrate(f: &mut impl FnMut()) -> usize {
     ((MIN_WINDOW_SECS / once.max(1e-9)).ceil() as usize).clamp(1, 10_000)
 }
 
-/// Best-of-`reps` wall time for one call of each of `f` and `g`, in
-/// seconds. The two measurements are interleaved window by window so a
-/// frequency or load shift on the host hits both paths alike instead of
-/// skewing whichever happened to run second; each window repeats its
-/// function enough to fill [`MIN_WINDOW_SECS`], so one descheduling blip
-/// cannot dominate a measurement.
-fn best_secs_pair(reps: usize, mut f: impl FnMut(), mut g: impl FnMut()) -> (f64, f64) {
-    let f_per = calibrate(&mut f);
-    let g_per = calibrate(&mut g);
-    let (mut best_f, mut best_g) = (f64::MAX, f64::MAX);
+/// Best-of-`reps` wall time for one call of `f`, in seconds; each window
+/// repeats `f` enough to fill [`MIN_WINDOW_SECS`], so one descheduling
+/// blip cannot dominate a measurement.
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let per = calibrate(&mut f);
+    let mut best = f64::MAX;
     for _ in 0..reps {
         let t = Instant::now();
-        for _ in 0..f_per {
+        for _ in 0..per {
             f();
         }
-        best_f = best_f.min(t.elapsed().as_secs_f64() / f_per as f64);
-        let t = Instant::now();
-        for _ in 0..g_per {
-            g();
-        }
-        best_g = best_g.min(t.elapsed().as_secs_f64() / g_per as f64);
+        best = best.min(t.elapsed().as_secs_f64() / per as f64);
     }
-    (best_f, best_g)
+    best
 }
 
-fn main() {
-    let scale = Scale::from_args();
+fn build_model(scale: Scale) -> (Vec<mvgnn_dataset::LabeledSample>, MvGnn) {
     let cfg = pipeline_config(scale);
     eprintln!("[throughput] building corpus ({scale:?})…");
     let ds = build_corpus(&cfg.corpus);
     // Bench over the whole corpus (train + test): throughput is a property
     // of the kernels, not of the split, and the larger population keeps
     // most chunks at the full BATCH width.
-    let samples: Vec<&GraphSample> =
-        ds.train.iter().chain(ds.test.iter()).map(|s| &s.sample).collect();
-    let probe = samples[0];
-    let mut model = if cfg.paper_scale {
+    let pool: Vec<mvgnn_dataset::LabeledSample> =
+        ds.train.iter().chain(ds.test.iter()).cloned().collect();
+    let probe = &pool[0].sample;
+    let model = if cfg.paper_scale {
         MvGnn::new(MvGnnConfig::paper(probe.node_dim, probe.aw_vocab))
     } else {
         MvGnn::new(MvGnnConfig::small(probe.node_dim, probe.aw_vocab))
     };
+    (pool, model)
+}
+
+/// One-batch wiring check for CI: the engine must agree with the
+/// sequential path on a single packed batch.
+fn smoke() {
+    let (pool, model) = build_model(Scale::Quick);
+    let samples: Vec<&GraphSample> =
+        pool.iter().take(BATCH).map(|s| &s.sample).collect();
+    let sequential = model.predict_batch(&samples);
+    let engine = InferenceEngine::new(
+        Arc::new(model),
+        EngineConfig { threads: 2, batch_size: BATCH },
+    );
+    let streamed = engine.predict_stream(&samples);
+    assert_eq!(sequential, streamed, "engine smoke: stream diverged from sequential");
+    println!("[throughput] smoke OK: engine matches sequential on {} loops", samples.len());
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let scale = Scale::from_args();
+    let (pool, model) = build_model(scale);
+    let samples: Vec<&GraphSample> = pool.iter().map(|s| &s.sample).collect();
     let n = samples.len();
     eprintln!("[throughput] {n} loops, batch size {BATCH}");
 
-    // Warm-up + parity assertion: the two paths must agree exactly.
-    let mut single_preds = Vec::with_capacity(n);
-    for s in &samples {
-        single_preds.push(model.predict(s));
-    }
+    // Warm-up + parity assertion: every path must agree exactly.
+    let single_preds: Vec<usize> = samples.iter().map(|s| model.predict(s)).collect();
     let batched_preds: Vec<usize> =
         samples.chunks(BATCH).flat_map(|c| model.predict_batch(c)).collect();
     assert_eq!(single_preds, batched_preds, "batched/per-sample predictions diverged");
 
     let reps = if scale == Scale::Quick { 5 } else { 7 };
-    // Both closures capture the model, so measure via raw pointer-free
-    // sequential borrows: RefCell keeps the closures independent.
-    let model = std::cell::RefCell::new(model);
-    let (t_single, t_batched) = best_secs_pair(
-        reps,
-        || {
-            let mut m = model.borrow_mut();
-            for s in &samples {
-                std::hint::black_box(m.predict(s));
-            }
-        },
-        || {
-            let mut m = model.borrow_mut();
-            for chunk in samples.chunks(BATCH) {
-                std::hint::black_box(m.predict_batch(chunk));
-            }
-        },
-    );
+    let t_single = best_secs(reps, || {
+        for s in &samples {
+            std::hint::black_box(model.predict(s));
+        }
+    });
+    let t_batched = best_secs(reps, || {
+        for chunk in samples.chunks(BATCH) {
+            std::hint::black_box(model.predict_batch(chunk));
+        }
+    });
+
+    // Engine sweep: same batch size, varying worker counts. Forward-only
+    // inference shares the weights through `Arc<MvGnn>`.
+    let model = Arc::new(model);
+    let mut engine_lps: Vec<(usize, f64)> = Vec::with_capacity(THREAD_SWEEP.len());
+    for threads in THREAD_SWEEP {
+        let engine = InferenceEngine::new(
+            Arc::clone(&model),
+            EngineConfig { threads, batch_size: BATCH },
+        );
+        assert_eq!(
+            engine.predict_stream(&samples),
+            batched_preds,
+            "engine predictions diverged at {threads} threads"
+        );
+        let t = best_secs(reps, || {
+            std::hint::black_box(engine.predict_stream(&samples));
+        });
+        engine_lps.push((threads, n as f64 / t));
+    }
 
     let single_lps = n as f64 / t_single;
     let batched_lps = n as f64 / t_batched;
@@ -108,11 +143,23 @@ fn main() {
     println!("  per-sample : {single_lps:>10.1} loops/sec  ({t_single:.3} s)");
     println!("  batched({BATCH:>2}): {batched_lps:>10.1} loops/sec  ({t_batched:.3} s)");
     println!("  speedup    : {speedup:.2}x");
+    for (threads, lps) in &engine_lps {
+        println!("  engine x{threads:<2}: {lps:>10.1} loops/sec");
+    }
+    let engine_best = engine_lps.iter().map(|(_, l)| *l).fold(0.0f64, f64::max);
+    let engine_speedup = engine_best / single_lps;
+    println!("  engine best: {engine_speedup:.2}x over per-sample");
 
+    let threads_json: Vec<String> = engine_lps
+        .iter()
+        .map(|(t, lps)| format!("    \"{t}\": {lps:.2}"))
+        .collect();
     let json = format!(
         "{{\n  \"loops\": {n},\n  \"batch_size\": {BATCH},\n  \"reps\": {reps},\n  \
          \"single_loops_per_sec\": {single_lps:.2},\n  \
-         \"batched_loops_per_sec\": {batched_lps:.2},\n  \"speedup\": {speedup:.3}\n}}\n"
+         \"batched_loops_per_sec\": {batched_lps:.2},\n  \"speedup\": {speedup:.3},\n  \
+         \"threads\": {{\n{}\n  }},\n  \"engine_speedup\": {engine_speedup:.3}\n}}\n",
+        threads_json.join(",\n")
     );
     mvgnn_bench::or_die(std::fs::write("BENCH_throughput.json", json));
     eprintln!("[throughput] wrote BENCH_throughput.json");

@@ -1,0 +1,259 @@
+//! Concurrent inference engine: fan a stream of samples over worker
+//! threads as packed batches, preserving input order.
+//!
+//! The engine wraps an [`Arc<MvGnn>`] — the weights are an immutable
+//! value store ([`mvgnn_tensor::Params`]) and every forward pass owns a
+//! private tape, so any number of workers can run inference on the same
+//! model without locks or weight clones.
+//!
+//! Determinism contract: the stream is cut into fixed-size batches
+//! *before* dispatch, workers pull whole batches, and results are merged
+//! back in input order. Batch boundaries depend only on
+//! [`EngineConfig::batch_size`], never on the thread count or scheduling,
+//! so logits and predictions are bit-identical at 1, 2, or 8 threads —
+//! and identical to the sequential [`MvGnn::predict_batch`] path over the
+//! same batch size.
+//!
+//! Fault semantics match per-loop graceful degradation in
+//! [`crate::infer`]: a row whose checked prediction shows any non-finite
+//! head is re-run through single-sample inference, so its verdict is
+//! decided in isolation from its batch-mates.
+
+use crate::model::{CheckedPrediction, MvGnn};
+use mvgnn_embed::GraphSample;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads. Values are clamped to at least 1; more threads
+    /// than batches is harmless (the surplus workers exit immediately).
+    pub threads: usize,
+    /// Samples per packed forward pass. This — not `threads` — fixes the
+    /// batch boundaries, and with them the f32 summation order.
+    pub batch_size: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { threads, batch_size: 32 }
+    }
+}
+
+/// Order-preserving concurrent inference over a shared model.
+#[derive(Clone)]
+pub struct InferenceEngine {
+    model: Arc<MvGnn>,
+    cfg: EngineConfig,
+}
+
+impl InferenceEngine {
+    /// Build an engine over a shared model. Zero `threads`/`batch_size`
+    /// are treated as 1.
+    pub fn new(model: Arc<MvGnn>, cfg: EngineConfig) -> Self {
+        let cfg = EngineConfig {
+            threads: cfg.threads.max(1),
+            batch_size: cfg.batch_size.max(1),
+        };
+        Self { model, cfg }
+    }
+
+    /// The shared model.
+    pub fn model(&self) -> &Arc<MvGnn> {
+        &self.model
+    }
+
+    /// The (clamped) configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.cfg
+    }
+
+    /// Run `work` over every `batch_size`-sample chunk of `samples` on up
+    /// to `threads` workers and splice the per-chunk outputs back into
+    /// input order. Chunks are dispensed through an atomic counter, so
+    /// thread count affects only *who* computes a chunk, never which rows
+    /// it holds. A panicking worker is resumed on the caller thread.
+    fn fan_out<R, F>(&self, samples: &[&GraphSample], work: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&[&GraphSample]) -> Vec<R> + Sync,
+    {
+        let chunks: Vec<&[&GraphSample]> = samples.chunks(self.cfg.batch_size).collect();
+        if chunks.is_empty() {
+            return Vec::new();
+        }
+        let threads = self.cfg.threads.min(chunks.len());
+        if threads == 1 {
+            return chunks.into_iter().flat_map(&work).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut parts: Vec<(usize, Vec<R>)> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(chunk) = chunks.get(i) else { break };
+                            local.push((i, work(chunk)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(local) => parts.extend(local),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        parts.sort_by_key(|(i, _)| *i);
+        parts.into_iter().flat_map(|(_, rows)| rows).collect()
+    }
+
+    /// Fused-head class per sample; order matches `samples`.
+    pub fn predict_stream(&self, samples: &[&GraphSample]) -> Vec<usize> {
+        self.fan_out(samples, |chunk| self.model.predict_batch(chunk))
+    }
+
+    /// Fused logits per sample (one `classes`-wide row each).
+    pub fn logits_stream(&self, samples: &[&GraphSample]) -> Vec<Vec<f32>> {
+        self.fan_out(samples, |chunk| self.model.logits_batch(chunk))
+    }
+
+    /// Finiteness-checked predictions per sample, with the per-row fault
+    /// isolation of [`crate::infer::classify_module`]: any row whose
+    /// batched verdict shows a non-finite head is re-run alone, so its
+    /// degradation is judged by the single-sample path.
+    pub fn predict_checked_stream(&self, samples: &[&GraphSample]) -> Vec<CheckedPrediction> {
+        self.fan_out(samples, |chunk| {
+            self.model
+                .predict_checked_batch(chunk)
+                .into_iter()
+                .zip(chunk)
+                .map(|(checked, s)| {
+                    let faulty = checked.fused.is_none()
+                        || checked.node.is_none()
+                        || checked.structural.is_none();
+                    if faulty {
+                        self.model.predict_checked(s)
+                    } else {
+                        checked
+                    }
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::model::MvGnnConfig;
+    use mvgnn_dataset::{build_corpus, CorpusConfig, Suite};
+    use mvgnn_embed::Inst2VecConfig;
+    use mvgnn_ir::transform::OptLevel;
+
+    fn tiny_dataset() -> mvgnn_dataset::Dataset {
+        build_corpus(&CorpusConfig {
+            seeds: vec![4],
+            opt_levels: vec![OptLevel::O0],
+            per_class: Some(16),
+            test_fraction: 0.5,
+            suite: Some(Suite::PolyBench),
+            inst2vec: Inst2VecConfig { dim: 8, epochs: 1, negatives: 2, lr: 0.05, seed: 4 },
+            sample: Default::default(),
+            seed: 6,
+            label_noise: 0.0,
+        })
+    }
+
+    fn tiny_model(ds: &mvgnn_dataset::Dataset) -> MvGnn {
+        let s0 = &ds.train[0].sample;
+        MvGnn::new(MvGnnConfig::small(s0.node_dim, s0.aw_vocab))
+    }
+
+    #[test]
+    fn stream_matches_sequential_at_any_thread_count() {
+        let ds = tiny_dataset();
+        let model = Arc::new(tiny_model(&ds));
+        let samples: Vec<&mvgnn_embed::GraphSample> =
+            ds.test.iter().map(|s| &s.sample).collect();
+        let reference: Vec<usize> = samples
+            .chunks(3)
+            .flat_map(|c| model.predict_batch(c))
+            .collect();
+        for threads in [1, 2, 8] {
+            let eng = InferenceEngine::new(
+                Arc::clone(&model),
+                EngineConfig { threads, batch_size: 3 },
+            );
+            assert_eq!(eng.predict_stream(&samples), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn logits_are_bit_identical_across_threads() {
+        let ds = tiny_dataset();
+        let model = Arc::new(tiny_model(&ds));
+        let samples: Vec<&mvgnn_embed::GraphSample> =
+            ds.test.iter().map(|s| &s.sample).collect();
+        let one =
+            InferenceEngine::new(Arc::clone(&model), EngineConfig { threads: 1, batch_size: 4 });
+        let many =
+            InferenceEngine::new(Arc::clone(&model), EngineConfig { threads: 8, batch_size: 4 });
+        let a = one.logits_stream(&samples);
+        let b = many.logits_stream(&samples);
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.iter().zip(&b) {
+            let ba: Vec<u32> = ra.iter().map(|x| x.to_bits()).collect();
+            let bb: Vec<u32> = rb.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(ba, bb);
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_a_no_op() {
+        let ds = tiny_dataset();
+        let eng = InferenceEngine::new(Arc::new(tiny_model(&ds)), EngineConfig::default());
+        assert!(eng.predict_stream(&[]).is_empty());
+        assert!(eng.logits_stream(&[]).is_empty());
+        assert!(eng.predict_checked_stream(&[]).is_empty());
+    }
+
+    #[test]
+    fn zero_config_clamps_to_one() {
+        let ds = tiny_dataset();
+        let eng = InferenceEngine::new(
+            Arc::new(tiny_model(&ds)),
+            EngineConfig { threads: 0, batch_size: 0 },
+        );
+        assert_eq!(eng.config(), EngineConfig { threads: 1, batch_size: 1 });
+        let samples: Vec<&mvgnn_embed::GraphSample> =
+            ds.test.iter().take(3).map(|s| &s.sample).collect();
+        assert_eq!(eng.predict_stream(&samples).len(), 3);
+    }
+
+    #[test]
+    fn poisoned_model_degrades_rows_not_the_stream() {
+        let ds = tiny_dataset();
+        let mut model = tiny_model(&ds);
+        FaultPlan::new(11).poison_params(&mut model.params, 64);
+        let model = Arc::new(model);
+        let samples: Vec<&mvgnn_embed::GraphSample> =
+            ds.test.iter().map(|s| &s.sample).collect();
+        let eng =
+            InferenceEngine::new(Arc::clone(&model), EngineConfig { threads: 4, batch_size: 4 });
+        let rows = eng.predict_checked_stream(&samples);
+        assert_eq!(rows.len(), samples.len());
+        // Every row's verdict must match the isolated single-sample path.
+        for (row, s) in rows.iter().zip(&samples) {
+            assert_eq!(*row, model.predict_checked(s));
+        }
+    }
+}

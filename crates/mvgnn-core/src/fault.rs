@@ -50,7 +50,7 @@ impl FaultPlan {
     /// Overwrite `k` seed-chosen weight entries with NaN.
     pub fn poison_params(&self, params: &mut Params, k: usize) {
         let mut state = self.seed ^ 0x7031_50a9_e0f5_41c1;
-        for (_, data, _) in params.iter_mut() {
+        for (_, data) in params.iter_mut() {
             for _ in 0..k {
                 let idx = (splitmix(&mut state) as usize) % data.len().max(1);
                 data[idx] = f32::NAN;

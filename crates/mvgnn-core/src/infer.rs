@@ -86,7 +86,7 @@ struct PendingLoop {
 /// degradation path (view fallback, conservative serial) is decided
 /// exactly as before, in isolation from its chunk-mates.
 pub fn classify_module(
-    model: &mut MvGnn,
+    model: &MvGnn,
     module: &Module,
     entry: FuncId,
     inst2vec: &Inst2Vec,
@@ -259,8 +259,8 @@ mod tests {
 
     #[test]
     fn healthy_module_classifies_every_loop_multi_view() {
-        let (m, f, i2v, mut model) = setup();
-        let reports = classify_module(&mut model, &m, f, &i2v, &SampleConfig::default(), None, None);
+        let (m, f, i2v, model) = setup();
+        let reports = classify_module(&model, &m, f, &i2v, &SampleConfig::default(), None, None);
         assert_eq!(reports.len(), 2);
         for r in &reports {
             assert_eq!(r.source, PredictionSource::Multi, "{r:?}");
@@ -271,10 +271,10 @@ mod tests {
 
     #[test]
     fn truncated_trace_degrades_without_aborting() {
-        let (m, f, i2v, mut model) = setup();
+        let (m, f, i2v, model) = setup();
         let budget = FaultPlan::new(4).starved_step_budget();
         let reports =
-            classify_module(&mut model, &m, f, &i2v, &SampleConfig::default(), Some(budget), None);
+            classify_module(&model, &m, f, &i2v, &SampleConfig::default(), Some(budget), None);
         assert_eq!(reports.len(), 2, "batch must not shrink under truncation");
         for r in &reports {
             assert_ne!(r.source, PredictionSource::Multi, "{r:?}");
@@ -290,7 +290,7 @@ mod tests {
     fn poisoned_model_falls_back_to_conservative_serial() {
         let (m, f, i2v, mut model) = setup();
         FaultPlan::new(11).poison_params(&mut model.params, 64);
-        let reports = classify_module(&mut model, &m, f, &i2v, &SampleConfig::default(), None, None);
+        let reports = classify_module(&model, &m, f, &i2v, &SampleConfig::default(), None, None);
         assert_eq!(reports.len(), 2);
         for r in &reports {
             assert_ne!(

@@ -16,6 +16,7 @@
 //!   / Table IV row
 
 pub mod checkpoint;
+pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod infer;
@@ -27,6 +28,7 @@ pub mod trainer;
 pub mod views;
 
 pub use checkpoint::{read_checkpoint, write_checkpoint, Checkpoint};
+pub use engine::{EngineConfig, InferenceEngine};
 pub use error::MvGnnError;
 pub use fault::FaultPlan;
 pub use infer::{classify_module, LoopReport, PredictionSource};

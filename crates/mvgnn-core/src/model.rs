@@ -265,26 +265,34 @@ impl MvGnn {
     }
 
     /// Predict the class of one sample (inference only).
-    pub fn predict(&mut self, s: &GraphSample) -> usize {
+    pub fn predict(&self, s: &GraphSample) -> usize {
         self.predict_detailed(s).0
     }
 
     /// Predict classes for a slice of samples with one packed forward
     /// pass per call. Identical to mapping [`Self::predict`] (row-local
-    /// execution), just faster.
-    pub fn predict_batch(&mut self, samples: &[&GraphSample]) -> Vec<usize> {
+    /// execution), just faster. Takes `&self`, so an `Arc<MvGnn>` can
+    /// serve many threads concurrently.
+    pub fn predict_batch(&self, samples: &[&GraphSample]) -> Vec<usize> {
         if samples.is_empty() {
             return Vec::new();
         }
         let batch = GraphBatch::from_samples(samples);
-        let mut params = std::mem::take(&mut self.params);
-        let result = {
-            let mut tape = Tape::new(&mut params);
-            let fwd = self.forward_batch(&mut tape, &batch);
-            argmax_rows(tape.data(fwd.logits), samples.len(), self.cfg.classes)
-        };
-        self.params = params;
-        result
+        let mut tape = Tape::new(&self.params);
+        let fwd = self.forward_batch(&mut tape, &batch);
+        argmax_rows(tape.data(fwd.logits), samples.len(), self.cfg.classes)
+    }
+
+    /// Fused logits for a slice of samples, one row per sample, computed
+    /// with one packed forward pass (inference only).
+    pub fn logits_batch(&self, samples: &[&GraphSample]) -> Vec<Vec<f32>> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let batch = GraphBatch::from_samples(samples);
+        let mut tape = Tape::new(&self.params);
+        let fwd = self.forward_batch(&mut tape, &batch);
+        tape.data(fwd.logits).chunks(self.cfg.classes).map(<[f32]>::to_vec).collect()
     }
 
     /// Serialise the trained weights (architecture config not included;
@@ -303,97 +311,93 @@ impl MvGnn {
     /// NaN/Inf reports `None` instead of an arbitrary argmax, so callers
     /// can fall back to a healthy view (or a conservative default)
     /// instead of trusting garbage.
-    pub fn predict_checked(&mut self, s: &GraphSample) -> CheckedPrediction {
-        self.predict_checked_batch(&[s]).pop().expect("batch of one")
+    pub fn predict_checked(&self, s: &GraphSample) -> CheckedPrediction {
+        self.predict_checked_batch(&[s]).remove(0)
     }
 
     /// [`Self::predict_checked`] over a packed batch, one
     /// [`CheckedPrediction`] per sample. Finiteness is judged per row, so
     /// one sample's non-finite logits never contaminate its neighbours'
     /// verdicts.
-    pub fn predict_checked_batch(&mut self, samples: &[&GraphSample]) -> Vec<CheckedPrediction> {
+    pub fn predict_checked_batch(&self, samples: &[&GraphSample]) -> Vec<CheckedPrediction> {
         if samples.is_empty() {
             return Vec::new();
         }
         let batch = GraphBatch::from_samples(samples);
-        let mut params = std::mem::take(&mut self.params);
-        let result = {
-            let mut tape = Tape::new(&mut params);
-            let fwd = self.forward_batch(&mut tape, &batch);
-            let c = self.cfg.classes;
-            let check_row = |tape: &Tape<'_>, v: Var, g: usize| {
-                let row = &tape.data(v)[g * c..(g + 1) * c];
-                row.iter().all(|x| x.is_finite()).then(|| argmax_rows(row, 1, c)[0])
-            };
-            let by_name = |name: &str| {
-                self.views
-                    .iter()
-                    .position(|v| v.name() == name)
-                    .and_then(|i| fwd.view_logits[i])
-            };
-            let (node_v, struct_v) = (by_name("node"), by_name("struct"));
-            (0..samples.len())
-                .map(|g| {
-                    let fused = check_row(&tape, fwd.logits, g);
-                    CheckedPrediction {
-                        fused,
-                        node: node_v.map_or(fused, |v| check_row(&tape, v, g)),
-                        structural: struct_v.map_or(fused, |v| check_row(&tape, v, g)),
-                    }
-                })
-                .collect()
+        let mut tape = Tape::new(&self.params);
+        let fwd = self.forward_batch(&mut tape, &batch);
+        let c = self.cfg.classes;
+        let check_row = |tape: &Tape<'_>, v: Var, g: usize| {
+            let row = &tape.data(v)[g * c..(g + 1) * c];
+            row.iter().all(|x| x.is_finite()).then(|| argmax_rows(row, 1, c)[0])
         };
-        self.params = params;
-        result
+        let by_name = |name: &str| {
+            self.views
+                .iter()
+                .position(|v| v.name() == name)
+                .and_then(|i| fwd.view_logits[i])
+        };
+        let (node_v, struct_v) = (by_name("node"), by_name("struct"));
+        (0..samples.len())
+            .map(|g| {
+                let fused = check_row(&tape, fwd.logits, g);
+                CheckedPrediction {
+                    fused,
+                    node: node_v.map_or(fused, |v| check_row(&tape, v, g)),
+                    structural: struct_v.map_or(fused, |v| check_row(&tape, v, g)),
+                }
+            })
+            .collect()
     }
 
     /// Predict with all three heads: `(fused, node, struct)` — absent
     /// views repeat the fused prediction.
-    pub fn predict_detailed(&mut self, s: &GraphSample) -> (usize, usize, usize) {
-        self.predict_detailed_batch(&[s]).pop().expect("batch of one")
+    pub fn predict_detailed(&self, s: &GraphSample) -> (usize, usize, usize) {
+        self.predict_detailed_batch(&[s]).remove(0)
     }
 
     /// [`Self::predict_detailed`] over a packed batch.
     pub fn predict_detailed_batch(
-        &mut self,
+        &self,
         samples: &[&GraphSample],
     ) -> Vec<(usize, usize, usize)> {
         if samples.is_empty() {
             return Vec::new();
         }
         let batch = GraphBatch::from_samples(samples);
-        // Split borrow: move params out, run against a detached tape,
-        // put it back. Params is cheap to move (Vec of Vecs).
-        let mut params = std::mem::take(&mut self.params);
-        let result = {
-            let mut tape = Tape::new(&mut params);
-            let fwd = self.forward_batch(&mut tape, &batch);
-            let c = self.cfg.classes;
-            let rows = samples.len();
-            let fused = argmax_rows(tape.data(fwd.logits), rows, c);
-            let by_name = |name: &str| {
-                self.views
-                    .iter()
-                    .position(|v| v.name() == name)
-                    .and_then(|i| fwd.view_logits[i])
-                    .map(|v| argmax_rows(tape.data(v), rows, c))
-            };
-            let node = by_name("node");
-            let st = by_name("struct");
-            (0..rows)
-                .map(|g| {
-                    (
-                        fused[g],
-                        node.as_ref().map_or(fused[g], |n| n[g]),
-                        st.as_ref().map_or(fused[g], |s| s[g]),
-                    )
-                })
-                .collect()
+        let mut tape = Tape::new(&self.params);
+        let fwd = self.forward_batch(&mut tape, &batch);
+        let c = self.cfg.classes;
+        let rows = samples.len();
+        let fused = argmax_rows(tape.data(fwd.logits), rows, c);
+        let by_name = |name: &str| {
+            self.views
+                .iter()
+                .position(|v| v.name() == name)
+                .and_then(|i| fwd.view_logits[i])
+                .map(|v| argmax_rows(tape.data(v), rows, c))
         };
-        self.params = params;
-        result
+        let node = by_name("node");
+        let st = by_name("struct");
+        (0..rows)
+            .map(|g| {
+                (
+                    fused[g],
+                    node.as_ref().map_or(fused[g], |n| n[g]),
+                    st.as_ref().map_or(fused[g], |s| s[g]),
+                )
+            })
+            .collect()
     }
 }
+
+// The inference surface is `&self` end to end, so a trained model must
+// stay shareable across threads (`Arc<MvGnn>`); this fails to compile if
+// any field regresses to interior mutability or non-`Sync` storage.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MvGnn>();
+};
 
 /// Per-view predictions from [`MvGnn::predict_checked`]; a view is `None`
 /// when its logits were non-finite (absent views mirror the fused head).
@@ -446,7 +450,7 @@ mod tests {
     #[test]
     fn forward_produces_all_heads_in_multi_mode() {
         let s = sample();
-        let mut model = MvGnn::new(MvGnnConfig::small(s.node_dim, s.aw_vocab));
+        let model = MvGnn::new(MvGnnConfig::small(s.node_dim, s.aw_vocab));
         let (fused, node, st) = model.predict_detailed(&s);
         assert!(fused <= 1 && node <= 1 && st <= 1);
     }
@@ -457,7 +461,7 @@ mod tests {
         for mode in [ViewMode::NodeOnly, ViewMode::StructOnly] {
             let mut cfg = MvGnnConfig::small(s.node_dim, s.aw_vocab);
             cfg.mode = mode;
-            let mut model = MvGnn::new(cfg);
+            let model = MvGnn::new(cfg);
             let p = model.predict(&s);
             assert!(p <= 1, "{mode:?}");
         }
@@ -468,22 +472,22 @@ mod tests {
         let s = sample();
         let mut cfg = MvGnnConfig::small(s.node_dim, s.aw_vocab);
         cfg.drop_dynamic = true;
-        let mut model = MvGnn::new(cfg);
+        let model = MvGnn::new(cfg);
         let _ = model.predict(&s); // shapes must hold
     }
 
     #[test]
     fn deterministic_predictions_for_fixed_seed() {
         let s = sample();
-        let mut m1 = MvGnn::new(MvGnnConfig::small(s.node_dim, s.aw_vocab));
-        let mut m2 = MvGnn::new(MvGnnConfig::small(s.node_dim, s.aw_vocab));
+        let m1 = MvGnn::new(MvGnnConfig::small(s.node_dim, s.aw_vocab));
+        let m2 = MvGnn::new(MvGnnConfig::small(s.node_dim, s.aw_vocab));
         assert_eq!(m1.predict_detailed(&s), m2.predict_detailed(&s));
     }
 
     #[test]
     fn save_load_roundtrip_preserves_predictions() {
         let s = sample();
-        let mut m1 = MvGnn::new(MvGnnConfig::small(s.node_dim, s.aw_vocab));
+        let m1 = MvGnn::new(MvGnnConfig::small(s.node_dim, s.aw_vocab));
         let saved = m1.save();
         let mut cfg2 = MvGnnConfig::small(s.node_dim, s.aw_vocab);
         cfg2.seed = 0xdead; // different init — must be overwritten by load
@@ -506,10 +510,35 @@ mod tests {
     }
 
     #[test]
+    fn arc_model_serves_concurrent_predictions() {
+        let s = sample();
+        let model = std::sync::Arc::new(MvGnn::new(MvGnnConfig::small(s.node_dim, s.aw_vocab)));
+        let want = model.predict_detailed(&s);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let m = std::sync::Arc::clone(&model);
+                    let s = &s;
+                    scope.spawn(move || (m.predict_detailed(s), m.predict_batch(&[s])))
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok((detailed, batch)) => {
+                        assert_eq!(detailed, want);
+                        assert_eq!(batch, vec![want.0]);
+                    }
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+        });
+    }
+
+    #[test]
     #[should_panic(expected = "mismatch")]
     fn wrong_dims_panic() {
         let s = sample();
-        let mut model = MvGnn::new(MvGnnConfig::small(s.node_dim + 1, s.aw_vocab));
+        let model = MvGnn::new(MvGnnConfig::small(s.node_dim + 1, s.aw_vocab));
         let _ = model.predict(&s);
     }
 }

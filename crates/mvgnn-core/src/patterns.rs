@@ -7,7 +7,7 @@ use crate::model::{MvGnn, MvGnnConfig};
 use crate::trainer::TrainConfig;
 use mvgnn_dataset::{LabeledSample, PatternKind};
 use mvgnn_tensor::optim::{clip_grad_norm, Adam};
-use mvgnn_tensor::tape::{argmax_rows, Tape};
+use mvgnn_tensor::tape::{argmax_rows, GradStore, Tape};
 
 /// The four pattern classes, with a stable index mapping.
 pub const PATTERN_CLASSES: [PatternKind; 4] =
@@ -42,39 +42,34 @@ pub fn train_patterns(
     let mut curve = Vec::with_capacity(cfg.epochs);
     for _epoch in 0..cfg.epochs {
         let mut total = 0.0f32;
-        model.params.zero_grads();
-        let mut params = std::mem::take(&mut model.params);
+        let mut master = GradStore::zeros_like(&model.params);
         for s in data {
-            let mut tape = Tape::new(&mut params);
+            let mut tape = Tape::new(&model.params);
             let fwd = model.forward_on(&mut tape, &s.sample);
             let target = pattern_class(s.pattern);
             let loss = tape.softmax_ce(fwd.logits, &[target], model.cfg.temperature);
             total += tape.data(loss)[0];
             tape.backward(loss);
+            master.absorb(&tape.into_grads());
         }
-        model.params = params;
-        clip_grad_norm(&mut model.params, cfg.clip);
-        opt.step(&mut model.params);
+        clip_grad_norm(&mut master, cfg.clip);
+        opt.step(&mut model.params, &master);
         curve.push(total / data.len() as f32);
     }
     curve
 }
 
 /// Predict the pattern of one sample.
-pub fn predict_pattern(model: &mut MvGnn, s: &mvgnn_embed::GraphSample) -> PatternKind {
-    let mut params = std::mem::take(&mut model.params);
-    let idx = {
-        let mut tape = Tape::new(&mut params);
-        let fwd = model.forward_on(&mut tape, s);
-        argmax_rows(tape.data(fwd.logits), 1, 4)[0]
-    };
-    model.params = params;
+pub fn predict_pattern(model: &MvGnn, s: &mvgnn_embed::GraphSample) -> PatternKind {
+    let mut tape = Tape::new(&model.params);
+    let fwd = model.forward_on(&mut tape, s);
+    let idx = argmax_rows(tape.data(fwd.logits), 1, 4)[0];
     PATTERN_CLASSES[idx]
 }
 
 /// 4×4 confusion matrix (rows = truth, cols = prediction).
 pub fn pattern_confusion(
-    model: &mut MvGnn,
+    model: &MvGnn,
     data: &[LabeledSample],
 ) -> [[usize; 4]; 4] {
     let mut m = [[0usize; 4]; 4];
@@ -124,7 +119,7 @@ mod tests {
             curve.last().unwrap() < &(curve[0] * 0.6),
             "pattern loss should drop substantially: {curve:?}"
         );
-        let conf = pattern_confusion(&mut model, &ds.test);
+        let conf = pattern_confusion(&model, &ds.test);
         let correct: usize = (0..4).map(|i| conf[i][i]).sum();
         let total: usize = conf.iter().flatten().sum();
         assert!(total > 0);

@@ -177,7 +177,7 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> Result<(PipelineReport, Dataset), M
             let score = if val.is_empty() {
                 stats.last().map(|e| e.accuracy as f64).unwrap_or(0.0)
             } else {
-                crate::trainer::evaluate(&mut m, &val).accuracy()
+                crate::trainer::evaluate(&m, &val).accuracy()
             };
             if best.as_ref().map(|(b, _, _)| score > *b).unwrap_or(true) {
                 best = Some((score, m, stats));
@@ -191,7 +191,7 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> Result<(PipelineReport, Dataset), M
     };
 
     // MV-GNN (the paper's model).
-    let (mut mv, fig7) = train_best(mk_cfg(ViewMode::Multi, false), cfg.restarts)?;
+    let (mv, fig7) = train_best(mk_cfg(ViewMode::Multi, false), cfg.restarts)?;
     for (group, name) in GROUPS {
         if let Some(acc) = group_accuracy(&ds, group, |s| mv.predict(&s.sample)) {
             table3.push(Table3Row {
@@ -203,7 +203,7 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> Result<(PipelineReport, Dataset), M
     }
 
     // Static GNN (Shen et al.): single node view, static features only.
-    let (mut static_gnn, _) = train_best(mk_cfg(ViewMode::NodeOnly, true), cfg.restarts)?;
+    let (static_gnn, _) = train_best(mk_cfg(ViewMode::NodeOnly, true), cfg.restarts)?;
     for (group, name) in GROUPS {
         if let Some(acc) = group_accuracy(&ds, group, |s| static_gnn.predict(&s.sample)) {
             table3.push(Table3Row {
@@ -265,7 +265,7 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> Result<(PipelineReport, Dataset), M
     }
 
     // Fig. 8: view importance per suite on the test set.
-    let fig8 = view_importance(&mut mv, &ds.full, |s| suite_name(s.suite).to_string());
+    let fig8 = view_importance(&mv, &ds.full, |s| suite_name(s.suite).to_string());
 
     // Table IV: the trained model over every NPB loop (unoptimised apps).
     let mut table4 = Vec::new();

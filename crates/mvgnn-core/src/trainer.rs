@@ -1,11 +1,12 @@
 //! Mini-batch training with rayon data-parallel gradient accumulation,
 //! divergence recovery, and checkpoint/resume.
 //!
-//! Each batch is split across worker threads; every worker clones the
-//! parameter store, accumulates gradients over its shard, and the shards
-//! are reduced into the master store before the optimizer step — the
-//! standard synchronous data-parallel scheme, safe by construction
-//! (no shared mutable state).
+//! Each batch is split across worker threads; every worker reads the
+//! shared immutable weights through `&Params`, accumulates gradients
+//! into its own private [`GradStore`] sidecar, and the sidecars are
+//! reduced into a master store before the optimizer step — the standard
+//! synchronous data-parallel scheme, safe by construction (no shared
+//! mutable state, and no per-worker weight clones).
 //!
 //! Robustness: the trainer snapshots the weights after every completed
 //! epoch. If an epoch produces a non-finite loss or gradient norm it
@@ -23,7 +24,7 @@ use crate::model::MvGnn;
 use mvgnn_dataset::LabeledSample;
 use mvgnn_embed::GraphBatch;
 use mvgnn_tensor::optim::{clip_grad_norm, Adam};
-use mvgnn_tensor::tape::{argmax_rows, Params, Tape};
+use mvgnn_tensor::tape::{argmax_rows, GradStore, Tape};
 use rayon::prelude::*;
 use std::path::PathBuf;
 
@@ -94,7 +95,8 @@ fn mix(seed: u64, v: u64) -> u64 {
 
 /// Gradient accumulation over one shard — a single packed forward and
 /// backward pass over every sample of the shard; returns
-/// (params-with-grads, summed loss, correct count).
+/// (gradient sidecar, summed loss, correct count). The shared weights
+/// are only read; each call owns nothing but its grad buffers.
 ///
 /// `softmax_ce` averages over the batch rows, so the loss is rescaled by
 /// the shard size before `backward` to keep the historical
@@ -102,19 +104,16 @@ fn mix(seed: u64, v: u64) -> u64 {
 /// only f32 summation order, never the math.
 fn shard_grads(
     model: &MvGnn,
-    base: &Params,
     shard: &[&LabeledSample],
     aux_weight: f32,
-) -> (Params, f64, usize) {
-    let mut local = base.clone();
-    local.zero_grads();
+) -> (GradStore, f64, usize) {
     let temperature = model.cfg.temperature;
     let classes = model.cfg.classes;
     let samples: Vec<&mvgnn_embed::GraphSample> = shard.iter().map(|s| &s.sample).collect();
     let labels: Vec<usize> = shard.iter().map(|s| s.label).collect();
     let batch = GraphBatch::from_samples(&samples);
 
-    let mut tape = Tape::new(&mut local);
+    let mut tape = Tape::new(&model.params);
     let fwd = model.forward_batch(&mut tape, &batch);
     let preds = argmax_rows(tape.data(fwd.logits), shard.len(), classes);
     let correct = preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
@@ -133,8 +132,7 @@ fn shard_grads(
     let total = tape.scale(loss, shard.len() as f32);
     let loss_sum = tape.data(total)[0] as f64;
     tape.backward(total);
-    drop(tape);
-    (local, loss_sum, correct)
+    (tape.into_grads(), loss_sum, correct)
 }
 
 /// Outcome of one epoch over the data.
@@ -156,30 +154,30 @@ fn run_epoch(
     let mut epoch_correct = 0usize;
     for batch_idx in order.chunks(cfg.batch_size) {
         let batch: Vec<&LabeledSample> = batch_idx.iter().map(|&i| &data[i]).collect();
-        model.params.zero_grads();
         let threads = if cfg.parallel { rayon::current_num_threads().max(1) } else { 1 };
         let shard_size = batch.len().div_ceil(threads);
-        let results: Vec<(Params, f64, usize)> = if cfg.parallel && batch.len() > 1 {
+        let results: Vec<(GradStore, f64, usize)> = if cfg.parallel && batch.len() > 1 {
             batch
                 .par_chunks(shard_size)
-                .map(|shard| shard_grads(model, &model.params, shard, cfg.aux_weight))
+                .map(|shard| shard_grads(model, shard, cfg.aux_weight))
                 .collect()
         } else {
-            vec![shard_grads(model, &model.params, &batch, cfg.aux_weight)]
+            vec![shard_grads(model, &batch, cfg.aux_weight)]
         };
+        let mut master = GradStore::zeros_like(&model.params);
         for (local, loss, correct) in results {
-            model.params.absorb_grads(&local);
+            master.absorb(&local);
             epoch_loss += loss;
             epoch_correct += correct;
         }
         // clip_grad_norm returns the PRE-clip norm, so a NaN/Inf gradient
-        // anywhere in the store surfaces here — bail before the optimizer
-        // step can smear it into the weights.
-        let grad_norm = clip_grad_norm(&mut model.params, cfg.clip);
+        // anywhere in the sidecar surfaces here — bail before the
+        // optimizer step can smear it into the weights.
+        let grad_norm = clip_grad_norm(&mut master, cfg.clip);
         if !grad_norm.is_finite() {
             return EpochRun::Diverged { loss: (epoch_loss / data.len() as f64) as f32 };
         }
-        opt.step(&mut model.params);
+        opt.step(&mut model.params, &master);
     }
     let loss = (epoch_loss / data.len() as f64) as f32;
     if !loss.is_finite() {
@@ -274,7 +272,7 @@ pub fn train(
 
 /// Evaluate accuracy on a sample slice (packed batched inference;
 /// predictions match the per-sample path exactly).
-pub fn evaluate(model: &mut MvGnn, data: &[LabeledSample]) -> mvgnn_baselines::Metrics {
+pub fn evaluate(model: &MvGnn, data: &[LabeledSample]) -> mvgnn_baselines::Metrics {
     let mut m = mvgnn_baselines::Metrics::default();
     for chunk in data.chunks(32) {
         let samples: Vec<&mvgnn_embed::GraphSample> = chunk.iter().map(|s| &s.sample).collect();
@@ -359,8 +357,8 @@ mod tests {
     #[test]
     fn evaluate_reports_metrics() {
         let ds = tiny_dataset();
-        let mut model = tiny_model(&ds);
-        let m = evaluate(&mut model, &ds.test);
+        let model = tiny_model(&ds);
+        let m = evaluate(&model, &ds.test);
         assert_eq!(m.total(), ds.test.len());
     }
 
@@ -403,7 +401,7 @@ mod tests {
         assert_eq!(stats.len(), 4, "all epochs must complete after rollback");
         assert!(stats.iter().all(|s| s.loss.is_finite()));
         // The recovered weights must be usable.
-        let m = evaluate(&mut model, &ds.test);
+        let m = evaluate(&model, &ds.test);
         assert_eq!(m.total(), ds.test.len());
     }
 

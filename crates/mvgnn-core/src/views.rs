@@ -202,7 +202,7 @@ const IMPORTANCE_CHUNK: usize = 32;
 /// Compute view importances over a labeled evaluation set, grouped by the
 /// key function (suite name, app name, …).
 pub fn view_importance(
-    model: &mut MvGnn,
+    model: &MvGnn,
     data: &[LabeledSample],
     key: impl Fn(&LabeledSample) -> String,
 ) -> Vec<ViewImportance> {

@@ -256,7 +256,7 @@ mod tests {
             let edges: Vec<(u32, u32)> =
                 (0..n.saturating_sub(1)).map(|i| (i as u32, i as u32 + 1)).collect();
             let adj = gcn_adjacency(&Csr::from_edges(n, &edges));
-            let mut tape = Tape::new(&mut params);
+            let mut tape = Tape::new(&params);
             let x = tape.input(vec![0.1; n * 4], n, 4);
             let e = model.embed(&mut tape, &adj, x);
             assert_eq!(tape.shape(e), (1, 32), "n = {n}");
@@ -301,10 +301,10 @@ mod tests {
 
         let mut acc = 0.0;
         for _epoch in 0..60 {
-            params.zero_grads();
+            let mut master = mvgnn_tensor::GradStore::zeros_like(&params);
             let mut correct = 0;
             for (adj, feats, n, label) in &data {
-                let mut tape = Tape::new(&mut params);
+                let mut tape = Tape::new(&params);
                 let x = tape.input(feats.clone(), *n, 2);
                 let logits = model.logits(&mut tape, adj, x);
                 if argmax_rows(tape.data(logits), 1, 2)[0] == *label {
@@ -312,8 +312,9 @@ mod tests {
                 }
                 let loss = tape.softmax_ce(logits, &[*label], 1.0);
                 tape.backward(loss);
+                master.absorb(&tape.into_grads());
             }
-            opt.step(&mut params);
+            opt.step(&mut params, &master);
             acc = correct as f32 / data.len() as f32;
             if acc == 1.0 {
                 break;
@@ -349,7 +350,7 @@ mod tests {
         // Singles.
         let mut singles: Vec<Vec<f32>> = Vec::new();
         for (adj, feats, n) in &graphs {
-            let mut tape = Tape::new(&mut params);
+            let mut tape = Tape::new(&params);
             let x = tape.input(feats.clone(), *n, 3);
             let e = model.embed(&mut tape, adj, x);
             singles.push(tape.data(e).to_vec());
@@ -365,7 +366,7 @@ mod tests {
             offsets.push(offsets[offsets.len() - 1] + n);
         }
         let total = offsets[offsets.len() - 1];
-        let mut tape = Tape::new(&mut params);
+        let mut tape = Tape::new(&params);
         let x = tape.input(feats, total, 3);
         let e = model.embed_batch(&mut tape, &bd, x, &offsets);
         let (rows, cols) = tape.shape(e);
@@ -396,25 +397,29 @@ mod tests {
             let (aa, ab) = (mk(na), mk(nb));
             let fa: Vec<f32> = (0..na * 2).map(|i| (i as f32 * 0.07).sin()).collect();
             let fb: Vec<f32> = (0..nb * 2).map(|i| (i as f32 * 0.11).cos()).collect();
-            if batched {
+            let master = if batched {
                 let bd = mvgnn_tensor::SparseMatrix::block_diag(&[&aa, &ab]);
                 let packed: Vec<f32> = fa.iter().chain(&fb).copied().collect();
-                let mut tape = Tape::new(&mut params);
+                let mut tape = Tape::new(&params);
                 let x = tape.input(packed, na + nb, 2);
                 let e = model.embed_batch(&mut tape, &bd, x, &[0, na, na + nb]);
                 let loss = tape.sum_all(e);
                 tape.backward(loss);
+                tape.into_grads()
             } else {
+                let mut acc = mvgnn_tensor::GradStore::zeros_like(&params);
                 for (adj, f, n) in [(&aa, &fa, na), (&ab, &fb, nb)] {
-                    let mut tape = Tape::new(&mut params);
+                    let mut tape = Tape::new(&params);
                     let x = tape.input(f.clone(), n, 2);
                     let e = model.embed(&mut tape, adj, x);
                     let loss = tape.sum_all(e);
                     tape.backward(loss);
+                    acc.absorb(&tape.into_grads());
                 }
-            }
+                acc
+            };
             (0..params.len())
-                .map(|i| params.grad(mvgnn_tensor::tape::ParamId(i)).to_vec())
+                .map(|i| master.get(mvgnn_tensor::tape::ParamId(i)).to_vec())
                 .collect()
         };
         let gb = build(true);

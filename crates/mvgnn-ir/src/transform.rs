@@ -14,8 +14,9 @@ use crate::module::{BlockId, FuncId, Function, Module};
 use crate::types::{VReg, Value};
 use std::collections::HashMap;
 
-/// The six augmentation pipelines (cumulative, like -O levels).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// The six augmentation pipelines (cumulative, like -O levels). The
+/// derived `Ord` follows declaration order, so `O0 < O1 < … < O5`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OptLevel {
     /// No transformation.
     O0,
@@ -59,18 +60,6 @@ pub fn optimize(m: &Module, level: OptLevel) -> Module {
         }
     }
     out
-}
-
-impl PartialOrd for OptLevel {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for OptLevel {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (*self as u8).cmp(&(*other as u8))
-    }
 }
 
 /// Registers whose value is known constant at a program point
@@ -381,6 +370,20 @@ mod tests {
     use crate::interp::{Interpreter, NoTracer};
     use crate::types::Ty;
     use crate::verify::verify_module;
+
+    #[test]
+    fn opt_levels_order_by_declaration() {
+        // `ALL` is declared lowest-to-highest; the derived Ord must agree,
+        // and PartialOrd must be total and consistent with it.
+        for w in OptLevel::ALL.windows(2) {
+            assert!(w[0] < w[1], "{:?} !< {:?}", w[0], w[1]);
+        }
+        for &a in &OptLevel::ALL {
+            for &b in &OptLevel::ALL {
+                assert_eq!(a.partial_cmp(&b), Some(a.cmp(&b)));
+            }
+        }
+    }
 
     /// A kernel mixing constants, redundancy and dead code so every pass
     /// has something to do.

@@ -85,7 +85,7 @@ mod tests {
         let conv = Conv1d::new(&mut params, "c", 4, 8, 5, 1, &mut rng);
         assert_eq!(conv.out_len(20), 16);
         assert_eq!(conv.out_ch(), 8);
-        let mut tape = Tape::new(&mut params);
+        let mut tape = Tape::new(&params);
         let x = tape.input(vec![0.1; 20 * 4], 20, 4);
         let y = conv.forward(&mut tape, x);
         assert_eq!(tape.shape(y), (16, 8));
@@ -97,7 +97,7 @@ mod tests {
         let mut params = Params::new();
         let mut rng = init::rng(5);
         let conv = Conv1d::new(&mut params, "c", 1, 2, 3, 3, &mut rng);
-        let mut tape = Tape::new(&mut params);
+        let mut tape = Tape::new(&params);
         let x = tape.input(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 6, 1);
         let y = conv.forward(&mut tape, x);
         assert_eq!(tape.shape(y), (2, 2));
@@ -108,13 +108,13 @@ mod tests {
         let mut params = Params::new();
         let mut rng = init::rng(7);
         let conv = Conv1d::new(&mut params, "c", 2, 3, 2, 1, &mut rng);
-        let mut tape = Tape::new(&mut params);
+        let mut tape = Tape::new(&params);
         let x = tape.input(vec![0.5; 10], 5, 2);
         let y = conv.forward(&mut tape, x);
         let loss = tape.sum_all(y);
         tape.backward(loss);
-        drop(tape);
-        assert!(params.grad(conv.w).iter().any(|&g| g != 0.0));
-        assert!(params.grad(conv.b).iter().all(|&g| (g - 4.0).abs() < 1e-5));
+        let grads = tape.into_grads();
+        assert!(grads.get(conv.w).iter().any(|&g| g != 0.0));
+        assert!(grads.get(conv.b).iter().all(|&g| (g - 4.0).abs() < 1e-5));
     }
 }

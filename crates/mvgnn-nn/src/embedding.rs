@@ -65,7 +65,7 @@ mod tests {
         let mut rng = init::rng(2);
         let emb = Embedding::new(&mut params, "e", 5, 3, &mut rng);
         let row2 = params.data(emb.table)[6..9].to_vec();
-        let mut tape = Tape::new(&mut params);
+        let mut tape = Tape::new(&params);
         let out = emb.forward(&mut tape, &[2, 2, 4]);
         assert_eq!(tape.shape(out), (3, 3));
         assert_eq!(&tape.data(out)[..3], &row2[..]);
@@ -79,7 +79,7 @@ mod tests {
         let emb = Embedding::new(&mut params, "e", 2, 2, &mut rng);
         // Overwrite the table for a deterministic check.
         params.data_mut(emb.table).copy_from_slice(&[1.0, 0.0, 0.0, 1.0]);
-        let mut tape = Tape::new(&mut params);
+        let mut tape = Tape::new(&params);
         let w = tape.input(vec![0.25, 0.75], 1, 2);
         let out = emb.forward_soft(&mut tape, w);
         assert_eq!(tape.data(out), &[0.25, 0.75]);
@@ -90,12 +90,12 @@ mod tests {
         let mut params = Params::new();
         let mut rng = init::rng(2);
         let emb = Embedding::new(&mut params, "e", 4, 2, &mut rng);
-        let mut tape = Tape::new(&mut params);
+        let mut tape = Tape::new(&params);
         let out = emb.forward(&mut tape, &[1]);
         let loss = tape.sum_all(out);
         tape.backward(loss);
-        drop(tape);
-        let g = params.grad(emb.table);
+        let grads = tape.into_grads();
+        let g = grads.get(emb.table);
         assert_eq!(&g[0..2], &[0.0, 0.0]);
         assert_eq!(&g[2..4], &[1.0, 1.0]);
         assert_eq!(&g[4..8], &[0.0, 0.0, 0.0, 0.0]);
@@ -107,7 +107,7 @@ mod tests {
         let mut params = Params::new();
         let mut rng = init::rng(2);
         let emb = Embedding::new(&mut params, "e", 2, 2, &mut rng);
-        let mut tape = Tape::new(&mut params);
+        let mut tape = Tape::new(&params);
         let _ = emb.forward(&mut tape, &[2]);
     }
 }

@@ -64,13 +64,14 @@ impl Linear {
 mod tests {
     use super::*;
     use mvgnn_tensor::optim::Sgd;
+    use mvgnn_tensor::GradStore;
 
     #[test]
     fn forward_shapes() {
         let mut params = Params::new();
         let mut rng = init::rng(1);
         let lin = Linear::new(&mut params, "l", 4, 3, true, &mut rng);
-        let mut tape = Tape::new(&mut params);
+        let mut tape = Tape::new(&params);
         let x = tape.input(vec![0.0; 8], 2, 4);
         let y = lin.forward(&mut tape, x);
         assert_eq!(tape.shape(y), (2, 3));
@@ -100,10 +101,10 @@ mod tests {
         ];
         let mut last = f32::MAX;
         for _ in 0..200 {
-            params.zero_grads();
+            let mut master = GradStore::zeros_like(&params);
             let mut total = 0.0;
             for (x, y) in &data {
-                let mut tape = Tape::new(&mut params);
+                let mut tape = Tape::new(&params);
                 let xv = tape.input(x.clone(), 1, 2);
                 let yv = tape.input(y.clone(), 1, 2);
                 let out = lin.forward(&mut tape, xv);
@@ -112,8 +113,9 @@ mod tests {
                 let loss = tape.sum_all(sq);
                 total += tape.data(loss)[0];
                 tape.backward(loss);
+                master.absorb(&tape.into_grads());
             }
-            opt.step(&mut params);
+            opt.step(&mut params, &master);
             last = total;
         }
         assert!(last < 1e-3, "residual {last}");

@@ -80,7 +80,7 @@ mod tests {
         let mut params = Params::new();
         let mut rng = init::rng(11);
         let lstm = Lstm::new(&mut params, "l", 3, 5, &mut rng);
-        let mut tape = Tape::new(&mut params);
+        let mut tape = Tape::new(&params);
         let xs = tape.input((0..12).map(|i| (i as f32) * 0.1).collect(), 4, 3);
         let (all, last) = lstm.forward_seq(&mut tape, xs);
         assert_eq!(tape.shape(all), (4, 5));
@@ -110,10 +110,10 @@ mod tests {
         ];
         let mut final_acc = 0.0;
         for _epoch in 0..150 {
-            params.zero_grads();
+            let mut master = mvgnn_tensor::GradStore::zeros_like(&params);
             let mut correct = 0;
             for (seq, label) in &seqs {
-                let mut tape = Tape::new(&mut params);
+                let mut tape = Tape::new(&params);
                 let xs = tape.input(seq.clone(), seq.len(), 1);
                 let (_, last) = lstm.forward_seq(&mut tape, xs);
                 let logits = head.forward(&mut tape, last);
@@ -123,8 +123,9 @@ mod tests {
                 }
                 let loss = tape.softmax_ce(logits, &[*label], 1.0);
                 tape.backward(loss);
+                master.absorb(&tape.into_grads());
             }
-            opt.step(&mut params);
+            opt.step(&mut params, &master);
             final_acc = correct as f32 / seqs.len() as f32;
         }
         assert!(final_acc > 0.9, "accuracy {final_acc}");

@@ -86,7 +86,7 @@ mod tests {
         let mut rng = init::rng(4);
         let mlp = Mlp::new(&mut params, "m", &[6, 10, 4, 2], Activation::Relu, &mut rng);
         assert_eq!(mlp.depth(), 3);
-        let mut tape = Tape::new(&mut params);
+        let mut tape = Tape::new(&params);
         let x = tape.input(vec![0.5; 12], 2, 6);
         let y = mlp.forward(&mut tape, x);
         assert_eq!(tape.shape(y), (2, 2));
@@ -107,10 +107,10 @@ mod tests {
         let mut opt = Adam::new(0.05);
         let mut acc = 0.0;
         for _ in 0..300 {
-            params.zero_grads();
+            let mut master = mvgnn_tensor::GradStore::zeros_like(&params);
             let mut correct = 0;
             for (x, y) in &data {
-                let mut tape = Tape::new(&mut params);
+                let mut tape = Tape::new(&params);
                 let xv = tape.input(x.clone(), 1, 2);
                 let logits = mlp.forward(&mut tape, xv);
                 if argmax_rows(tape.data(logits), 1, 2)[0] == *y {
@@ -118,8 +118,9 @@ mod tests {
                 }
                 let loss = tape.softmax_ce(logits, &[*y], 1.0);
                 tape.backward(loss);
+                master.absorb(&tape.into_grads());
             }
-            opt.step(&mut params);
+            opt.step(&mut params, &master);
             acc = correct as f32 / data.len() as f32;
         }
         assert_eq!(acc, 1.0, "XOR accuracy {acc}");
@@ -127,8 +128,8 @@ mod tests {
 
     #[test]
     fn activations_apply() {
-        let mut params = Params::new();
-        let mut tape = Tape::new(&mut params);
+        let params = Params::new();
+        let mut tape = Tape::new(&params);
         let x = tape.input(vec![-1.0, 1.0], 1, 2);
         let r = Activation::Relu.apply(&mut tape, x);
         assert_eq!(tape.data(r), &[0.0, 1.0]);

@@ -9,8 +9,9 @@
 //!   for large operands)
 //! - [`sparse`]: CSR sparse matrices for GCN propagation operators
 //! - [`tape`]: the autograd tape — build a graph per forward pass against
-//!   persistent [`tape::Params`], call [`tape::Tape::backward`], step an
-//!   optimizer
+//!   a shared `&`[`tape::Params`] value store, call
+//!   [`tape::Tape::backward`] to fill the tape's private
+//!   [`tape::GradStore`] sidecar, reduce sidecars and step an optimizer
 //! - [`optim`]: SGD with momentum and Adam, plus gradient clipping
 //! - [`init`]: seeded Xavier/uniform/zero initializers
 
@@ -23,4 +24,4 @@ pub mod tape;
 
 pub use sparse::SparseMatrix;
 pub use persist::{load_params, save_params, PersistError};
-pub use tape::{Params, ParamId, Tape, Var};
+pub use tape::{GradStore, Params, ParamId, Tape, Var};

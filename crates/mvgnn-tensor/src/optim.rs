@@ -1,17 +1,16 @@
 //! Optimizers: SGD with momentum, Adam, and global-norm gradient clipping.
+//!
+//! Optimizers read accumulated gradients from a [`GradStore`] sidecar
+//! (produced by [`crate::tape::Tape::into_grads`], possibly reduced from
+//! several workers) and write updated values into [`Params`].
 
-use crate::tape::Params;
+use crate::tape::{GradStore, Params};
 
 /// Clip gradients to a maximum global L2 norm; returns the pre-clip norm.
-pub fn clip_grad_norm(params: &mut Params, max_norm: f32) -> f32 {
-    let norm = params.grad_norm();
+pub fn clip_grad_norm(grads: &mut GradStore, max_norm: f32) -> f32 {
+    let norm = grads.grad_norm();
     if norm > max_norm && norm > 0.0 {
-        let scale = max_norm / norm;
-        for (_, _, g) in params.iter_mut() {
-            for x in g.iter_mut() {
-                *x *= scale;
-            }
-        }
+        grads.scale(max_norm / norm);
     }
     norm
 }
@@ -33,15 +32,15 @@ impl Sgd {
     }
 
     /// Apply one update from the accumulated gradients (does not zero them).
-    pub fn step(&mut self, params: &mut Params) {
+    pub fn step(&mut self, params: &mut Params, grads: &GradStore) {
         if self.velocity.len() != params.len() {
             self.velocity = (0..params.len())
                 .map(|i| vec![0.0; params.data(crate::tape::ParamId(i)).len()])
                 .collect();
         }
-        for (id, data, grad) in params.iter_mut() {
+        for (id, data) in params.iter_mut() {
             let v = &mut self.velocity[id.0];
-            for ((p, &g), vel) in data.iter_mut().zip(grad.iter()).zip(v.iter_mut()) {
+            for ((p, &g), vel) in data.iter_mut().zip(grads.get(id)).zip(v.iter_mut()) {
                 *vel = self.momentum * *vel - self.lr * g;
                 *p += *vel;
             }
@@ -72,7 +71,7 @@ impl Adam {
     }
 
     /// Apply one update from the accumulated gradients (does not zero them).
-    pub fn step(&mut self, params: &mut Params) {
+    pub fn step(&mut self, params: &mut Params, grads: &GradStore) {
         if self.m.len() != params.len() {
             self.m = (0..params.len())
                 .map(|i| vec![0.0; params.data(crate::tape::ParamId(i)).len()])
@@ -82,11 +81,11 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for (id, data, grad) in params.iter_mut() {
+        for (id, data) in params.iter_mut() {
             let m = &mut self.m[id.0];
             let v = &mut self.v[id.0];
             for (((p, &g), mi), vi) in
-                data.iter_mut().zip(grad.iter()).zip(m.iter_mut()).zip(v.iter_mut())
+                data.iter_mut().zip(grads.get(id)).zip(m.iter_mut()).zip(v.iter_mut())
             {
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
@@ -104,20 +103,21 @@ mod tests {
     use crate::tape::{Params, Tape};
 
     /// Minimise (w - 3)² with each optimizer.
-    fn quadratic_descends(mut step: impl FnMut(&mut Params)) -> f32 {
+    fn quadratic_descends(mut step: impl FnMut(&mut Params, &GradStore)) -> f32 {
         let mut params = Params::new();
         let w = params.add("w", 1, 1, vec![0.0]);
         for _ in 0..300 {
-            params.zero_grads();
-            let mut tape = Tape::new(&mut params);
-            let wv = tape.param(w);
-            let c = tape.input(vec![3.0], 1, 1);
-            let d = tape.sub(wv, c);
-            let sq = tape.mul(d, d);
-            let loss = tape.sum_all(sq);
-            tape.backward(loss);
-            drop(tape);
-            step(&mut params);
+            let grads = {
+                let mut tape = Tape::new(&params);
+                let wv = tape.param(w);
+                let c = tape.input(vec![3.0], 1, 1);
+                let d = tape.sub(wv, c);
+                let sq = tape.mul(d, d);
+                let loss = tape.sum_all(sq);
+                tape.backward(loss);
+                tape.into_grads()
+            };
+            step(&mut params, &grads);
         }
         params.data(w)[0]
     }
@@ -125,21 +125,21 @@ mod tests {
     #[test]
     fn sgd_converges_on_quadratic() {
         let mut opt = Sgd::new(0.05, 0.0);
-        let w = quadratic_descends(move |p| opt.step(p));
+        let w = quadratic_descends(move |p, g| opt.step(p, g));
         assert!((w - 3.0).abs() < 1e-2, "w = {w}");
     }
 
     #[test]
     fn sgd_momentum_converges() {
         let mut opt = Sgd::new(0.02, 0.9);
-        let w = quadratic_descends(move |p| opt.step(p));
+        let w = quadratic_descends(move |p, g| opt.step(p, g));
         assert!((w - 3.0).abs() < 1e-2, "w = {w}");
     }
 
     #[test]
     fn adam_converges_on_quadratic() {
         let mut opt = Adam::new(0.05);
-        let w = quadratic_descends(move |p| opt.step(p));
+        let w = quadratic_descends(move |p, g| opt.step(p, g));
         assert!((w - 3.0).abs() < 5e-2, "w = {w}");
     }
 
@@ -147,21 +147,22 @@ mod tests {
     fn clip_rescales_only_above_threshold() {
         let mut params = Params::new();
         let w = params.add("w", 1, 2, vec![0.0, 0.0]);
-        {
-            let mut tape = Tape::new(&mut params);
+        let mut grads = {
+            let mut tape = Tape::new(&params);
             let x = tape.input(vec![3.0, 4.0], 1, 2);
             let wv = tape.param(w);
             let m = tape.mul(x, wv);
             let loss = tape.sum_all(m);
             tape.backward(loss);
-        }
+            tape.into_grads()
+        };
         // Norm is 5; clipping at 1 rescales to unit norm.
-        let pre = clip_grad_norm(&mut params, 1.0);
+        let pre = clip_grad_norm(&mut grads, 1.0);
         assert!((pre - 5.0).abs() < 1e-5);
-        assert!((params.grad_norm() - 1.0).abs() < 1e-5);
+        assert!((grads.grad_norm() - 1.0).abs() < 1e-5);
         // Clipping again at a larger threshold is a no-op.
-        let pre2 = clip_grad_norm(&mut params, 10.0);
+        let pre2 = clip_grad_norm(&mut grads, 10.0);
         assert!((pre2 - 1.0).abs() < 1e-5);
-        assert!((params.grad_norm() - 1.0).abs() < 1e-5);
+        assert!((grads.grad_norm() - 1.0).abs() < 1e-5);
     }
 }

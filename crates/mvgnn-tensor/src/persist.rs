@@ -139,7 +139,7 @@ mod tests {
         let bytes = save_params(&src);
         let mut dst = store();
         // Perturb the destination first.
-        for (_, d, _) in dst.iter_mut() {
+        for (_, d) in dst.iter_mut() {
             for x in d.iter_mut() {
                 *x = -9.0;
             }

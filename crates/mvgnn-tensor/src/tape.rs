@@ -1,9 +1,12 @@
 //! Reverse-mode tape autograd.
 //!
 //! One [`Tape`] is built per forward pass against a persistent [`Params`]
-//! store. Calling [`Tape::backward`] propagates gradients through the
-//! recorded ops and accumulates parameter gradients into the store, where
-//! an optimizer from [`crate::optim`] consumes them.
+//! store, which holds parameter *values* only and is read through a
+//! shared borrow — any number of tapes (and threads) can run forward
+//! passes against the same store concurrently. Gradients live in a
+//! per-tape [`GradStore`] sidecar, allocated lazily by
+//! [`Tape::backward`] and handed to an optimizer from [`crate::optim`]
+//! via [`Tape::into_grads`].
 //!
 //! All tensors are 2-D row-major `f32` matrices.
 
@@ -16,12 +19,18 @@ use rayon::prelude::*;
 /// overhead outweighs the work.
 const PAR_THRESHOLD: usize = 1 << 16;
 
-/// Persistent parameter store (data + gradient accumulators).
+/// Persistent parameter store: values only, no gradient state.
+///
+/// Immutable during execution — forward and backward passes need only
+/// `&Params`, so a trained store can sit behind an `Arc` and serve many
+/// threads at once. Mutation happens between passes: the optimizer
+/// steps values via [`Params::iter_mut`], and persistence loads values
+/// via [`Params::data_mut`]. Gradients accumulate in a separate
+/// [`GradStore`] owned by each [`Tape`].
 #[derive(Debug, Clone, Default)]
 pub struct Params {
     names: Vec<String>,
     data: Vec<Vec<f32>>,
-    grads: Vec<Vec<f32>>,
     shapes: Vec<(usize, usize)>,
 }
 
@@ -40,7 +49,6 @@ impl Params {
         assert_eq!(init.len(), rows * cols, "init size mismatch");
         let id = ParamId(self.data.len());
         self.names.push(name.into());
-        self.grads.push(vec![0.0; init.len()]);
         self.data.push(init);
         self.shapes.push((rows, cols));
         id
@@ -71,11 +79,6 @@ impl Params {
         &mut self.data[id.0]
     }
 
-    /// Accumulated gradient.
-    pub fn grad(&self, id: ParamId) -> &[f32] {
-        &self.grads[id.0]
-    }
-
     /// Shape of a parameter.
     pub fn shape(&self, id: ParamId) -> (usize, usize) {
         self.shapes[id.0]
@@ -86,30 +89,73 @@ impl Params {
         &self.names[id.0]
     }
 
-    /// Zero every gradient accumulator.
-    pub fn zero_grads(&mut self) {
+    /// Iterate `(id, data)` mutably — the optimizer/persistence surface.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Vec<f32>)> {
+        self.data.iter_mut().enumerate().map(|(i, d)| (ParamId(i), d))
+    }
+}
+
+/// Per-tape gradient sidecar: one accumulator buffer per parameter
+/// tensor, aligned index-for-index with the [`Params`] it was built
+/// from. Each [`Tape`] owns its own `GradStore` (allocated lazily by
+/// [`Tape::backward`]), so backward passes never contend on shared
+/// state; data-parallel workers reduce their sidecars into a master
+/// store with [`GradStore::absorb`] before the optimizer steps.
+#[derive(Debug, Clone, Default)]
+pub struct GradStore {
+    grads: Vec<Vec<f32>>,
+}
+
+impl GradStore {
+    /// Zeroed accumulators matching `params` tensor-for-tensor.
+    pub fn zeros_like(params: &Params) -> Self {
+        Self { grads: params.data.iter().map(|d| vec![0.0; d.len()]).collect() }
+    }
+
+    /// Number of gradient buffers (tensors).
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// True when no buffers are held.
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+
+    /// Accumulated gradient of one parameter.
+    pub fn get(&self, id: ParamId) -> &[f32] {
+        &self.grads[id.0]
+    }
+
+    /// Mutable gradient of one parameter.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut [f32] {
+        &mut self.grads[id.0]
+    }
+
+    /// Zero every accumulator.
+    pub fn zero(&mut self) {
         for g in &mut self.grads {
             g.fill(0.0);
         }
     }
 
-    /// Iterate `(id, data, grad)` mutably — the optimizer surface.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Vec<f32>, &mut Vec<f32>)> {
-        self.data
-            .iter_mut()
-            .zip(self.grads.iter_mut())
-            .enumerate()
-            .map(|(i, (d, g))| (ParamId(i), d, g))
-    }
-
-    /// Add another store's gradients into this one (data-parallel
+    /// Add another sidecar's gradients into this one (data-parallel
     /// gradient reduction). Panics when layouts differ.
-    pub fn absorb_grads(&mut self, other: &Params) {
-        assert_eq!(self.grads.len(), other.grads.len(), "param count mismatch");
+    pub fn absorb(&mut self, other: &GradStore) {
+        assert_eq!(self.grads.len(), other.grads.len(), "grad store tensor count mismatch");
         for (g, og) in self.grads.iter_mut().zip(&other.grads) {
-            assert_eq!(g.len(), og.len(), "param shape mismatch");
+            assert_eq!(g.len(), og.len(), "grad store shape mismatch");
             for (x, &y) in g.iter_mut().zip(og) {
                 *x += y;
+            }
+        }
+    }
+
+    /// Scale every gradient uniformly (the clipping primitive).
+    pub fn scale(&mut self, factor: f32) {
+        for g in &mut self.grads {
+            for x in g.iter_mut() {
+                *x *= factor;
             }
         }
     }
@@ -173,33 +219,51 @@ struct Node {
     aux_f: Vec<f32>,
 }
 
-/// The autograd tape. Holds a mutable borrow of the parameter store for
-/// its whole life; parameter gradients accumulate on [`Tape::backward`].
+/// The autograd tape. Reads the parameter store through a shared borrow
+/// for its whole life; parameter gradients accumulate in the tape's own
+/// [`GradStore`] sidecar on [`Tape::backward`], retrieved with
+/// [`Tape::into_grads`].
 ///
 /// ```
 /// use mvgnn_tensor::{Params, Tape};
 /// let mut params = Params::new();
 /// let w = params.add("w", 2, 1, vec![1.0, 2.0]);
-/// let mut tape = Tape::new(&mut params);
+/// let mut tape = Tape::new(&params);
 /// let x = tape.input(vec![3.0, 4.0], 1, 2);
 /// let wv = tape.param(w);
 /// let y = tape.matmul(x, wv);          // 3·1 + 4·2 = 11
 /// assert_eq!(tape.data(y), &[11.0]);
 /// let loss = tape.sum_all(y);
 /// tape.backward(loss);
-/// drop(tape);
-/// assert_eq!(params.grad(w), &[3.0, 4.0]);
+/// let grads = tape.into_grads();
+/// assert_eq!(grads.get(w), &[3.0, 4.0]);
 /// ```
 pub struct Tape<'p> {
-    params: &'p mut Params,
+    params: &'p Params,
+    grads: Option<GradStore>,
     nodes: Vec<Node>,
     sparse: Vec<SparseMatrix>,
 }
 
 impl<'p> Tape<'p> {
     /// Start a fresh tape over `params`.
-    pub fn new(params: &'p mut Params) -> Self {
-        Self { params, nodes: Vec::new(), sparse: Vec::new() }
+    pub fn new(params: &'p Params) -> Self {
+        Self { params, grads: None, nodes: Vec::new(), sparse: Vec::new() }
+    }
+
+    /// The parameter gradients accumulated so far (`None` until
+    /// [`Tape::backward`] has run).
+    pub fn grads(&self) -> Option<&GradStore> {
+        self.grads.as_ref()
+    }
+
+    /// Consume the tape, returning its gradient sidecar. A forward-only
+    /// tape yields a zeroed store, so callers can absorb unconditionally.
+    pub fn into_grads(self) -> GradStore {
+        match self.grads {
+            Some(g) => g,
+            None => GradStore::zeros_like(self.params),
+        }
     }
 
     fn push(&mut self, op: Op, data: Vec<f32>, shape: (usize, usize)) -> Var {
@@ -656,9 +720,12 @@ impl<'p> Tape<'p> {
     }
 
     /// Run reverse-mode accumulation from `loss` (must be `1×1`) and push
-    /// parameter gradients into the store.
+    /// parameter gradients into the tape's [`GradStore`] sidecar.
     pub fn backward(&mut self, loss: Var) {
         assert_eq!(self.shape(loss), (1, 1), "backward needs a scalar loss");
+        if self.grads.is_none() {
+            self.grads = Some(GradStore::zeros_like(self.params));
+        }
         for node in &mut self.nodes {
             if node.grad.is_empty() {
                 node.grad = vec![0.0; node.data.len()];
@@ -676,9 +743,10 @@ impl<'p> Tape<'p> {
             match op {
                 Op::Input => {}
                 Op::Param(id) => {
-                    let pg = &mut self.params.grads[id.0];
-                    for (p, &g) in pg.iter_mut().zip(&grad) {
-                        *p += g;
+                    if let Some(gs) = self.grads.as_mut() {
+                        for (p, &g) in gs.grads[id.0].iter_mut().zip(&grad) {
+                            *p += g;
+                        }
                     }
                 }
                 Op::MatMul(a, b) => {
@@ -997,10 +1065,10 @@ mod tests {
     /// Finite-difference check: perturb each input scalar, compare the
     /// analytic gradient against (f(x+h) - f(x-h)) / 2h.
     fn grad_check(build: impl Fn(&mut Tape<'_>, Var) -> Var, x0: Vec<f32>, rows: usize, cols: usize) {
-        let mut params = Params::new();
+        let params = Params::new();
         // Analytic gradient.
         let analytic: Vec<f32> = {
-            let mut tape = Tape::new(&mut params);
+            let mut tape = Tape::new(&params);
             let x = tape.input(x0.clone(), rows, cols);
             let loss = build(&mut tape, x);
             tape.backward(loss);
@@ -1011,8 +1079,8 @@ mod tests {
             let eval = |delta: f32| -> f32 {
                 let mut xs = x0.clone();
                 xs[i] += delta;
-                let mut p2 = Params::new();
-                let mut tape = Tape::new(&mut p2);
+                let p2 = Params::new();
+                let mut tape = Tape::new(&p2);
                 let x = tape.input(xs, rows, cols);
                 let loss = build(&mut tape, x);
                 tape.data(loss)[0]
@@ -1197,8 +1265,8 @@ mod tests {
 
     #[test]
     fn segment_sum_matches_manual() {
-        let mut params = Params::new();
-        let mut tape = Tape::new(&mut params);
+        let params = Params::new();
+        let mut tape = Tape::new(&params);
         let x = tape.input(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2);
         let s = tape.segment_sum(x, &[0, 1, 3]);
         assert_eq!(tape.shape(s), (2, 2));
@@ -1207,8 +1275,8 @@ mod tests {
 
     #[test]
     fn segment_softmax_rows_sum_to_one_per_segment_column() {
-        let mut params = Params::new();
-        let mut tape = Tape::new(&mut params);
+        let params = Params::new();
+        let mut tape = Tape::new(&params);
         let x = tape.input(vec![0.5, 2.0, -1.0, 0.3, 4.0, 0.1, 2.5, -0.7], 4, 2);
         let s = tape.segment_softmax(x, &[0, 3, 4]);
         let d = tape.data(s);
@@ -1226,8 +1294,8 @@ mod tests {
         let xdat: Vec<f32> = (0..16).map(|i| (i as f32) * 0.1 - 0.8).collect(); // 8×2
         let wdat: Vec<f32> = (0..12).map(|i| ((i % 5) as f32) * 0.2 - 0.4).collect(); // (2·2)×3
         let bdat = vec![0.05, -0.1, 0.2];
-        let mut params = Params::new();
-        let mut tape = Tape::new(&mut params);
+        let params = Params::new();
+        let mut tape = Tape::new(&params);
         let x = tape.input(xdat.clone(), 8, 2);
         let w = tape.input(wdat.clone(), 4, 3);
         let b = tape.input(bdat.clone(), 1, 3);
@@ -1251,8 +1319,8 @@ mod tests {
     fn seg_maxpool_respects_segment_boundaries() {
         // Odd segment length: the tail window must not leak into the next
         // segment.
-        let mut params = Params::new();
-        let mut tape = Tape::new(&mut params);
+        let params = Params::new();
+        let mut tape = Tape::new(&params);
         let x = tape.input(vec![1.0, 5.0, 3.0, 9.0, 2.0, 4.0], 6, 1);
         let p = tape.maxpool_rows_seg(x, 2, 3);
         assert_eq!(tape.shape(p), (4, 1));
@@ -1303,31 +1371,75 @@ mod tests {
     }
 
     #[test]
-    fn params_accumulate_gradients() {
+    fn grad_sidecars_accumulate_across_tapes() {
         let mut params = Params::new();
         let w = params.add("w", 2, 1, vec![1.0, 2.0]);
+        let mut master = GradStore::zeros_like(&params);
         {
-            let mut tape = Tape::new(&mut params);
+            let mut tape = Tape::new(&params);
             let x = tape.input(vec![3.0, 4.0], 1, 2);
             let wv = tape.param(w);
             let y = tape.matmul(x, wv); // 3·1 + 4·2 = 11
             assert_eq!(tape.data(y), &[11.0]);
             let loss = tape.sum_all(y);
+            assert!(tape.grads().is_none(), "no sidecar before backward");
             tape.backward(loss);
+            master.absorb(&tape.into_grads());
         }
-        assert_eq!(params.grad(w), &[3.0, 4.0]);
-        // Second pass accumulates.
+        assert_eq!(master.get(w), &[3.0, 4.0]);
+        // Second tape's sidecar reduces into the same master.
         {
-            let mut tape = Tape::new(&mut params);
+            let mut tape = Tape::new(&params);
             let x = tape.input(vec![1.0, 1.0], 1, 2);
             let wv = tape.param(w);
             let y = tape.matmul(x, wv);
             let loss = tape.sum_all(y);
             tape.backward(loss);
+            master.absorb(&tape.into_grads());
         }
-        assert_eq!(params.grad(w), &[4.0, 5.0]);
-        params.zero_grads();
-        assert_eq!(params.grad(w), &[0.0, 0.0]);
+        assert_eq!(master.get(w), &[4.0, 5.0]);
+        master.zero();
+        assert_eq!(master.get(w), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn forward_only_tape_yields_zeroed_sidecar() {
+        let mut params = Params::new();
+        let w = params.add("w", 1, 2, vec![1.0, 2.0]);
+        let mut tape = Tape::new(&params);
+        let _ = tape.param(w);
+        let grads = tape.into_grads();
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads.get(w), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn params_are_shareable_across_threads_during_forward() {
+        let mut params = Params::new();
+        let w = params.add("w", 2, 1, vec![1.0, 2.0]);
+        let params = std::sync::Arc::new(params);
+        let mut outs = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let p = std::sync::Arc::clone(&params);
+                    s.spawn(move || {
+                        let mut tape = Tape::new(&p);
+                        let x = tape.input(vec![t as f32, 1.0], 1, 2);
+                        let wv = tape.param(w);
+                        let y = tape.matmul(x, wv);
+                        tape.data(y)[0]
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(v) => outs.push(v),
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+        });
+        assert_eq!(outs, vec![2.0, 3.0, 4.0, 5.0]);
     }
 
     #[test]
@@ -1343,8 +1455,9 @@ mod tests {
         let mut params = Params::new();
         let w = params.add("w", 2, 2, vec![0.01, -0.02, 0.03, 0.01]);
         let b = params.add("b", 1, 2, vec![0.0, 0.0]);
-        let loss_of = |params: &mut Params| -> f32 {
+        let loss_of = |params: &Params| -> (f32, GradStore) {
             let mut total = 0.0;
+            let mut master = GradStore::zeros_like(params);
             for (x, y) in &xs {
                 let mut tape = Tape::new(params);
                 let xv = tape.input(x.clone(), 1, 2);
@@ -1355,25 +1468,20 @@ mod tests {
                 let loss = tape.softmax_ce(logits, &[*y], 1.0);
                 total += tape.data(loss)[0];
                 tape.backward(loss);
+                master.absorb(&tape.into_grads());
             }
-            total / xs.len() as f32
+            (total / xs.len() as f32, master)
         };
-        let initial = loss_of(&mut params);
+        let (initial, _) = loss_of(&params);
         for _ in 0..50 {
-            params.zero_grads();
-            let _ = loss_of(&mut params);
-            let updates: Vec<(ParamId, Vec<f32>)> = [w, b]
-                .iter()
-                .map(|&id| (id, params.grad(id).to_vec()))
-                .collect();
-            for (id, g) in updates {
-                for (p, gv) in params.data_mut(id).iter_mut().zip(g) {
+            let (_, grads) = loss_of(&params);
+            for &id in &[w, b] {
+                for (p, &gv) in params.data_mut(id).iter_mut().zip(grads.get(id)) {
                     *p -= 0.5 * gv;
                 }
             }
         }
-        params.zero_grads();
-        let trained = loss_of(&mut params);
+        let (trained, _) = loss_of(&params);
         assert!(
             trained < initial * 0.5,
             "loss should halve: {initial} -> {trained}"
@@ -1401,35 +1509,37 @@ mod tests {
     }
 
     #[test]
-    fn absorb_grads_sums() {
-        let mut a = Params::new();
-        let w = a.add("w", 1, 2, vec![0.0, 0.0]);
-        let mut b = a.clone();
-        for p in [&mut a, &mut b] {
-            let mut tape = Tape::new(p);
+    fn absorb_sums_sidecars() {
+        let mut params = Params::new();
+        let w = params.add("w", 1, 2, vec![0.0, 0.0]);
+        let run = || {
+            let mut tape = Tape::new(&params);
             let x = tape.input(vec![1.0, 2.0], 1, 2);
             let wv = tape.param(w);
             let m = tape.mul(x, wv);
             let loss = tape.sum_all(m);
             tape.backward(loss);
-        }
-        a.absorb_grads(&b);
-        assert_eq!(a.grad(w), &[2.0, 4.0]);
+            tape.into_grads()
+        };
+        let mut a = run();
+        a.absorb(&run());
+        assert_eq!(a.get(w), &[2.0, 4.0]);
     }
 
     #[test]
     fn grad_norm_reports() {
         let mut params = Params::new();
         let w = params.add("w", 1, 2, vec![0.0, 0.0]);
-        {
-            let mut tape = Tape::new(&mut params);
+        let grads = {
+            let mut tape = Tape::new(&params);
             let x = tape.input(vec![3.0, 4.0], 1, 2);
             let wv = tape.param(w);
             let m = tape.mul(x, wv);
             let loss = tape.sum_all(m);
             tape.backward(loss);
-        }
-        assert!((params.grad_norm() - 5.0).abs() < 1e-5);
+            tape.into_grads()
+        };
+        assert!((grads.grad_norm() - 5.0).abs() < 1e-5);
     }
 }
 

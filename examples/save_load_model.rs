@@ -28,7 +28,7 @@ fn main() {
     let mut model = MvGnn::new(cfg.clone());
     train(&mut model, &ds.train, &TrainConfig { epochs: 10, ..Default::default() })
         .expect("training must succeed");
-    let metrics = evaluate(&mut model, &ds.test);
+    let metrics = evaluate(&model, &ds.test);
     println!("trained: {metrics}");
 
     let path = std::env::temp_dir().join("mvgnn_demo.params");
@@ -38,7 +38,7 @@ fn main() {
     let mut reloaded = MvGnn::new(cfg);
     let bytes = std::fs::read(&path).expect("read params");
     reloaded.load(&bytes).expect("layout matches");
-    let again = evaluate(&mut reloaded, &ds.test);
+    let again = evaluate(&reloaded, &ds.test);
     println!("reloaded: {again}");
     assert_eq!(metrics, again, "reloaded model must predict identically");
     println!("round-trip OK");

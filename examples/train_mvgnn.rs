@@ -42,6 +42,6 @@ fn main() {
     for e in stats.iter().step_by(4) {
         println!("epoch {:>3}: loss {:.4} acc {:.3}", e.epoch, e.loss, e.accuracy);
     }
-    let m = evaluate(&mut model, &ds.test);
+    let m = evaluate(&model, &ds.test);
     println!("\nheld-out: {m}");
 }

@@ -16,6 +16,12 @@ cargo test -q --workspace
 echo "==> clippy (-D warnings)"
 cargo clippy --workspace --all-targets --quiet -- -D warnings
 
+echo "==> concurrent-engine parity"
+cargo test -q --test concurrent_parity
+
+echo "==> engine smoke (one batch through the inference engine)"
+cargo run --release -p mvgnn-bench --bin throughput --quiet -- --smoke
+
 echo "==> panic-site ratchet"
 bash scripts/panic_audit.sh
 

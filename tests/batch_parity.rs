@@ -64,7 +64,7 @@ fn encoder_embed_is_bit_identical_batched_vs_single() {
     let mut solo: Vec<Vec<u32>> = Vec::new();
     for (adj, feats) in &graphs {
         let n = feats.len() / in_dim;
-        let mut tape = Tape::new(&mut params);
+        let mut tape = Tape::new(&params);
         let x = tape.input(feats.clone(), n, in_dim);
         let e = model.embed(&mut tape, adj, x);
         solo.push(tape.data(e).iter().map(|v| v.to_bits()).collect());
@@ -80,7 +80,7 @@ fn encoder_embed_is_bit_identical_batched_vs_single() {
         offsets.push(offsets[offsets.len() - 1] + feats.len() / in_dim);
     }
     let total_n = *offsets.last().unwrap();
-    let mut tape = Tape::new(&mut params);
+    let mut tape = Tape::new(&params);
     let x = tape.input(packed, total_n, in_dim);
     let e = model.embed_batch(&mut tape, &bd, x, &offsets);
     let (rows, width) = tape.shape(e);
@@ -103,7 +103,7 @@ fn encoder_embed_rows_are_permutation_invariant() {
     let model = Dgcnn::new(&mut params, "d", small_cfg(in_dim), &mut rng);
     let graphs = [ring(5, in_dim, false, 0.0), ring(8, in_dim, true, 1.5), ring(3, in_dim, false, -0.5)];
 
-    let embed_order = |params: &mut Params, order: &[usize]| -> Vec<Vec<u32>> {
+    let embed_order = |params: &Params, order: &[usize]| -> Vec<Vec<u32>> {
         let adjs: Vec<&SparseMatrix> = order.iter().map(|&i| &graphs[i].0).collect();
         let bd = SparseMatrix::block_diag(&adjs);
         let mut packed = Vec::new();
@@ -122,8 +122,8 @@ fn encoder_embed_rows_are_permutation_invariant() {
             .collect()
     };
 
-    let fwd = embed_order(&mut params, &[0, 1, 2]);
-    let rev = embed_order(&mut params, &[2, 1, 0]);
+    let fwd = embed_order(&params, &[0, 1, 2]);
+    let rev = embed_order(&params, &[2, 1, 0]);
     for g in 0..3 {
         assert_eq!(fwd[g], rev[2 - g], "row for graph {g} changed with batch order");
     }

@@ -101,7 +101,7 @@ fn mvgnn_learns_above_chance() {
         &TrainConfig { epochs: 15, batch_size: 12, ..Default::default() },
     )
     .expect("training must succeed");
-    let m: Metrics = evaluate(&mut model, &ds.test);
+    let m: Metrics = evaluate(&model, &ds.test);
     assert!(
         m.accuracy() > 0.65,
         "balanced test accuracy should beat chance clearly: {m}"

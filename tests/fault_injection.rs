@@ -77,10 +77,10 @@ fn tiny_dataset() -> mvgnn::dataset::Dataset {
 #[test]
 fn truncated_trace_degrades_per_loop() {
     let (module, entry) = compiled();
-    let (i2v, mut model) = model_for(&module, entry);
+    let (i2v, model) = model_for(&module, entry);
     let budget = FaultPlan::new(21).starved_step_budget();
     let reports =
-        classify_module(&mut model, &module, entry, &i2v, &SampleConfig::default(), Some(budget), None);
+        classify_module(&model, &module, entry, &i2v, &SampleConfig::default(), Some(budget), None);
     assert_eq!(reports.len(), 3, "all loops must be reported");
     for r in &reports {
         assert_ne!(r.source, PredictionSource::Multi, "{r:?}");
@@ -89,7 +89,7 @@ fn truncated_trace_degrades_per_loop() {
     }
     // The same budget on the healthy path yields full multi-view output.
     let healthy =
-        classify_module(&mut model, &module, entry, &i2v, &SampleConfig::default(), None, None);
+        classify_module(&model, &module, entry, &i2v, &SampleConfig::default(), None, None);
     assert!(healthy.iter().all(|r| r.source == PredictionSource::Multi));
 }
 
@@ -148,7 +148,7 @@ fn poisoned_weights_recover_in_training_and_degrade_in_inference() {
     let (i2v, mut infer_model) = model_for(&module, entry);
     FaultPlan::new(13).poison_params(&mut infer_model.params, 64);
     let reports = classify_module(
-        &mut infer_model,
+        &infer_model,
         &module,
         entry,
         &i2v,
