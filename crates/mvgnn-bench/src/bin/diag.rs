@@ -35,8 +35,9 @@ fn main() {
         let mut mean_abs = 0.0f32;
         let mut count = 0usize;
         for s in ds.train.iter().take(n) {
+            let batch = mvgnn_embed::GraphBatch::single(&s.sample);
             let mut tape = Tape::new(&model.params);
-            let fwd = model.forward_on(&mut tape, &s.sample);
+            let fwd = model.forward_on(&mut tape, &batch);
             // The concat input to fusion is the last tanh's input; easiest
             // proxy: check the logits magnitude and loop over node data.
             for v in [fwd.node_logits, fwd.struct_logits].into_iter().flatten() {

@@ -12,15 +12,32 @@
 //!
 //! `--smoke` runs a single engine batch against the sequential path and
 //! exits — a seconds-scale CI wiring check, no JSON written.
+//!
+//! `--alloc-smoke` (needs `--features count-allocs`) asserts the pooled
+//! steady state: after warm-up, one full engine stream must stay under
+//! [`ALLOC_BUDGET_PER_LOOP`] heap allocations per loop. The full run
+//! also reports allocs/loop for the per-sample baseline versus the
+//! pooled engine, and the featurisation-cache hit rate, in
+//! `BENCH_throughput.json`.
 
 use mvgnn_bench::{pipeline_config, Scale};
-use mvgnn_core::{EngineConfig, InferenceEngine, MvGnn, MvGnnConfig};
-use mvgnn_dataset::build_corpus;
-use mvgnn_embed::GraphSample;
+use mvgnn_core::{
+    classify_module_cached, EngineConfig, InferenceEngine, MvGnn, MvGnnConfig,
+};
+use mvgnn_dataset::{build_corpus, generate_app, Suite, TABLE2};
+use mvgnn_embed::{FeatureCache, GraphSample, Inst2Vec, SampleConfig};
 use std::sync::Arc;
 use std::time::Instant;
 
 const BATCH: usize = 32;
+
+/// Steady-state heap-allocation budget per classified loop for the
+/// pooled engine (after one warm-up stream). The remaining allocations
+/// are per-*chunk* bookkeeping (adjacency pointer list, SortPooling pair
+/// lists, the prediction vector), so the real steady state sits around
+/// 0.2–0.5 per loop; the budget is a backstop, not a target.
+#[cfg(feature = "count-allocs")]
+const ALLOC_BUDGET_PER_LOOP: f64 = 2.0;
 
 /// Engine worker counts swept by the benchmark.
 const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -71,6 +88,58 @@ fn build_model(scale: Scale) -> (Vec<mvgnn_dataset::LabeledSample>, MvGnn) {
     (pool, model)
 }
 
+/// Exercise the featurisation cache: classify one generated app twice
+/// with a shared [`FeatureCache`] and return `(hits, misses, hit_rate)`.
+/// Loops live in the per-kernel functions (the app entry is a driver
+/// with none of its own), so each kernel is classified as its own entry.
+/// The cold pass builds every loop's sample; the warm pass must replay
+/// them all, and both passes' reports must agree.
+fn feature_cache_stats(scale: Scale) -> (u64, u64, f64) {
+    let cfg = pipeline_config(scale);
+    let spec = mvgnn_dataset::TABLE2
+        .iter()
+        .filter(|s| s.suite == Suite::PolyBench)
+        .min_by_key(|s| s.loops)
+        .copied()
+        .unwrap_or(TABLE2[0]);
+    let app = generate_app(spec, 1);
+    let mut kernels: Vec<_> = app.loops.iter().map(|(f, _, _)| *f).collect();
+    kernels.sort_unstable_by_key(|f| f.index());
+    kernels.dedup();
+    let i2v = Inst2Vec::train(&[&app.module], &cfg.corpus.inst2vec);
+    let sample_cfg = SampleConfig::default();
+    let node_dim = i2v.dim()
+        + mvgnn_embed::sample::KIND_DIM
+        + mvgnn_embed::sample::EDGE_DIM
+        + mvgnn_profiler::DynamicFeatures::DIM;
+    let aw_vocab = mvgnn_graph::AwVocab::new(sample_cfg.walk_len).size();
+    let model = MvGnn::new(MvGnnConfig::small(node_dim, aw_vocab));
+    let mut cache = FeatureCache::new(1024);
+    let classify_all = |cache: &mut FeatureCache| -> Vec<mvgnn_core::LoopReport> {
+        kernels
+            .iter()
+            .flat_map(|&f| {
+                classify_module_cached(
+                    &model, &app.module, f, &i2v, &sample_cfg, None, None, Some(cache),
+                )
+            })
+            .collect()
+    };
+    let cold = classify_all(&mut cache);
+    let warm = classify_all(&mut cache);
+    assert!(!cold.is_empty(), "generated app produced no classifiable loops");
+    assert_eq!(cold.len(), warm.len(), "cache replay changed the report set");
+    for (a, b) in cold.iter().zip(&warm) {
+        assert_eq!(
+            (a.prediction, a.source),
+            (b.prediction, b.source),
+            "cache replay changed a verdict"
+        );
+    }
+    let s = cache.stats();
+    (s.hits, s.misses, s.hit_rate())
+}
+
 /// One-batch wiring check for CI: the engine must agree with the
 /// sequential path on a single packed batch.
 fn smoke() {
@@ -87,7 +156,56 @@ fn smoke() {
     println!("[throughput] smoke OK: engine matches sequential on {} loops", samples.len());
 }
 
+/// Allocation cost of one run of `f`, amortised over `loops`, in
+/// allocations per loop. Only meaningful with `count-allocs`.
+#[cfg(feature = "count-allocs")]
+fn allocs_per_loop(loops: usize, f: impl FnOnce()) -> f64 {
+    let before = mvgnn_bench::alloc_count::allocations();
+    f();
+    (mvgnn_bench::alloc_count::allocations() - before) as f64 / loops.max(1) as f64
+}
+
+/// CI gate for the zero-allocation steady state: after one warm-up
+/// stream, a full engine pass must stay under [`ALLOC_BUDGET_PER_LOOP`]
+/// heap allocations per loop.
+#[cfg(feature = "count-allocs")]
+fn alloc_smoke() {
+    let (pool, model) = build_model(Scale::Quick);
+    let samples: Vec<&GraphSample> = pool.iter().map(|s| &s.sample).collect();
+    let engine = InferenceEngine::new(
+        Arc::new(model),
+        EngineConfig { threads: 1, batch_size: BATCH },
+    );
+    let warmup = engine.predict_stream(&samples);
+    let mut steady = Vec::new();
+    let per_loop = allocs_per_loop(samples.len(), || {
+        steady = engine.predict_stream(&samples);
+    });
+    assert_eq!(warmup, steady, "steady-state stream diverged from warm-up");
+    println!(
+        "[throughput] alloc smoke: {per_loop:.3} allocs/loop over {} loops (budget {ALLOC_BUDGET_PER_LOOP})",
+        samples.len()
+    );
+    assert!(
+        per_loop <= ALLOC_BUDGET_PER_LOOP,
+        "steady-state allocations regressed: {per_loop:.3}/loop exceeds {ALLOC_BUDGET_PER_LOOP}"
+    );
+    println!("[throughput] alloc smoke OK");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--alloc-smoke") {
+        #[cfg(feature = "count-allocs")]
+        {
+            alloc_smoke();
+            return;
+        }
+        #[cfg(not(feature = "count-allocs"))]
+        {
+            eprintln!("--alloc-smoke needs a build with --features count-allocs");
+            std::process::exit(2);
+        }
+    }
     if std::env::args().any(|a| a == "--smoke") {
         smoke();
         return;
@@ -116,10 +234,48 @@ fn main() {
         }
     });
 
+    // Featurisation cache: classify a generated app twice and report the
+    // hit rate of the replayed pass.
+    let (cache_hits, cache_misses, cache_rate) = feature_cache_stats(scale);
+    println!(
+        "  feature cache: {cache_hits} hits / {cache_misses} misses ({:.0}% hit rate)",
+        cache_rate * 100.0
+    );
+
     // Engine sweep: same batch size, varying worker counts. Forward-only
     // inference shares the weights through `Arc<MvGnn>`.
     let model = Arc::new(model);
-    let mut engine_lps: Vec<(usize, f64)> = Vec::with_capacity(THREAD_SWEEP.len());
+
+    // Steady-state allocation census (only with `count-allocs`): the
+    // per-sample baseline versus a warmed pooled engine.
+    #[cfg(feature = "count-allocs")]
+    let alloc_section = {
+        let per_sample = allocs_per_loop(n, || {
+            for s in &samples {
+                std::hint::black_box(model.predict(s));
+            }
+        });
+        let engine = InferenceEngine::new(
+            Arc::clone(&model),
+            EngineConfig { threads: 1, batch_size: BATCH },
+        );
+        std::hint::black_box(engine.predict_stream(&samples)); // warm the pools
+        let steady = allocs_per_loop(n, || {
+            std::hint::black_box(engine.predict_stream(&samples));
+        });
+        let reduction = per_sample / steady.max(1e-9);
+        println!(
+            "  allocations: per-sample {per_sample:.1}/loop, engine steady {steady:.3}/loop ({reduction:.0}x fewer)"
+        );
+        format!(
+            ",\n  \"allocs_per_loop\": {{\n    \"per_sample\": {per_sample:.3},\n    \
+             \"engine_steady\": {steady:.3},\n    \"reduction\": {reduction:.1}\n  }}"
+        )
+    };
+    #[cfg(not(feature = "count-allocs"))]
+    let alloc_section = String::new();
+
+    let mut engine_lps: Vec<(usize, f64, usize)> = Vec::with_capacity(THREAD_SWEEP.len());
     for threads in THREAD_SWEEP {
         let engine = InferenceEngine::new(
             Arc::clone(&model),
@@ -133,7 +289,7 @@ fn main() {
         let t = best_secs(reps, || {
             std::hint::black_box(engine.predict_stream(&samples));
         });
-        engine_lps.push((threads, n as f64 / t));
+        engine_lps.push((threads, n as f64 / t, engine.dispatch_chunk(n)));
     }
 
     let single_lps = n as f64 / t_single;
@@ -143,22 +299,26 @@ fn main() {
     println!("  per-sample : {single_lps:>10.1} loops/sec  ({t_single:.3} s)");
     println!("  batched({BATCH:>2}): {batched_lps:>10.1} loops/sec  ({t_batched:.3} s)");
     println!("  speedup    : {speedup:.2}x");
-    for (threads, lps) in &engine_lps {
-        println!("  engine x{threads:<2}: {lps:>10.1} loops/sec");
+    for (threads, lps, chunk) in &engine_lps {
+        println!("  engine x{threads:<2}: {lps:>10.1} loops/sec  (chunk {chunk})");
     }
-    let engine_best = engine_lps.iter().map(|(_, l)| *l).fold(0.0f64, f64::max);
+    let engine_best = engine_lps.iter().map(|(_, l, _)| *l).fold(0.0f64, f64::max);
     let engine_speedup = engine_best / single_lps;
     println!("  engine best: {engine_speedup:.2}x over per-sample");
 
     let threads_json: Vec<String> = engine_lps
         .iter()
-        .map(|(t, lps)| format!("    \"{t}\": {lps:.2}"))
+        .map(|(t, lps, chunk)| {
+            format!("    \"{t}\": {{ \"loops_per_sec\": {lps:.2}, \"chunk\": {chunk} }}")
+        })
         .collect();
     let json = format!(
         "{{\n  \"loops\": {n},\n  \"batch_size\": {BATCH},\n  \"reps\": {reps},\n  \
          \"single_loops_per_sec\": {single_lps:.2},\n  \
          \"batched_loops_per_sec\": {batched_lps:.2},\n  \"speedup\": {speedup:.3},\n  \
-         \"threads\": {{\n{}\n  }},\n  \"engine_speedup\": {engine_speedup:.3}\n}}\n",
+         \"threads\": {{\n{}\n  }},\n  \"engine_speedup\": {engine_speedup:.3},\n  \
+         \"feature_cache\": {{\n    \"hits\": {cache_hits},\n    \"misses\": {cache_misses},\n    \
+         \"hit_rate\": {cache_rate:.3}\n  }}{alloc_section}\n}}\n",
         threads_json.join(",\n")
     );
     mvgnn_bench::or_die(std::fs::write("BENCH_throughput.json", json));

@@ -81,6 +81,48 @@ pub fn pipeline_config(scale: Scale) -> PipelineConfig {
     }
 }
 
+/// Heap-allocation counting for the zero-allocation steady-state checks
+/// (enable with `--features count-allocs`). The global allocator is
+/// replaced by a wrapper over the system allocator that counts every
+/// `alloc`/`realloc` call, so a benchmark can bracket a region and read
+/// the exact number of allocations it performed. Counting is a single
+/// relaxed atomic increment — cheap enough to leave on for whole runs.
+#[cfg(feature = "count-allocs")]
+pub mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// Counting wrapper over the system allocator.
+    pub struct CountingAlloc;
+
+    // SAFETY: defers every operation to `System`; only adds counting.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    /// Heap allocations (alloc + realloc calls) since process start.
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
 /// Unwrap a fallible pipeline/training step or exit the benchmark binary
 /// with the error on stderr (benchmarks have no recovery path to offer).
 pub fn or_die<T, E: std::fmt::Display>(result: Result<T, E>) -> T {

@@ -21,8 +21,9 @@
 
 use crate::model::{CheckedPrediction, MvGnn};
 use mvgnn_embed::GraphSample;
+use mvgnn_tensor::Workspace;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,10 +44,16 @@ impl Default for EngineConfig {
 }
 
 /// Order-preserving concurrent inference over a shared model.
+///
+/// Each worker checks a [`Workspace`] out of a shared pool for the
+/// duration of a stream call and returns it afterwards, so the pools —
+/// and with them the tape's recycled buffers — persist across calls:
+/// after the first stream the steady state allocates (almost) nothing.
 #[derive(Clone)]
 pub struct InferenceEngine {
     model: Arc<MvGnn>,
     cfg: EngineConfig,
+    workspaces: Arc<Mutex<Vec<Workspace>>>,
 }
 
 impl InferenceEngine {
@@ -57,7 +64,7 @@ impl InferenceEngine {
             threads: cfg.threads.max(1),
             batch_size: cfg.batch_size.max(1),
         };
-        Self { model, cfg }
+        Self { model, cfg, workspaces: Arc::new(Mutex::new(Vec::new())) }
     }
 
     /// The shared model.
@@ -70,23 +77,76 @@ impl InferenceEngine {
         self.cfg
     }
 
+    /// Samples handed to a worker per dispenser pull for an `n`-sample
+    /// stream: `max(batch_size, n / (threads · 4))`, rounded down to a
+    /// whole number of batches. Small inputs keep per-batch dispatch;
+    /// large ones amortise the dispenser and merge overhead while still
+    /// leaving ~4 pulls per worker for load balancing. Because the
+    /// dispatch size is a multiple of `batch_size`, batch *boundaries*
+    /// (and so the f32 summation order) are untouched.
+    pub fn dispatch_chunk(&self, n: usize) -> usize {
+        let b = self.cfg.batch_size;
+        let target = n / (self.cfg.threads * 4);
+        (target / b).max(1) * b
+    }
+
+    /// Check a workspace out of the shared pool (fresh if none parked).
+    fn checkout(&self) -> Workspace {
+        self.workspaces
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Park a workspace for the next stream call.
+    fn checkin(&self, ws: Workspace) {
+        self.workspaces.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(ws);
+    }
+
+    /// Summed buffer-pool counters of the parked workspaces. Between
+    /// stream calls every worker's workspace is parked, so this is the
+    /// engine-wide total; `misses` flat across calls means the steady
+    /// state is allocation-free.
+    pub fn workspace_stats(&self) -> mvgnn_tensor::WorkspaceStats {
+        let pool = self.workspaces.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut agg = mvgnn_tensor::WorkspaceStats::default();
+        for ws in pool.iter() {
+            let s = ws.stats();
+            agg.hits += s.hits;
+            agg.misses += s.misses;
+            agg.resident += s.resident;
+        }
+        agg
+    }
+
     /// Run `work` over every `batch_size`-sample chunk of `samples` on up
     /// to `threads` workers and splice the per-chunk outputs back into
-    /// input order. Chunks are dispensed through an atomic counter, so
-    /// thread count affects only *who* computes a chunk, never which rows
-    /// it holds. A panicking worker is resumed on the caller thread.
+    /// input order. Workers pull [`Self::dispatch_chunk`]-sized slices
+    /// through an atomic counter and cut them into `batch_size` batches
+    /// locally, so thread count affects only *who* computes a batch,
+    /// never which rows it holds. Each worker runs every batch against
+    /// one pooled [`Workspace`]. A panicking worker is resumed on the
+    /// caller thread (its workspace is abandoned, not corrupted).
     fn fan_out<R, F>(&self, samples: &[&GraphSample], work: F) -> Vec<R>
     where
         R: Send,
-        F: Fn(&[&GraphSample]) -> Vec<R> + Sync,
+        F: Fn(&mut Workspace, &[&GraphSample]) -> Vec<R> + Sync,
     {
-        let chunks: Vec<&[&GraphSample]> = samples.chunks(self.cfg.batch_size).collect();
-        if chunks.is_empty() {
+        if samples.is_empty() {
             return Vec::new();
         }
+        let chunks: Vec<&[&GraphSample]> =
+            samples.chunks(self.dispatch_chunk(samples.len())).collect();
         let threads = self.cfg.threads.min(chunks.len());
         if threads == 1 {
-            return chunks.into_iter().flat_map(&work).collect();
+            let mut ws = self.checkout();
+            let out = samples
+                .chunks(self.cfg.batch_size)
+                .flat_map(|b| work(&mut ws, b))
+                .collect();
+            self.checkin(ws);
+            return out;
         }
         let next = AtomicUsize::new(0);
         let mut parts: Vec<(usize, Vec<R>)> = Vec::with_capacity(chunks.len());
@@ -94,12 +154,18 @@ impl InferenceEngine {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     s.spawn(|| {
+                        let mut ws = self.checkout();
                         let mut local: Vec<(usize, Vec<R>)> = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(chunk) = chunks.get(i) else { break };
-                            local.push((i, work(chunk)));
+                            let rows: Vec<R> = chunk
+                                .chunks(self.cfg.batch_size)
+                                .flat_map(|b| work(&mut ws, b))
+                                .collect();
+                            local.push((i, rows));
                         }
+                        self.checkin(ws);
                         local
                     })
                 })
@@ -117,12 +183,12 @@ impl InferenceEngine {
 
     /// Fused-head class per sample; order matches `samples`.
     pub fn predict_stream(&self, samples: &[&GraphSample]) -> Vec<usize> {
-        self.fan_out(samples, |chunk| self.model.predict_batch(chunk))
+        self.fan_out(samples, |ws, chunk| self.model.predict_batch_ws(ws, chunk))
     }
 
     /// Fused logits per sample (one `classes`-wide row each).
     pub fn logits_stream(&self, samples: &[&GraphSample]) -> Vec<Vec<f32>> {
-        self.fan_out(samples, |chunk| self.model.logits_batch(chunk))
+        self.fan_out(samples, |ws, chunk| self.model.logits_batch_ws(ws, chunk))
     }
 
     /// Finiteness-checked predictions per sample, with the per-row fault
@@ -130,9 +196,9 @@ impl InferenceEngine {
     /// batched verdict shows a non-finite head is re-run alone, so its
     /// degradation is judged by the single-sample path.
     pub fn predict_checked_stream(&self, samples: &[&GraphSample]) -> Vec<CheckedPrediction> {
-        self.fan_out(samples, |chunk| {
+        self.fan_out(samples, |ws, chunk| {
             self.model
-                .predict_checked_batch(chunk)
+                .predict_checked_batch_ws(ws, chunk)
                 .into_iter()
                 .zip(chunk)
                 .map(|(checked, s)| {
@@ -237,6 +303,44 @@ mod tests {
         let samples: Vec<&mvgnn_embed::GraphSample> =
             ds.test.iter().take(3).map(|s| &s.sample).collect();
         assert_eq!(eng.predict_stream(&samples).len(), 3);
+    }
+
+    #[test]
+    fn dispatch_chunks_are_whole_batches() {
+        let ds = tiny_dataset();
+        let eng = InferenceEngine::new(
+            Arc::new(tiny_model(&ds)),
+            EngineConfig { threads: 4, batch_size: 32 },
+        );
+        // Small stream: one batch per pull.
+        assert_eq!(eng.dispatch_chunk(40), 32);
+        // Large stream: bigger pulls, but always a multiple of the batch
+        // size so batch boundaries (and f32 summation order) never move.
+        let big = eng.dispatch_chunk(10_000);
+        assert!(big > 32);
+        assert_eq!(big % 32, 0);
+    }
+
+    #[test]
+    fn steady_state_reuses_pooled_buffers() {
+        let ds = tiny_dataset();
+        let model = Arc::new(tiny_model(&ds));
+        let samples: Vec<&mvgnn_embed::GraphSample> =
+            ds.test.iter().map(|s| &s.sample).collect();
+        let eng = InferenceEngine::new(
+            Arc::clone(&model),
+            EngineConfig { threads: 1, batch_size: 4 },
+        );
+        let first = eng.predict_stream(&samples);
+        let warm_misses = eng.workspace_stats().misses;
+        assert!(warm_misses > 0, "cold run must have populated the pool");
+        let second = eng.predict_stream(&samples);
+        assert_eq!(first, second);
+        assert_eq!(
+            eng.workspace_stats().misses,
+            warm_misses,
+            "warm stream must be served entirely from the pool"
+        );
     }
 
     #[test]

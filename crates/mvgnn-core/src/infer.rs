@@ -9,7 +9,8 @@
 //! panics or aborts.
 
 use crate::model::MvGnn;
-use mvgnn_embed::{build_sample, Inst2Vec, SampleConfig};
+use mvgnn_embed::{build_sample, sample_fingerprint, FeatureCache, Inst2Vec, SampleConfig};
+use std::sync::Arc;
 use mvgnn_ir::module::{FuncId, LoopId, Module};
 use mvgnn_peg::{build_peg, loop_subpeg};
 use mvgnn_profiler::{build_cus, loop_features, profile_module_resilient, LoopRuntime};
@@ -65,10 +66,12 @@ fn conservative(
 const INFER_CHUNK: usize = 32;
 
 /// A loop that survived the pre-checks and awaits model inference.
+/// The sample is an `Arc` so a [`FeatureCache`] hit shares the cached
+/// matrices instead of cloning them.
 struct PendingLoop {
     l: LoopId,
     line: u32,
-    sample: mvgnn_embed::GraphSample,
+    sample: Arc<mvgnn_embed::GraphSample>,
     empty_walks: bool,
 }
 
@@ -93,6 +96,28 @@ pub fn classify_module(
     sample_cfg: &SampleConfig,
     max_steps: Option<u64>,
     max_call_depth: Option<u32>,
+) -> Vec<LoopReport> {
+    classify_module_cached(
+        model, module, entry, inst2vec, sample_cfg, max_steps, max_call_depth, None,
+    )
+}
+
+/// [`classify_module`] with an optional [`FeatureCache`]: per-loop
+/// featurisation (anonymous-walk sampling + node-feature packing) is
+/// keyed on the sub-PEG content and dynamic features, so re-analysing an
+/// unchanged loop replays its cached sample instead of rebuilding it.
+/// Reports are identical with or without the cache — a hit is by
+/// construction a bit-exact replay of a previous `build_sample` call.
+#[allow(clippy::too_many_arguments)]
+pub fn classify_module_cached(
+    model: &MvGnn,
+    module: &Module,
+    entry: FuncId,
+    inst2vec: &Inst2Vec,
+    sample_cfg: &SampleConfig,
+    max_steps: Option<u64>,
+    max_call_depth: Option<u32>,
+    mut cache: Option<&mut FeatureCache>,
 ) -> Vec<LoopReport> {
     let partial = profile_module_resilient(module, entry, &[], max_steps, max_call_depth);
     let trace_fault = partial.error.as_ref().map(|e| e.to_string());
@@ -127,7 +152,15 @@ pub fn classify_module(
             reports[slot] = Some(conservative(entry, l, line, "empty sub-PEG"));
             continue;
         }
-        let sample = build_sample(&sub, inst2vec, &feats, sample_cfg, None);
+        let sample = match cache.as_deref_mut() {
+            Some(c) => {
+                let key = sample_fingerprint(&sub, &feats, sample_cfg, inst2vec.dim());
+                c.get_or_insert_with(key, || {
+                    build_sample(&sub, inst2vec, &feats, sample_cfg, None)
+                })
+            }
+            None => Arc::new(build_sample(&sub, inst2vec, &feats, sample_cfg, None)),
+        };
         if sample.node_dim != model.cfg.node_dim || sample.aw_vocab != model.cfg.aw_vocab {
             reports[slot] = Some(conservative(
                 entry,
@@ -147,7 +180,7 @@ pub fn classify_module(
     // Pass 2 — batched inference over the surviving loops.
     for chunk in pending.chunks(INFER_CHUNK) {
         let samples: Vec<&mvgnn_embed::GraphSample> =
-            chunk.iter().map(|(_, p)| &p.sample).collect();
+            chunk.iter().map(|(_, p)| &*p.sample).collect();
         let checked_rows = model.predict_checked_batch(&samples);
         for ((slot, p), batch_checked) in chunk.iter().zip(checked_rows) {
             // Per-graph fault fallback: a row with any non-finite head is
@@ -267,6 +300,53 @@ mod tests {
             assert!(r.diagnostic.is_none(), "{r:?}");
             assert!(r.prediction <= 1);
         }
+    }
+
+    #[test]
+    fn cached_classification_matches_and_hits_on_replay() {
+        let (m, f, i2v, model) = setup();
+        let cfg = SampleConfig::default();
+        let plain = classify_module(&model, &m, f, &i2v, &cfg, None, None);
+        let mut cache = FeatureCache::new(64);
+        // First cached run builds every sample; second replays them all.
+        for pass in 0..2 {
+            let cached = classify_module_cached(
+                &model, &m, f, &i2v, &cfg, None, None, Some(&mut cache),
+            );
+            assert_eq!(cached.len(), plain.len());
+            for (a, b) in plain.iter().zip(&cached) {
+                assert_eq!(a.prediction, b.prediction, "pass {pass}");
+                assert_eq!(a.source, b.source);
+                assert_eq!(a.diagnostic, b.diagnostic);
+            }
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 2, "one build per loop on the cold pass");
+        assert_eq!(s.hits, 2, "the warm pass must replay every loop");
+    }
+
+    #[test]
+    fn cached_samples_produce_bit_identical_logits() {
+        let (m, f, i2v, model) = setup();
+        let cfg = SampleConfig::default();
+        // Build the same loop's sample twice: fresh, and via cache replay.
+        let partial = profile_module_resilient(&m, f, &[], None, None);
+        let cus = build_cus(&m);
+        let peg = build_peg(&m, &cus, &partial.deps);
+        let l0 = m.funcs[f.index()].loops[0].id;
+        let feats = loop_features(&m, f, l0, &partial.deps, &partial.loops[&(f, l0)]);
+        let sub = loop_subpeg(&peg, &m, &cus, f, l0);
+        let fresh = build_sample(&sub, &i2v, &feats, &cfg, None);
+        let mut cache = mvgnn_embed::FeatureCache::new(4);
+        let key = sample_fingerprint(&sub, &feats, &cfg, i2v.dim());
+        cache.get_or_insert_with(key, || build_sample(&sub, &i2v, &feats, &cfg, None));
+        let replayed = cache.get_or_insert_with(key, || unreachable!("must hit"));
+        let a = model.logits_batch(&[&fresh]);
+        let b = model.logits_batch(&[&replayed]);
+        let bits = |rows: &[Vec<f32>]| -> Vec<u32> {
+            rows.iter().flatten().map(|x| x.to_bits()).collect()
+        };
+        assert_eq!(bits(&a), bits(&b), "cached featurisation must not move logits");
     }
 
     #[test]

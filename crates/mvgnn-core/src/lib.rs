@@ -31,7 +31,7 @@ pub use checkpoint::{read_checkpoint, write_checkpoint, Checkpoint};
 pub use engine::{EngineConfig, InferenceEngine};
 pub use error::MvGnnError;
 pub use fault::FaultPlan;
-pub use infer::{classify_module, LoopReport, PredictionSource};
+pub use infer::{classify_module, classify_module_cached, LoopReport, PredictionSource};
 pub use model::{MvGnn, MvGnnConfig, ViewMode};
 pub use views::{NodeFeatureEncoder, StructuralEncoder, ViewEncoder};
 pub use pipeline::{evaluate_tools, evaluate_tools_with_noise, run_pipeline, PipelineConfig, PipelineReport};

@@ -14,6 +14,7 @@ use mvgnn_gnn::DgcnnConfig;
 use mvgnn_nn::Linear;
 use mvgnn_tensor::init;
 use mvgnn_tensor::tape::{argmax_rows, Params, Tape, Var};
+use mvgnn_tensor::Workspace;
 use rand::rngs::StdRng;
 
 /// Which views participate — the multi-view model plus the single-view
@@ -206,8 +207,10 @@ impl MvGnn {
 
     /// Record the forward pass for a packed batch. The caller owns the
     /// tape so training can attach losses; `Self::params` must back the
-    /// tape. Row `g` of every output depends only on graph `g`.
-    pub fn forward_batch(&self, tape: &mut Tape<'_>, batch: &GraphBatch) -> ForwardBatch {
+    /// tape, and the batch must outlive it (its adjacency is registered
+    /// by reference, not cloned). Row `g` of every output depends only on
+    /// graph `g`.
+    pub fn forward_batch<'p>(&self, tape: &mut Tape<'p>, batch: &'p GraphBatch) -> ForwardBatch {
         assert_eq!(batch.node_dim, self.cfg.node_dim, "sample/node-dim mismatch");
         assert_eq!(batch.aw_vocab, self.cfg.aw_vocab, "sample/AW-vocab mismatch");
         let active = self.active_views();
@@ -247,10 +250,11 @@ impl MvGnn {
     }
 
     /// Record the forward pass for one sample — a batch-of-one call into
-    /// [`Self::forward_batch`].
-    pub fn forward_on(&self, tape: &mut Tape<'_>, s: &GraphSample) -> Forward {
-        let batch = GraphBatch::single(s);
-        let fwd = self.forward_batch(tape, &batch);
+    /// [`Self::forward_batch`]. The caller builds the batch (typically
+    /// [`GraphBatch::single`]) *before* the tape, because the tape
+    /// borrows the batch's adjacency for its lifetime.
+    pub fn forward_on<'p>(&self, tape: &mut Tape<'p>, batch: &'p GraphBatch) -> Forward {
+        let fwd = self.forward_batch(tape, batch);
         let by_name = |name: &str| {
             self.views
                 .iter()
@@ -274,25 +278,51 @@ impl MvGnn {
     /// execution), just faster. Takes `&self`, so an `Arc<MvGnn>` can
     /// serve many threads concurrently.
     pub fn predict_batch(&self, samples: &[&GraphSample]) -> Vec<usize> {
+        self.predict_batch_ws(&mut Workspace::new(), samples)
+    }
+
+    /// [`Self::predict_batch`] against a caller-owned [`Workspace`]: the
+    /// batch packing and the whole tape draw their buffers from `ws` and
+    /// recycle them back on return, so repeated calls with one warm
+    /// workspace allocate nothing. Predictions are bit-identical to the
+    /// plain path.
+    pub fn predict_batch_ws(&self, ws: &mut Workspace, samples: &[&GraphSample]) -> Vec<usize> {
         if samples.is_empty() {
             return Vec::new();
         }
-        let batch = GraphBatch::from_samples(samples);
-        let mut tape = Tape::new(&self.params);
+        let batch = GraphBatch::from_samples_in(ws, samples);
+        let mut tape = Tape::with_workspace(&self.params, std::mem::take(ws));
         let fwd = self.forward_batch(&mut tape, &batch);
-        argmax_rows(tape.data(fwd.logits), samples.len(), self.cfg.classes)
+        let out = argmax_rows(tape.data(fwd.logits), samples.len(), self.cfg.classes);
+        *ws = tape.finish();
+        batch.recycle(ws);
+        out
     }
 
     /// Fused logits for a slice of samples, one row per sample, computed
     /// with one packed forward pass (inference only).
     pub fn logits_batch(&self, samples: &[&GraphSample]) -> Vec<Vec<f32>> {
+        self.logits_batch_ws(&mut Workspace::new(), samples)
+    }
+
+    /// [`Self::logits_batch`] against a caller-owned [`Workspace`]; see
+    /// [`Self::predict_batch_ws`] for the pooling contract.
+    pub fn logits_batch_ws(
+        &self,
+        ws: &mut Workspace,
+        samples: &[&GraphSample],
+    ) -> Vec<Vec<f32>> {
         if samples.is_empty() {
             return Vec::new();
         }
-        let batch = GraphBatch::from_samples(samples);
-        let mut tape = Tape::new(&self.params);
+        let batch = GraphBatch::from_samples_in(ws, samples);
+        let mut tape = Tape::with_workspace(&self.params, std::mem::take(ws));
         let fwd = self.forward_batch(&mut tape, &batch);
-        tape.data(fwd.logits).chunks(self.cfg.classes).map(<[f32]>::to_vec).collect()
+        let out: Vec<Vec<f32>> =
+            tape.data(fwd.logits).chunks(self.cfg.classes).map(<[f32]>::to_vec).collect();
+        *ws = tape.finish();
+        batch.recycle(ws);
+        out
     }
 
     /// Serialise the trained weights (architecture config not included;
@@ -320,11 +350,22 @@ impl MvGnn {
     /// one sample's non-finite logits never contaminate its neighbours'
     /// verdicts.
     pub fn predict_checked_batch(&self, samples: &[&GraphSample]) -> Vec<CheckedPrediction> {
+        self.predict_checked_batch_ws(&mut Workspace::new(), samples)
+    }
+
+    /// [`Self::predict_checked_batch`] against a caller-owned
+    /// [`Workspace`]; see [`Self::predict_batch_ws`] for the pooling
+    /// contract.
+    pub fn predict_checked_batch_ws(
+        &self,
+        ws: &mut Workspace,
+        samples: &[&GraphSample],
+    ) -> Vec<CheckedPrediction> {
         if samples.is_empty() {
             return Vec::new();
         }
-        let batch = GraphBatch::from_samples(samples);
-        let mut tape = Tape::new(&self.params);
+        let batch = GraphBatch::from_samples_in(ws, samples);
+        let mut tape = Tape::with_workspace(&self.params, std::mem::take(ws));
         let fwd = self.forward_batch(&mut tape, &batch);
         let c = self.cfg.classes;
         let check_row = |tape: &Tape<'_>, v: Var, g: usize| {
@@ -338,7 +379,7 @@ impl MvGnn {
                 .and_then(|i| fwd.view_logits[i])
         };
         let (node_v, struct_v) = (by_name("node"), by_name("struct"));
-        (0..samples.len())
+        let out: Vec<CheckedPrediction> = (0..samples.len())
             .map(|g| {
                 let fused = check_row(&tape, fwd.logits, g);
                 CheckedPrediction {
@@ -347,7 +388,10 @@ impl MvGnn {
                     structural: struct_v.map_or(fused, |v| check_row(&tape, v, g)),
                 }
             })
-            .collect()
+            .collect();
+        *ws = tape.finish();
+        batch.recycle(ws);
+        out
     }
 
     /// Predict with all three heads: `(fused, node, struct)` — absent

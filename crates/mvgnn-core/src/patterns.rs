@@ -44,8 +44,9 @@ pub fn train_patterns(
         let mut total = 0.0f32;
         let mut master = GradStore::zeros_like(&model.params);
         for s in data {
+            let batch = mvgnn_embed::GraphBatch::single(&s.sample);
             let mut tape = Tape::new(&model.params);
-            let fwd = model.forward_on(&mut tape, &s.sample);
+            let fwd = model.forward_on(&mut tape, &batch);
             let target = pattern_class(s.pattern);
             let loss = tape.softmax_ce(fwd.logits, &[target], model.cfg.temperature);
             total += tape.data(loss)[0];
@@ -61,8 +62,9 @@ pub fn train_patterns(
 
 /// Predict the pattern of one sample.
 pub fn predict_pattern(model: &MvGnn, s: &mvgnn_embed::GraphSample) -> PatternKind {
+    let batch = mvgnn_embed::GraphBatch::single(s);
     let mut tape = Tape::new(&model.params);
-    let fwd = model.forward_on(&mut tape, s);
+    let fwd = model.forward_on(&mut tape, &batch);
     let idx = argmax_rows(tape.data(fwd.logits), 1, 4)[0];
     PATTERN_CLASSES[idx]
 }

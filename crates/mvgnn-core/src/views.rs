@@ -35,8 +35,11 @@ pub trait ViewEncoder: Send + Sync {
 
     /// Encode every graph of the batch: output is
     /// `batch.batch × embed_dim()` with row `g` depending only on graph
-    /// `g`'s rows (bit-identical to a batch-of-one call).
-    fn encode_batch(&self, tape: &mut Tape<'_>, batch: &GraphBatch) -> Var;
+    /// `g`'s rows (bit-identical to a batch-of-one call). The batch must
+    /// outlive the tape: its adjacency is registered by reference
+    /// (clone-free) and its packed matrices are copied into pooled tape
+    /// buffers.
+    fn encode_batch<'p>(&self, tape: &mut Tape<'p>, batch: &'p GraphBatch) -> Var;
 }
 
 /// The node-feature view: a DGCNN over the sample's node-feature matrix,
@@ -65,7 +68,8 @@ impl NodeFeatureEncoder {
     /// the carried/loop-independent distinction is merged into one dep
     /// count.
     fn feature_input(&self, tape: &mut Tape<'_>, batch: &GraphBatch) -> Var {
-        let mut feats = batch.node_feats.clone();
+        let mut feats = tape.workspace_mut().acquire_f32(batch.node_feats.len());
+        feats.copy_from_slice(&batch.node_feats);
         if self.drop_dynamic {
             let dyn_dim = mvgnn_profiler::DynamicFeatures::DIM;
             let edge_dim = mvgnn_embed::sample::EDGE_DIM;
@@ -94,7 +98,7 @@ impl ViewEncoder for NodeFeatureEncoder {
         self.dgcnn.config().embed_dim()
     }
 
-    fn encode_batch(&self, tape: &mut Tape<'_>, batch: &GraphBatch) -> Var {
+    fn encode_batch<'p>(&self, tape: &mut Tape<'p>, batch: &'p GraphBatch) -> Var {
         let x = self.feature_input(tape, batch);
         self.dgcnn.embed_batch(tape, &batch.adj, x, &batch.offsets)
     }
@@ -133,8 +137,8 @@ impl ViewEncoder for StructuralEncoder {
         self.dgcnn.config().embed_dim()
     }
 
-    fn encode_batch(&self, tape: &mut Tape<'_>, batch: &GraphBatch) -> Var {
-        let dists = tape.input(batch.struct_dists.clone(), batch.total_n, batch.aw_vocab);
+    fn encode_batch<'p>(&self, tape: &mut Tape<'p>, batch: &'p GraphBatch) -> Var {
+        let dists = tape.input_slice(&batch.struct_dists, batch.total_n, batch.aw_vocab);
         let emb = self.aw_embed.forward_soft(tape, dists);
         self.dgcnn.embed_batch(tape, &batch.adj, emb, &batch.offsets)
     }

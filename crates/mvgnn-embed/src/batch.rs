@@ -10,7 +10,7 @@
 //! each graph's rows live in the packed layout.
 
 use crate::sample::GraphSample;
-use mvgnn_tensor::SparseMatrix;
+use mvgnn_tensor::{SparseMatrix, Workspace};
 
 /// A mini-batch of graphs in packed (block-diagonal) layout.
 #[derive(Debug, Clone)]
@@ -63,6 +63,45 @@ impl GraphBatch {
     pub fn single(sample: &GraphSample) -> Self {
         Self::from_samples(&[sample])
     }
+
+    /// [`Self::from_samples`] with every backing buffer drawn from a
+    /// [`Workspace`] pool: once warm, packing a batch allocates nothing
+    /// (bar the transient per-call adjacency pointer list). Contents are
+    /// identical to [`Self::from_samples`]; return the batch with
+    /// [`Self::recycle`] when done.
+    pub fn from_samples_in(ws: &mut Workspace, samples: &[&GraphSample]) -> Self {
+        assert!(!samples.is_empty(), "cannot batch zero samples");
+        let node_dim = samples[0].node_dim;
+        let aw_vocab = samples[0].aw_vocab;
+        let total_n: usize = samples.iter().map(|s| s.n).sum();
+        let mut node_feats = ws.acquire_f32(total_n * node_dim);
+        let mut struct_dists = ws.acquire_f32(total_n * aw_vocab);
+        let mut offsets = ws.acquire_usize(samples.len() + 1);
+        let mut row = 0usize;
+        for (g, s) in samples.iter().enumerate() {
+            assert_eq!(s.node_dim, node_dim, "node_dim mismatch within batch");
+            assert_eq!(s.aw_vocab, aw_vocab, "aw_vocab mismatch within batch");
+            offsets[g] = row;
+            node_feats[row * node_dim..(row + s.n) * node_dim]
+                .copy_from_slice(&s.node_feats);
+            struct_dists[row * aw_vocab..(row + s.n) * aw_vocab]
+                .copy_from_slice(&s.struct_dists);
+            row += s.n;
+        }
+        offsets[samples.len()] = row;
+        let adjs: Vec<&SparseMatrix> = samples.iter().map(|s| &s.adj).collect();
+        let adj = SparseMatrix::block_diag_in(ws, &adjs);
+        Self { batch: samples.len(), total_n, adj, node_feats, node_dim, struct_dists, aw_vocab, offsets }
+    }
+
+    /// Return a batch built by [`Self::from_samples_in`] to its pool so
+    /// the next packing reuses its buffers.
+    pub fn recycle(self, ws: &mut Workspace) {
+        ws.release_f32(self.node_feats);
+        ws.release_f32(self.struct_dists);
+        ws.release_usize(self.offsets);
+        self.adj.recycle(ws);
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +149,26 @@ mod tests {
         assert_eq!(batch.offsets, vec![0, 4]);
         assert_eq!(batch.node_feats, a.node_feats);
         assert_eq!(batch.adj, a.adj);
+    }
+
+    #[test]
+    fn pooled_packing_matches_and_stops_allocating() {
+        let a = toy_sample(3, 4, 5, 0.5);
+        let b = toy_sample(2, 4, 5, -1.0);
+        let plain = GraphBatch::from_samples(&[&a, &b]);
+        let mut ws = Workspace::new();
+        // Cold pass populates the pool; every later pass must hit it.
+        GraphBatch::from_samples_in(&mut ws, &[&a, &b]).recycle(&mut ws);
+        let cold_misses = ws.stats().misses;
+        for pass in 0..3 {
+            let pooled = GraphBatch::from_samples_in(&mut ws, &[&a, &b]);
+            assert_eq!(pooled.node_feats, plain.node_feats, "pass {pass}");
+            assert_eq!(pooled.struct_dists, plain.struct_dists);
+            assert_eq!(pooled.offsets, plain.offsets);
+            assert_eq!(pooled.adj, plain.adj);
+            pooled.recycle(&mut ws);
+        }
+        assert_eq!(ws.stats().misses, cold_misses, "warm packing must not allocate");
     }
 
     #[test]

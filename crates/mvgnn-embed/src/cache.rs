@@ -1,0 +1,244 @@
+//! Content-keyed memoisation of per-loop featurisation.
+//!
+//! Building a [`GraphSample`] is the expensive half of module inference:
+//! the anonymous-walk sampler alone walks every node `γ` times, and the
+//! node-feature packing touches every token embedding. When the same
+//! loop is classified repeatedly — watch-mode re-analysis, parameter
+//! sweeps, engine benchmarks — the sub-PEG and dynamic features rarely
+//! change, so the [`FeatureCache`] keys the finished sample by a
+//! fingerprint of everything `build_sample` reads and replays it.
+//!
+//! The fingerprint ([`sample_fingerprint`]) covers the sub-PEG's nodes
+//! (kind, tokens, line spans), its edges (endpoints, type, carriedness),
+//! the loop's dynamic feature vector bit-for-bit, and the walk/assembly
+//! configuration — any change to any input changes the key, so a hit is
+//! exactly a replay of a previous `build_sample` call. One cache serves
+//! one inst2vec embedding (the embedding table is deliberately not
+//! hashed; pass its dimension so differently-sized embedders at least
+//! never collide).
+//!
+//! Entries are shared out as `Arc<GraphSample>` — hits clone a pointer,
+//! not the matrices — and eviction is least-recently-used at a fixed
+//! capacity.
+
+use crate::sample::{GraphSample, SampleConfig};
+use mvgnn_peg::{PegEdgeKind, PegNodeKind, SubPeg};
+use mvgnn_profiler::{DepKind, DynamicFeatures};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Hit/miss counters of a [`FeatureCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the sample.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub len: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+struct Entry {
+    sample: Arc<GraphSample>,
+    last_used: u64,
+}
+
+/// LRU-bounded, content-keyed store of finished [`GraphSample`]s.
+pub struct FeatureCache {
+    capacity: usize,
+    map: HashMap<u64, Entry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl FeatureCache {
+    /// A cache holding at most `capacity` samples (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats { hits: self.hits, misses: self.misses, len: self.map.len() }
+    }
+
+    /// The sample under `key`, building (and caching) it on a miss. The
+    /// least-recently-used entry is evicted when the cache is full.
+    pub fn get_or_insert_with(
+        &mut self,
+        key: u64,
+        build: impl FnOnce() -> GraphSample,
+    ) -> Arc<GraphSample> {
+        self.clock += 1;
+        if let Some(e) = self.map.get_mut(&key) {
+            self.hits += 1;
+            e.last_used = self.clock;
+            return Arc::clone(&e.sample);
+        }
+        self.misses += 1;
+        if self.map.len() >= self.capacity {
+            // O(len) scan; caches are small (hundreds of loops) and the
+            // scan only runs on a miss at capacity.
+            if let Some(&oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        let sample = Arc::new(build());
+        self.map.insert(key, Entry { sample: Arc::clone(&sample), last_used: self.clock });
+        sample
+    }
+}
+
+/// Fingerprint of everything [`crate::build_sample`] reads: the sub-PEG
+/// content, the dynamic feature vector (bit-exact) and the assembly
+/// configuration. `i2v_dim` stands in for the embedding table — use one
+/// cache per trained inst2vec.
+pub fn sample_fingerprint(
+    sub: &SubPeg,
+    dyn_feats: &DynamicFeatures,
+    cfg: &SampleConfig,
+    i2v_dim: usize,
+) -> u64 {
+    let mut h = DefaultHasher::new();
+    sub.func.0.hash(&mut h);
+    sub.l.0.hash(&mut h);
+    sub.loop_node.0.hash(&mut h);
+    sub.graph.node_count().hash(&mut h);
+    for id in sub.graph.node_ids() {
+        let n = sub.graph.node(id);
+        match &n.kind {
+            PegNodeKind::Func(f) => {
+                0u8.hash(&mut h);
+                f.0.hash(&mut h);
+            }
+            PegNodeKind::Loop(f, l) => {
+                1u8.hash(&mut h);
+                f.0.hash(&mut h);
+                l.0.hash(&mut h);
+            }
+            PegNodeKind::Cu(c) => {
+                2u8.hash(&mut h);
+                c.0.hash(&mut h);
+            }
+        }
+        n.token.hash(&mut h);
+        n.tokens.hash(&mut h);
+        n.line_span.hash(&mut h);
+    }
+    for e in sub.graph.edge_ids() {
+        let (s, d) = sub.graph.endpoints(e);
+        s.0.hash(&mut h);
+        d.0.hash(&mut h);
+        let w = sub.graph.edge(e);
+        match w.kind {
+            PegEdgeKind::DefUse => 0u8.hash(&mut h),
+            PegEdgeKind::Dep(DepKind::Raw) => 1u8.hash(&mut h),
+            PegEdgeKind::Dep(DepKind::War) => 2u8.hash(&mut h),
+            PegEdgeKind::Dep(DepKind::Waw) => 3u8.hash(&mut h),
+            PegEdgeKind::Hierarchy => 4u8.hash(&mut h),
+        }
+        w.carried.hash(&mut h);
+    }
+    for x in dyn_feats.to_vec() {
+        x.to_bits().hash(&mut h);
+    }
+    cfg.walk_len.hash(&mut h);
+    cfg.walks.walk_len.hash(&mut h);
+    cfg.walks.walks_per_node.hash(&mut h);
+    cfg.walks.seed.hash(&mut h);
+    cfg.hierarchy_in_adjacency.hash(&mut h);
+    i2v_dim.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> GraphSample {
+        GraphSample {
+            n,
+            adj: mvgnn_tensor::SparseMatrix::from_triplets(n, n, &[]),
+            node_feats: vec![n as f32; n * 2],
+            node_dim: 2,
+            struct_dists: vec![0.5; n * 2],
+            aw_vocab: 2,
+            token_ids: vec![0; n],
+            func: mvgnn_ir::module::FuncId(0),
+            l: mvgnn_ir::module::LoopId(n as u32),
+            label: None,
+        }
+    }
+
+    #[test]
+    fn hits_and_misses_are_accounted() {
+        let mut c = FeatureCache::new(4);
+        let a = c.get_or_insert_with(1, || toy(3));
+        let b = c.get_or_insert_with(1, || unreachable!("second lookup must hit"));
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the cached sample");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry_at_capacity() {
+        let mut c = FeatureCache::new(2);
+        c.get_or_insert_with(1, || toy(1));
+        c.get_or_insert_with(2, || toy(2));
+        // Touch key 1 so key 2 is now the least recently used.
+        c.get_or_insert_with(1, || unreachable!());
+        c.get_or_insert_with(3, || toy(3));
+        assert_eq!(c.len(), 2);
+        // Key 2 was evicted: looking it up rebuilds (and that insert
+        // evicts key 1, now the coldest of {1, 3}).
+        let before = c.stats().misses;
+        c.get_or_insert_with(2, || toy(2));
+        assert_eq!(c.stats().misses, before + 1);
+        // Key 3 survived both evictions.
+        c.get_or_insert_with(3, || unreachable!("key 3 must still be resident"));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut c = FeatureCache::new(0);
+        c.get_or_insert_with(1, || toy(1));
+        c.get_or_insert_with(2, || toy(2));
+        assert_eq!(c.len(), 1);
+    }
+}

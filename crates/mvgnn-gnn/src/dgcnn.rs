@@ -7,7 +7,7 @@
 //! [`Dgcnn::logits`].
 
 use crate::gcn::GcnLayer;
-use crate::sortpool::sort_order_segments;
+use crate::sortpool::sort_order_segments_into;
 use mvgnn_nn::{Conv1d, Linear};
 use mvgnn_tensor::tape::{Params, Tape, Var};
 use mvgnn_tensor::SparseMatrix;
@@ -124,7 +124,7 @@ impl Dgcnn {
     /// Run up to the input of the dense read-out: `1 × embed_dim`. This is
     /// the representation the multi-view model fuses. A batch-of-one call
     /// into [`Self::embed_batch`].
-    pub fn embed(&self, tape: &mut Tape<'_>, adj: &SparseMatrix, feats: Var) -> Var {
+    pub fn embed<'p>(&self, tape: &mut Tape<'p>, adj: &'p SparseMatrix, feats: Var) -> Var {
         let (n, _) = tape.shape(feats);
         self.embed_batch(tape, adj, feats, &[0, n])
     }
@@ -141,10 +141,10 @@ impl Dgcnn {
     /// tile the flattened `k·D` region of each graph exactly, and the
     /// pooling/conv2 stages use the segment-aware primitives so no window
     /// straddles two graphs even when `k` is odd.
-    pub fn embed_batch(
+    pub fn embed_batch<'p>(
         &self,
-        tape: &mut Tape<'_>,
-        adj: &SparseMatrix,
+        tape: &mut Tape<'p>,
+        adj: &'p SparseMatrix,
         feats: Var,
         offsets: &[usize],
     ) -> Var {
@@ -156,8 +156,10 @@ impl Dgcnn {
         let batch = offsets.len() - 1;
 
         // Graph conv stack; keep every layer's output for concatenation.
-        // The adjacency is registered once and shared by all layers.
-        let adj = tape.sparse_const(adj);
+        // The adjacency is registered once — borrowed from its
+        // caller-owned storage (the `GraphBatch` in batched inference),
+        // not cloned — and shared by all layers.
+        let adj = tape.sparse_ref(adj);
         let mut h = feats;
         let mut outs: Vec<Var> = Vec::with_capacity(self.gc.len());
         for layer in &self.gc {
@@ -170,16 +172,21 @@ impl Dgcnn {
         }
 
         // SortPooling: order by the final layer's last channel, ranking
-        // within each graph's row segment.
+        // within each graph's row segment. Keys and the per-segment sort
+        // permutation live in pooled buffers so the steady state
+        // allocates nothing here.
         let last = h; // final conv layer's output
         let (_, last_w) = tape.shape(last);
-        let keys: Vec<f32> = tape
-            .data(last)
-            .chunks(last_w)
-            .map(|r| *r.last().expect("non-empty row"))
-            .collect();
+        let mut keys = tape.workspace_mut().acquire_f32(n);
+        for (slot, r) in keys.iter_mut().zip(tape.data(last).chunks(last_w)) {
+            *slot = r.last().copied().unwrap_or(0.0);
+        }
         let k = self.cfg.k;
-        let pairs = sort_order_segments(&keys, offsets, k);
+        let mut scratch = tape.workspace_mut().acquire_usize(0);
+        let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(batch * k);
+        sort_order_segments_into(&keys, offsets, k, &mut scratch, &mut pairs);
+        tape.workspace_mut().release_f32(keys);
+        tape.workspace_mut().release_usize(scratch);
         let pooled = tape.gather_rows_at(concat, &pairs, batch * k);
 
         // conv1 has ksize = stride = D over the flattened batch·k·D
@@ -204,7 +211,7 @@ impl Dgcnn {
     }
 
     /// Full forward pass to class logits (`1 × classes`).
-    pub fn logits(&self, tape: &mut Tape<'_>, adj: &SparseMatrix, feats: Var) -> Var {
+    pub fn logits<'p>(&self, tape: &mut Tape<'p>, adj: &'p SparseMatrix, feats: Var) -> Var {
         let e = self.embed(tape, adj, feats);
         self.head(tape, e)
     }

@@ -46,9 +46,10 @@ impl GcnLayer {
         self.lin.out_dim()
     }
 
-    /// Record `tanh(Â·H·W + b)` on the tape.
-    pub fn forward(&self, tape: &mut Tape<'_>, adj: &SparseMatrix, h: Var) -> Var {
-        let adj = tape.sparse_const(adj);
+    /// Record `tanh(Â·H·W + b)` on the tape. The adjacency is borrowed
+    /// (clone-free) and must outlive the tape.
+    pub fn forward<'p>(&self, tape: &mut Tape<'p>, adj: &'p SparseMatrix, h: Var) -> Var {
+        let adj = tape.sparse_ref(adj);
         self.forward_at(tape, adj, h)
     }
 

@@ -24,18 +24,42 @@ pub fn sort_order(keys: &[f32], k: usize) -> Vec<usize> {
 /// row output: graph `g`'s rank-`r` node lands on row `g·k + r`; rows of
 /// graphs with fewer than `k` nodes are simply absent (zero padding).
 pub fn sort_order_segments(keys: &[f32], offsets: &[usize], k: usize) -> Vec<(usize, usize)> {
+    let batch = offsets.len().saturating_sub(1);
+    let mut pairs = Vec::with_capacity(batch * k);
+    let mut scratch = Vec::new();
+    sort_order_segments_into(keys, offsets, k, &mut scratch, &mut pairs);
+    pairs
+}
+
+/// [`sort_order_segments`] writing into caller-provided buffers — the
+/// allocation-free flavour for pooled hot paths. `scratch` holds the
+/// per-segment index permutation (cleared and reused per segment);
+/// `pairs` is cleared and filled with the same `(dst, src)` pairs, in
+/// the same order, as [`sort_order_segments`] returns.
+pub fn sort_order_segments_into(
+    keys: &[f32],
+    offsets: &[usize],
+    k: usize,
+    scratch: &mut Vec<usize>,
+    pairs: &mut Vec<(usize, usize)>,
+) {
     assert!(offsets.len() >= 2, "offsets needs at least one segment");
     assert_eq!(offsets[offsets.len() - 1], keys.len(), "offsets must cover keys");
     let batch = offsets.len() - 1;
-    let mut pairs = Vec::with_capacity(batch * k);
+    pairs.clear();
     for g in 0..batch {
         let (lo, hi) = (offsets[g], offsets[g + 1]);
-        let order = sort_order(&keys[lo..hi], k);
-        for (rank, &local) in order.iter().enumerate() {
+        let seg = &keys[lo..hi];
+        scratch.clear();
+        scratch.extend(0..seg.len());
+        // Unstable sort allocates nothing; the index tie-break makes the
+        // comparator injective, so the order is identical to a stable
+        // sort anyway.
+        scratch.sort_unstable_by(|&a, &b| seg[b].total_cmp(&seg[a]).then(a.cmp(&b)));
+        for (rank, &local) in scratch.iter().take(k).enumerate() {
             pairs.push((g * k + rank, lo + local));
         }
     }
-    pairs
 }
 
 #[cfg(test)]
@@ -72,6 +96,19 @@ mod tests {
         let keys = [0.5, f32::NAN, 0.7, f32::NAN];
         assert_eq!(sort_order(&keys, 4), sort_order(&keys, 4));
         assert_eq!(sort_order(&keys, 4).len(), 4);
+    }
+
+    #[test]
+    fn into_variant_matches_and_reuses_buffers() {
+        let keys = [0.1, 0.9, 0.5, 0.7, 0.2];
+        let offsets = [0usize, 3, 5];
+        let mut scratch = Vec::new();
+        let mut pairs = Vec::new();
+        sort_order_segments_into(&keys, &offsets, 2, &mut scratch, &mut pairs);
+        assert_eq!(pairs, sort_order_segments(&keys, &offsets, 2));
+        // Reused buffers are cleared per call; stale contents never leak.
+        sort_order_segments_into(&[0.3, 0.1], &[0, 2], 1, &mut scratch, &mut pairs);
+        assert_eq!(pairs, vec![(0, 0)]);
     }
 
     #[test]

@@ -211,6 +211,16 @@ pub fn tanh_vec(x: &[f32]) -> Vec<f32> {
     x.iter().map(|&v| tanh_branchless(v)).collect()
 }
 
+/// Elementwise `tanh` into a caller-provided buffer (same numerics as
+/// [`tanh_vec`], bit for bit) — the allocation-free flavour used by the
+/// pooled tape. `out.len()` must equal `x.len()`.
+pub fn tanh_into(x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "tanh_into length mismatch");
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = tanh_branchless(v);
+    }
+}
+
 /// Transpose `a[m×n]` into a fresh `n×m` vec.
 pub fn transpose(a: &[f32], m: usize, n: usize) -> Vec<f32> {
     assert_eq!(a.len(), m * n);

@@ -21,7 +21,9 @@ pub mod optim;
 pub mod persist;
 pub mod sparse;
 pub mod tape;
+pub mod workspace;
 
 pub use sparse::SparseMatrix;
 pub use persist::{load_params, save_params, PersistError};
-pub use tape::{GradStore, Params, ParamId, Tape, Var};
+pub use tape::{GradStore, Params, ParamId, SparseId, Tape, Var};
+pub use workspace::{Workspace, WorkspaceStats};

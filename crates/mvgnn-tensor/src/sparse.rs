@@ -55,12 +55,37 @@ impl SparseMatrix {
     /// batch is exactly the per-block products — the batched GCN
     /// propagation operator over packed graphs.
     pub fn block_diag(blocks: &[&SparseMatrix]) -> Self {
-        let rows: usize = blocks.iter().map(|b| b.rows).sum();
-        let cols: usize = blocks.iter().map(|b| b.cols).sum();
         let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
+        let rows: usize = blocks.iter().map(|b| b.rows).sum();
         let mut row_ptr = Vec::with_capacity(rows + 1);
         let mut col_idx = Vec::with_capacity(nnz);
         let mut values = Vec::with_capacity(nnz);
+        Self::fill_block_diag(blocks, &mut row_ptr, &mut col_idx, &mut values)
+    }
+
+    /// [`SparseMatrix::block_diag`] with the CSR buffers drawn from a
+    /// workspace pool instead of the allocator; hand the matrix back
+    /// with [`SparseMatrix::recycle`] when the batch is done.
+    pub fn block_diag_in(ws: &mut crate::workspace::Workspace, blocks: &[&SparseMatrix]) -> Self {
+        let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
+        let rows: usize = blocks.iter().map(|b| b.rows).sum();
+        let mut row_ptr = ws.acquire_u32(rows + 1);
+        let mut col_idx = ws.acquire_u32(nnz);
+        let mut values = ws.acquire_f32(nnz);
+        row_ptr.clear();
+        col_idx.clear();
+        values.clear();
+        Self::fill_block_diag(blocks, &mut row_ptr, &mut col_idx, &mut values)
+    }
+
+    fn fill_block_diag(
+        blocks: &[&SparseMatrix],
+        row_ptr: &mut Vec<u32>,
+        col_idx: &mut Vec<u32>,
+        values: &mut Vec<f32>,
+    ) -> Self {
+        let rows: usize = blocks.iter().map(|b| b.rows).sum();
+        let cols: usize = blocks.iter().map(|b| b.cols).sum();
         row_ptr.push(0u32);
         let mut col_off = 0u32;
         let mut nnz_off = 0u32;
@@ -75,7 +100,21 @@ impl SparseMatrix {
             col_off += b.cols as u32;
             nnz_off += b.nnz() as u32;
         }
-        Self { rows, cols, row_ptr, col_idx, values }
+        Self {
+            rows,
+            cols,
+            row_ptr: std::mem::take(row_ptr),
+            col_idx: std::mem::take(col_idx),
+            values: std::mem::take(values),
+        }
+    }
+
+    /// Release the CSR buffers back into a workspace pool (the partner
+    /// of [`SparseMatrix::block_diag_in`]).
+    pub fn recycle(self, ws: &mut crate::workspace::Workspace) {
+        ws.release_u32(self.row_ptr);
+        ws.release_u32(self.col_idx);
+        ws.release_f32(self.values);
     }
 
     /// Identity matrix of size `n`.

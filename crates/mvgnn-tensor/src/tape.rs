@@ -12,6 +12,7 @@
 
 use crate::dense;
 use crate::sparse::SparseMatrix;
+use crate::workspace::{self, Workspace};
 use rayon::prelude::*;
 
 /// Flop threshold above which row-independent ops fan out across rayon
@@ -198,7 +199,9 @@ enum Op {
     ConcatCols(Var, Var),
     ConcatRows(Var, Var),
     GatherRowsPad(Var, Vec<usize>),
-    GatherRowsAt(Var, Vec<(u32, u32)>),
+    /// `(dst, src)` row pairs flattened as `[dst0, src0, dst1, src1, …]`
+    /// so the payload can live in the pooled `u32` free list.
+    GatherRowsAt(Var, Vec<u32>),
     MeanRows(Var),
     SumAll(Var),
     SegmentSum(Var, Vec<usize>),
@@ -208,6 +211,25 @@ enum Op {
     MaxPoolRows { x: Var, size: usize, seg_len: usize },
     Reshape(Var),
     SoftmaxCe { logits: Var, targets: Vec<usize>, temperature: f32 },
+}
+
+/// A sparse operator slot on the tape: either tape-owned (the legacy
+/// [`Tape::sparse_const`] clone) or borrowed from caller-owned storage
+/// that outlives the tape — e.g. a `GraphBatch`'s block-diagonal
+/// adjacency — via [`Tape::sparse_ref`], which skips the clone
+/// entirely.
+enum SparseSlot<'p> {
+    Owned(SparseMatrix),
+    Borrowed(&'p SparseMatrix),
+}
+
+impl SparseSlot<'_> {
+    fn get(&self) -> &SparseMatrix {
+        match self {
+            SparseSlot::Owned(m) => m,
+            SparseSlot::Borrowed(m) => m,
+        }
+    }
 }
 
 struct Node {
@@ -242,13 +264,60 @@ pub struct Tape<'p> {
     params: &'p Params,
     grads: Option<GradStore>,
     nodes: Vec<Node>,
-    sparse: Vec<SparseMatrix>,
+    sparse: Vec<SparseSlot<'p>>,
+    ws: Workspace,
 }
 
 impl<'p> Tape<'p> {
-    /// Start a fresh tape over `params`.
+    /// Start a fresh tape over `params` with an empty (cold) workspace.
     pub fn new(params: &'p Params) -> Self {
-        Self { params, grads: None, nodes: Vec::new(), sparse: Vec::new() }
+        Self::with_workspace(params, Workspace::new())
+    }
+
+    /// Start a tape over `params` drawing every node-value, gradient and
+    /// payload buffer from `ws`. Recover the (now warmer) workspace with
+    /// [`Tape::finish`] when the pass is done; after one warm-up pass a
+    /// rebuilt tape allocates nothing.
+    pub fn with_workspace(params: &'p Params, ws: Workspace) -> Self {
+        Self { params, grads: None, nodes: Vec::new(), sparse: Vec::new(), ws }
+    }
+
+    /// Tear the computation graph down in place, releasing every buffer
+    /// back into the tape's workspace: node values, gradients, op
+    /// payloads and the gradient sidecar. The tape is ready for another
+    /// forward pass — same `Params`, warm pool, node storage retained.
+    pub fn reset(&mut self) {
+        let mut nodes = std::mem::take(&mut self.nodes);
+        for node in nodes.drain(..) {
+            self.ws.release_f32(node.data);
+            self.ws.release_f32(node.grad);
+            self.ws.release_f32(node.aux_f);
+            match node.op {
+                Op::GatherRowsPad(_, idx) => self.ws.release_usize(idx),
+                Op::GatherRowsAt(_, pairs) => self.ws.release_u32(pairs),
+                Op::SegmentSum(_, offsets) | Op::SegmentSoftmax(_, offsets) => {
+                    self.ws.release_usize(offsets)
+                }
+                Op::SoftmaxCe { targets, .. } => self.ws.release_usize(targets),
+                _ => {}
+            }
+        }
+        self.nodes = nodes;
+        self.sparse.clear();
+        self.grads = None;
+    }
+
+    /// Consume the tape and hand back its workspace with every buffer
+    /// released into the pool — the partner of [`Tape::with_workspace`].
+    pub fn finish(mut self) -> Workspace {
+        self.reset();
+        std::mem::take(&mut self.ws)
+    }
+
+    /// Direct access to the tape's buffer pool, for callers that need
+    /// pooled scratch around tape ops (e.g. SortPooling key extraction).
+    pub fn workspace_mut(&mut self) -> &mut Workspace {
+        &mut self.ws
     }
 
     /// The parameter gradients accumulated so far (`None` until
@@ -301,10 +370,21 @@ impl<'p> Tape<'p> {
         self.push(Op::Input, data, (rows, cols))
     }
 
+    /// Constant input copied from a slice into a pooled buffer — the
+    /// allocation-free sibling of [`Tape::input`].
+    pub fn input_slice(&mut self, data: &[f32], rows: usize, cols: usize) -> Var {
+        assert_eq!(data.len(), rows * cols, "input shape mismatch");
+        let mut buf = self.ws.acquire_f32(data.len());
+        buf.copy_from_slice(data);
+        self.push(Op::Input, buf, (rows, cols))
+    }
+
     /// Load a parameter onto the tape.
     pub fn param(&mut self, id: ParamId) -> Var {
-        let data = self.params.data(id).to_vec();
         let shape = self.params.shape(id);
+        let src = self.params.data(id);
+        let mut data = self.ws.acquire_f32(src.len());
+        data.copy_from_slice(src);
         self.push(Op::Param(id), data, shape)
     }
 
@@ -313,7 +393,7 @@ impl<'p> Tape<'p> {
         let (m, k) = self.shape(a);
         let (k2, n) = self.shape(b);
         assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
-        let mut out = vec![0.0; m * n];
+        let mut out = self.ws.acquire_f32(m * n);
         dense::matmul(self.data(a), self.data(b), &mut out, m, k, n);
         self.push(Op::MatMul(a, b), out, (m, n))
     }
@@ -321,7 +401,16 @@ impl<'p> Tape<'p> {
     /// Register a constant sparse operator on the tape (one clone). The
     /// handle can back any number of [`Tape::spmm_at`] calls.
     pub fn sparse_const(&mut self, a: &SparseMatrix) -> SparseId {
-        self.sparse.push(a.clone());
+        self.sparse.push(SparseSlot::Owned(a.clone()));
+        SparseId(self.sparse.len() - 1)
+    }
+
+    /// Register a caller-owned sparse operator without cloning it; the
+    /// borrow must outlive the tape (same `'p` as the parameter store).
+    /// This is how batched encoders share the `GraphBatch`'s cached
+    /// block-diagonal adjacency across a whole GCN stack, clone-free.
+    pub fn sparse_ref(&mut self, a: &'p SparseMatrix) -> SparseId {
+        self.sparse.push(SparseSlot::Borrowed(a));
         SparseId(self.sparse.len() - 1)
     }
 
@@ -332,23 +421,27 @@ impl<'p> Tape<'p> {
     }
 
     /// [`Tape::spmm`] against an operator already registered with
-    /// [`Tape::sparse_const`].
+    /// [`Tape::sparse_const`] / [`Tape::sparse_ref`].
     pub fn spmm_at(&mut self, a: SparseId, x: Var) -> Var {
-        let sp = &self.sparse[a.0];
         let (r, n) = self.nodes[x.0].shape;
-        assert_eq!(sp.cols(), r, "spmm operand rows");
-        let rows = sp.rows();
-        let mut out = vec![0.0; rows * n];
-        sp.spmm(&self.nodes[x.0].data, &mut out, n);
+        let (rows, cols) = {
+            let sp = self.sparse[a.0].get();
+            (sp.rows(), sp.cols())
+        };
+        assert_eq!(cols, r, "spmm operand rows");
+        let mut out = self.ws.acquire_f32(rows * n);
+        self.sparse[a.0].get().spmm(&self.nodes[x.0].data, &mut out, n);
         self.push(Op::SpMM(a.0, x), out, (rows, n))
     }
 
     /// Elementwise sum (same shape).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        assert_eq!(self.shape(a), self.shape(b), "add shape mismatch");
-        let out: Vec<f32> =
-            self.data(a).iter().zip(self.data(b)).map(|(x, y)| x + y).collect();
         let shape = self.shape(a);
+        assert_eq!(shape, self.shape(b), "add shape mismatch");
+        let mut out = self.ws.acquire_f32(shape.0 * shape.1);
+        for ((o, &x), &y) in out.iter_mut().zip(self.data(a)).zip(self.data(b)) {
+            *o = x + y;
+        }
         self.push(Op::Add(a, b), out, shape)
     }
 
@@ -356,40 +449,48 @@ impl<'p> Tape<'p> {
     pub fn add_row(&mut self, a: Var, row: Var) -> Var {
         let (m, n) = self.shape(a);
         assert_eq!(self.shape(row), (1, n), "bias must be 1×{n}");
-        let out = {
+        let mut out = self.ws.acquire_f32(m * n);
+        {
             let adat = self.data(a);
             let rdat = self.data(row);
-            let mut out = Vec::with_capacity(adat.len());
-            for r in adat.chunks_exact(n) {
-                out.extend(r.iter().zip(rdat).map(|(x, y)| x + y));
+            for (orow, arow) in out.chunks_exact_mut(n).zip(adat.chunks_exact(n)) {
+                for ((o, &x), &y) in orow.iter_mut().zip(arow).zip(rdat) {
+                    *o = x + y;
+                }
             }
-            out
-        };
+        }
         self.push(Op::AddRow(a, row), out, (m, n))
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        assert_eq!(self.shape(a), self.shape(b), "sub shape mismatch");
-        let out: Vec<f32> =
-            self.data(a).iter().zip(self.data(b)).map(|(x, y)| x - y).collect();
         let shape = self.shape(a);
+        assert_eq!(shape, self.shape(b), "sub shape mismatch");
+        let mut out = self.ws.acquire_f32(shape.0 * shape.1);
+        for ((o, &x), &y) in out.iter_mut().zip(self.data(a)).zip(self.data(b)) {
+            *o = x - y;
+        }
         self.push(Op::Sub(a, b), out, shape)
     }
 
     /// Elementwise product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        assert_eq!(self.shape(a), self.shape(b), "mul shape mismatch");
-        let out: Vec<f32> =
-            self.data(a).iter().zip(self.data(b)).map(|(x, y)| x * y).collect();
         let shape = self.shape(a);
+        assert_eq!(shape, self.shape(b), "mul shape mismatch");
+        let mut out = self.ws.acquire_f32(shape.0 * shape.1);
+        for ((o, &x), &y) in out.iter_mut().zip(self.data(a)).zip(self.data(b)) {
+            *o = x * y;
+        }
         self.push(Op::MulElem(a, b), out, shape)
     }
 
     /// Scalar multiple.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let out: Vec<f32> = self.data(a).iter().map(|x| x * c).collect();
         let shape = self.shape(a);
+        let mut out = self.ws.acquire_f32(shape.0 * shape.1);
+        for (o, &x) in out.iter_mut().zip(self.data(a)) {
+            *o = x * c;
+        }
         self.push(Op::Scale(a, c), out, shape)
     }
 
@@ -398,22 +499,29 @@ impl<'p> Tape<'p> {
     /// propagation). The backward pass uses the stored output, so
     /// gradients are consistent with what was computed.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let out = dense::tanh_vec(self.data(a));
         let shape = self.shape(a);
+        let mut out = self.ws.acquire_f32(shape.0 * shape.1);
+        dense::tanh_into(self.data(a), &mut out);
         self.push(Op::Tanh(a), out, shape)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let out: Vec<f32> = self.data(a).iter().map(|x| x.max(0.0)).collect();
         let shape = self.shape(a);
+        let mut out = self.ws.acquire_f32(shape.0 * shape.1);
+        for (o, &x) in out.iter_mut().zip(self.data(a)) {
+            *o = x.max(0.0);
+        }
         self.push(Op::Relu(a), out, shape)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let out: Vec<f32> = self.data(a).iter().map(|x| 1.0 / (1.0 + (-x).exp())).collect();
         let shape = self.shape(a);
+        let mut out = self.ws.acquire_f32(shape.0 * shape.1);
+        for (o, &x) in out.iter_mut().zip(self.data(a)) {
+            *o = 1.0 / (1.0 + (-x).exp());
+        }
         self.push(Op::Sigmoid(a), out, shape)
     }
 
@@ -422,10 +530,10 @@ impl<'p> Tape<'p> {
         let (m, n1) = self.shape(a);
         let (m2, n2) = self.shape(b);
         assert_eq!(m, m2, "concat_cols row mismatch");
-        let mut out = Vec::with_capacity(m * (n1 + n2));
-        for i in 0..m {
-            out.extend_from_slice(&self.data(a)[i * n1..(i + 1) * n1]);
-            out.extend_from_slice(&self.data(b)[i * n2..(i + 1) * n2]);
+        let mut out = self.ws.acquire_f32(m * (n1 + n2));
+        for (i, orow) in out.chunks_exact_mut(n1 + n2).enumerate() {
+            orow[..n1].copy_from_slice(&self.data(a)[i * n1..(i + 1) * n1]);
+            orow[n1..].copy_from_slice(&self.data(b)[i * n2..(i + 1) * n2]);
         }
         self.push(Op::ConcatCols(a, b), out, (m, n1 + n2))
     }
@@ -435,9 +543,10 @@ impl<'p> Tape<'p> {
         let (m1, n) = self.shape(a);
         let (m2, n2) = self.shape(b);
         assert_eq!(n, n2, "concat_rows col mismatch");
-        let mut out = Vec::with_capacity((m1 + m2) * n);
-        out.extend_from_slice(self.data(a));
-        out.extend_from_slice(self.data(b));
+        let la = m1 * n;
+        let mut out = self.ws.acquire_f32((m1 + m2) * n);
+        out[..la].copy_from_slice(self.data(a));
+        out[la..].copy_from_slice(self.data(b));
         self.push(Op::ConcatRows(a, b), out, (m1 + m2, n))
     }
 
@@ -450,11 +559,13 @@ impl<'p> Tape<'p> {
         for &i in indices {
             assert!(i < m, "gather index {i} out of bounds ({m} rows)");
         }
-        let mut out = vec![0.0; k * n];
+        let mut out = self.ws.acquire_f32(k * n);
         for (o, &i) in indices.iter().enumerate() {
             out[o * n..(o + 1) * n].copy_from_slice(&self.data(a)[i * n..(i + 1) * n]);
         }
-        self.push(Op::GatherRowsPad(a, indices.to_vec()), out, (k, n))
+        let mut idx = self.ws.acquire_usize(indices.len());
+        idx.copy_from_slice(indices);
+        self.push(Op::GatherRowsPad(a, idx), out, (k, n))
     }
 
     /// Scatter-gather rows by explicit `(dst, src)` pairs into an
@@ -465,13 +576,14 @@ impl<'p> Tape<'p> {
     /// at the tail, cannot express).
     pub fn gather_rows_at(&mut self, a: Var, pairs: &[(usize, usize)], out_rows: usize) -> Var {
         let (m, n) = self.shape(a);
-        let mut out = vec![0.0; out_rows * n];
-        let mut compact = Vec::with_capacity(pairs.len());
-        for &(dst, src) in pairs {
+        let mut out = self.ws.acquire_f32(out_rows * n);
+        let mut compact = self.ws.acquire_u32(2 * pairs.len());
+        for (&(dst, src), slot) in pairs.iter().zip(compact.chunks_exact_mut(2)) {
             assert!(dst < out_rows, "gather dst {dst} out of bounds ({out_rows} rows)");
             assert!(src < m, "gather src {src} out of bounds ({m} rows)");
             out[dst * n..(dst + 1) * n].copy_from_slice(&self.data(a)[src * n..(src + 1) * n]);
-            compact.push((dst as u32, src as u32));
+            slot[0] = dst as u32;
+            slot[1] = src as u32;
         }
         self.push(Op::GatherRowsAt(a, compact), out, (out_rows, n))
     }
@@ -484,7 +596,7 @@ impl<'p> Tape<'p> {
         let (m, n) = self.shape(a);
         check_offsets(offsets, m);
         let segs = offsets.len() - 1;
-        let mut out = vec![0.0; segs * n];
+        let mut out = self.ws.acquire_f32(segs * n);
         for g in 0..segs {
             let orow = &mut out[g * n..(g + 1) * n];
             for r in offsets[g]..offsets[g + 1] {
@@ -493,7 +605,9 @@ impl<'p> Tape<'p> {
                 }
             }
         }
-        self.push(Op::SegmentSum(a, offsets.to_vec()), out, (segs, n))
+        let mut offs = self.ws.acquire_usize(offsets.len());
+        offs.copy_from_slice(offsets);
+        self.push(Op::SegmentSum(a, offs), out, (segs, n))
     }
 
     /// Column-wise softmax within each row segment: for every column `c`
@@ -503,7 +617,8 @@ impl<'p> Tape<'p> {
     pub fn segment_softmax(&mut self, a: Var, offsets: &[usize]) -> Var {
         let (m, n) = self.shape(a);
         check_offsets(offsets, m);
-        let mut out = self.data(a).to_vec();
+        let mut out = self.ws.acquire_f32(m * n);
+        out.copy_from_slice(self.data(a));
         for g in 0..offsets.len() - 1 {
             let (lo, hi) = (offsets[g], offsets[g + 1]);
             if lo == hi {
@@ -525,15 +640,18 @@ impl<'p> Tape<'p> {
                 }
             }
         }
-        let probs = out.clone();
-        self.push_aux(Op::SegmentSoftmax(a, offsets.to_vec()), out, (m, n), probs)
+        let mut probs = self.ws.acquire_f32(out.len());
+        probs.copy_from_slice(&out);
+        let mut offs = self.ws.acquire_usize(offsets.len());
+        offs.copy_from_slice(offsets);
+        self.push_aux(Op::SegmentSoftmax(a, offs), out, (m, n), probs)
     }
 
     /// Column-wise mean over rows: `n×d → 1×d`.
     pub fn mean_rows(&mut self, a: Var) -> Var {
         let (m, n) = self.shape(a);
         assert!(m > 0, "mean over zero rows");
-        let mut out = vec![0.0; n];
+        let mut out = self.ws.acquire_f32(n);
         for r in self.data(a).chunks(n) {
             for (o, &x) in out.iter_mut().zip(r) {
                 *o += x;
@@ -549,7 +667,9 @@ impl<'p> Tape<'p> {
     /// Sum of every element: `→ 1×1`.
     pub fn sum_all(&mut self, a: Var) -> Var {
         let s: f32 = self.data(a).iter().sum();
-        self.push(Op::SumAll(a), vec![s], (1, 1))
+        let mut out = self.ws.acquire_f32(1);
+        out[0] = s;
+        self.push(Op::SumAll(a), out, (1, 1))
     }
 
     /// Inverted dropout with the given keep mask (entries are `0` or
@@ -557,7 +677,10 @@ impl<'p> Tape<'p> {
     pub fn dropout(&mut self, a: Var, mask: Vec<f32>) -> Var {
         let shape = self.shape(a);
         assert_eq!(mask.len(), shape.0 * shape.1, "mask shape mismatch");
-        let out: Vec<f32> = self.data(a).iter().zip(&mask).map(|(x, m)| x * m).collect();
+        let mut out = self.ws.acquire_f32(mask.len());
+        for ((o, &x), &m) in out.iter_mut().zip(self.data(a)).zip(&mask) {
+            *o = x * m;
+        }
         self.push_aux(Op::Dropout(a), out, shape, mask)
     }
 
@@ -604,6 +727,7 @@ impl<'p> Tape<'p> {
         if let Some(b) = bias {
             assert_eq!(self.shape(b), (1, out_ch), "conv bias shape");
         }
+        let mut out = self.ws.acquire_f32(out_len * out_ch);
         let xd = self.data(x);
         let wd = self.data(w);
         let bd = bias.map(|b| self.data(b));
@@ -625,11 +749,15 @@ impl<'p> Tape<'p> {
         const BLOCK: usize = 64;
         let run_block = |i0: usize, orows: &mut [f32]| {
             let nw = orows.len() / out_ch;
-            let mut xcol = vec![0.0f32; nw * wr];
-            for (j, row) in xcol.chunks_exact_mut(wr).enumerate() {
-                row.copy_from_slice(window_of(i0 + j));
-            }
-            dense::matmul(&xcol, wd, orows, nw, wr, out_ch);
+            // The im2col buffer comes from a per-thread scratch stack
+            // (each rayon worker pools its own), so the steady state
+            // allocates nothing here either.
+            workspace::with_scratch(nw * wr, |xcol| {
+                for (j, row) in xcol.chunks_exact_mut(wr).enumerate() {
+                    row.copy_from_slice(window_of(i0 + j));
+                }
+                dense::matmul(xcol, wd, orows, nw, wr, out_ch);
+            });
             if let Some(bd) = bd {
                 for orow in orows.chunks_exact_mut(out_ch) {
                     for (o, &bv) in orow.iter_mut().zip(bd) {
@@ -638,7 +766,6 @@ impl<'p> Tape<'p> {
                 }
             }
         };
-        let mut out = vec![0.0; out_len * out_ch];
         if out_len * out_ch * ksize * in_ch >= PAR_THRESHOLD {
             out.par_chunks_mut(BLOCK * out_ch)
                 .enumerate()
@@ -655,7 +782,8 @@ impl<'p> Tape<'p> {
     pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
         let (m, n) = self.shape(a);
         assert_eq!(m * n, rows * cols, "reshape element count mismatch");
-        let data = self.data(a).to_vec();
+        let mut data = self.ws.acquire_f32(m * n);
+        data.copy_from_slice(self.data(a));
         self.push(Op::Reshape(a), data, (rows, cols))
     }
 
@@ -679,7 +807,8 @@ impl<'p> Tape<'p> {
         let out_len = segs * seg_out;
         // Values only; argmax routing is recomputed in `backward`, so a
         // forward-only tape never pays for the index bookkeeping.
-        let mut out = vec![f32::NEG_INFINITY; out_len * ch];
+        let mut out = self.ws.acquire_f32(out_len * ch);
+        out.fill(f32::NEG_INFINITY);
         for (aseg, oseg) in
             self.data(a).chunks_exact(seg_len * ch).zip(out.chunks_exact_mut(seg_out * ch))
         {
@@ -704,16 +833,21 @@ impl<'p> Tape<'p> {
         for &t in targets {
             assert!(t < c, "target {t} out of range ({c} classes)");
         }
-        let mut probs = self.data(logits).to_vec();
+        let mut probs = self.ws.acquire_f32(m * c);
+        probs.copy_from_slice(self.data(logits));
         dense::softmax_rows(&mut probs, m, c, temperature);
         let mut loss = 0.0f64;
         for (r, &t) in probs.chunks(c).zip(targets) {
             loss -= (r[t].max(1e-12) as f64).ln();
         }
         let loss = (loss / m as f64) as f32;
+        let mut lbuf = self.ws.acquire_f32(1);
+        lbuf[0] = loss;
+        let mut tbuf = self.ws.acquire_usize(targets.len());
+        tbuf.copy_from_slice(targets);
         self.push_aux(
-            Op::SoftmaxCe { logits, targets: targets.to_vec(), temperature },
-            vec![loss],
+            Op::SoftmaxCe { logits, targets: tbuf, temperature },
+            lbuf,
             (1, 1),
             probs,
         )
@@ -726,9 +860,10 @@ impl<'p> Tape<'p> {
         if self.grads.is_none() {
             self.grads = Some(GradStore::zeros_like(self.params));
         }
-        for node in &mut self.nodes {
-            if node.grad.is_empty() {
-                node.grad = vec![0.0; node.data.len()];
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].grad.is_empty() {
+                let g = self.ws.acquire_f32(self.nodes[i].data.len());
+                self.nodes[i].grad = g;
             }
         }
         self.nodes[loss.0].grad[0] = 1.0;
@@ -768,8 +903,9 @@ impl<'p> Tape<'p> {
                 }
                 Op::SpMM(s, x) => {
                     let n = self.nodes[x.0].shape.1;
-                    let sp = &self.sparse[s];
-                    sp.spmm_transpose_accum(&grad, &mut self.nodes[x.0].grad, n);
+                    let mut xg = std::mem::take(&mut self.nodes[x.0].grad);
+                    self.sparse[s].get().spmm_transpose_accum(&grad, &mut xg, n);
+                    self.nodes[x.0].grad = xg;
                 }
                 Op::Add(a, b) => {
                     for (g, &u) in self.nodes[a.0].grad.iter_mut().zip(&grad) {
@@ -883,10 +1019,10 @@ impl<'p> Tape<'p> {
                 }
                 Op::GatherRowsAt(a, pairs) => {
                     let n = self.nodes[a.0].shape.1;
-                    for &(dst, src) in &pairs {
-                        let urow = &grad[dst as usize * n..(dst as usize + 1) * n];
-                        let gr = &mut self.nodes[a.0].grad
-                            [src as usize * n..(src as usize + 1) * n];
+                    for pair in pairs.chunks_exact(2) {
+                        let (dst, src) = (pair[0] as usize, pair[1] as usize);
+                        let urow = &grad[dst * n..(dst + 1) * n];
+                        let gr = &mut self.nodes[a.0].grad[src * n..(src + 1) * n];
                         for (g, &u) in gr.iter_mut().zip(urow) {
                             *g += u;
                         }
@@ -1044,7 +1180,8 @@ fn check_offsets(offsets: &[usize], rows: usize) {
 
 /// Row-wise argmax of a logits matrix. NaN logits (a diverged or damaged
 /// model) are ordered by `total_cmp` instead of panicking — divergence is
-/// detected and handled by the callers' finiteness checks.
+/// detected and handled by the callers' finiteness checks. A zero-width
+/// row (impossible for any real head) defaults to class 0.
 pub fn argmax_rows(data: &[f32], rows: usize, cols: usize) -> Vec<usize> {
     assert_eq!(data.len(), rows * cols);
     data.chunks(cols)
@@ -1052,8 +1189,7 @@ pub fn argmax_rows(data: &[f32], rows: usize, cols: usize) -> Vec<usize> {
             r.iter()
                 .enumerate()
                 .max_by(|a, b| a.1.total_cmp(b.1))
-                .map(|(i, _)| i)
-                .expect("non-empty row")
+                .map_or(0, |(i, _)| i)
         })
         .collect()
 }
@@ -1500,6 +1636,91 @@ mod tests {
             2,
             3,
         );
+    }
+
+    #[test]
+    fn pooled_tape_is_bit_identical_and_stops_allocating() {
+        // The same small network, three ways: a cold tape, a pooled tape,
+        // and the pooled tape rebuilt in place after reset(). All three
+        // must produce the same bits, and the rebuilt pass must run
+        // entirely from the pool (zero misses).
+        let mut params = Params::new();
+        let w = params.add("w", 3, 2, vec![0.5, -0.3, 0.2, 0.8, -0.1, 0.4]);
+        let xdat = vec![0.1, -0.2, 0.3, 0.5, 0.4, -0.6];
+        let run = |tape: &mut Tape<'_>| -> Vec<u32> {
+            let x = tape.input_slice(&xdat, 2, 3);
+            let wv = tape.param(w);
+            let h = tape.matmul(x, wv);
+            let t = tape.tanh(h);
+            let r = tape.relu(t);
+            let s = tape.segment_softmax(r, &[0, 1, 2]);
+            let g = tape.gather_rows_at(s, &[(0, 1), (1, 0)], 3);
+            let m = tape.mean_rows(g);
+            m_bits(tape, m)
+        };
+        fn m_bits(tape: &Tape<'_>, v: Var) -> Vec<u32> {
+            tape.data(v).iter().map(|x| x.to_bits()).collect()
+        }
+        let cold = {
+            let mut tape = Tape::new(&params);
+            run(&mut tape)
+        };
+        let mut tape = Tape::with_workspace(&params, Workspace::new());
+        let first = run(&mut tape);
+        tape.reset();
+        let warm_misses = tape.workspace_mut().stats().misses;
+        let second = run(&mut tape);
+        tape.reset();
+        let final_stats = tape.workspace_mut().stats();
+        assert_eq!(cold, first, "pooling changed the forward bits");
+        assert_eq!(cold, second, "reset/rebuild changed the forward bits");
+        assert_eq!(
+            final_stats.misses, warm_misses,
+            "a warm tape must not allocate fresh buffers"
+        );
+        let ws = tape.finish();
+        assert!(ws.stats().resident > 0, "finish must return the warm pool");
+    }
+
+    #[test]
+    fn sparse_ref_matches_sparse_const() {
+        let sp = SparseMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (1, 0, -1.0), (2, 2, 0.5)]);
+        let params = Params::new();
+        let xdat = vec![0.2, -0.1, 0.4, 0.3, 0.6, -0.5];
+        let mut tape = Tape::new(&params);
+        let x = tape.input(xdat.clone(), 3, 2);
+        let owned = tape.sparse_const(&sp);
+        let yo = tape.spmm_at(owned, x);
+        let borrowed = tape.sparse_ref(&sp);
+        let yb = tape.spmm_at(borrowed, x);
+        assert_eq!(tape.data(yo), tape.data(yb));
+        // Gradients flow through borrowed operators too.
+        let loss = tape.sum_all(yb);
+        tape.backward(loss);
+        assert!(tape.grad(x).iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn backward_after_reset_matches_fresh_tape() {
+        let mut params = Params::new();
+        let w = params.add("w", 2, 2, vec![0.3, -0.2, 0.5, 0.1]);
+        let grads_of = |tape: &mut Tape<'_>| -> Vec<f32> {
+            let x = tape.input_slice(&[1.0, 2.0, -0.5, 0.25], 2, 2);
+            let wv = tape.param(w);
+            let h = tape.matmul(x, wv);
+            let loss = tape.softmax_ce(h, &[0, 1], 1.0);
+            tape.backward(loss);
+            tape.grads().map(|g| g.get(w).to_vec()).unwrap_or_default()
+        };
+        let fresh = {
+            let mut tape = Tape::new(&params);
+            grads_of(&mut tape)
+        };
+        let mut tape = Tape::new(&params);
+        let _ = grads_of(&mut tape);
+        tape.reset();
+        let recycled = grads_of(&mut tape);
+        assert_eq!(fresh, recycled, "recycled grad buffers must start zeroed");
     }
 
     #[test]

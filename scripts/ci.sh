@@ -22,6 +22,9 @@ cargo test -q --test concurrent_parity
 echo "==> engine smoke (one batch through the inference engine)"
 cargo run --release -p mvgnn-bench --bin throughput --quiet -- --smoke
 
+echo "==> alloc smoke (pooled steady state stays under budget)"
+cargo run --release -p mvgnn-bench --features count-allocs --bin throughput --quiet -- --alloc-smoke
+
 echo "==> panic-site ratchet"
 bash scripts/panic_audit.sh
 
