@@ -1,0 +1,323 @@
+//! Worklist dataflow engine: a dense bitset domain plus the two classic
+//! analyses the oracle consumes — reaching definitions and liveness.
+//!
+//! Both run over [`mvgnn_ir::Cfg`] to a fixpoint with a block worklist
+//! seeded in (reverse) postorder, the textbook iterative scheme. The IR
+//! has no phis — registers are mutable virtual registers — so "definition"
+//! means any instruction whose `Inst::def` is the register.
+
+use mvgnn_ir::inst::InstRef;
+use mvgnn_ir::module::{BlockId, FuncId, Function};
+use mvgnn_ir::types::VReg;
+use mvgnn_ir::Cfg;
+
+/// A fixed-width bitset over `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over the universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        Self { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Universe size.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Set bit `i`; returns true if it was newly set.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let newly = self.words[w] & b == 0;
+        self.words[w] |= b;
+        newly
+    }
+
+    /// Clear bit `i`.
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Is bit `i` set?
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self -= other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Iterate set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.contains(i))
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Reaching definitions: which def sites can reach each block entry/exit.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    /// All definition sites of the function, in block order; the bitsets
+    /// index into this.
+    pub defs: Vec<(InstRef, VReg)>,
+    /// Def sites reaching each block's entry.
+    pub reach_in: Vec<BitSet>,
+    /// Def sites reaching each block's exit.
+    pub reach_out: Vec<BitSet>,
+}
+
+impl ReachingDefs {
+    /// Definition sites of `reg` that reach the entry of `b`.
+    pub fn reaching(&self, b: BlockId, reg: VReg) -> Vec<InstRef> {
+        self.reach_in[b.index()]
+            .iter()
+            .filter(|&i| self.defs[i].1 == reg)
+            .map(|i| self.defs[i].0)
+            .collect()
+    }
+}
+
+/// Compute reaching definitions for `f` (forward, may, union-confluence).
+pub fn reaching_definitions(f: &Function, func: FuncId) -> ReachingDefs {
+    let cfg = Cfg::new(f);
+    let n = cfg.len();
+    let defs: Vec<(InstRef, VReg)> = f
+        .insts_with_refs(func)
+        .filter_map(|(r, inst, _)| inst.def().map(|d| (r, d)))
+        .collect();
+    let nd = defs.len();
+
+    // gen[b]: last def of each register in b; kill[b]: every def of a
+    // register that b (re)defines.
+    let mut gen = vec![BitSet::new(nd); n];
+    let mut kill = vec![BitSet::new(nd); n];
+    for (di, (r, reg)) in defs.iter().enumerate() {
+        let b = r.block.index();
+        // A later def of the same register in the same block supersedes it.
+        let superseded = defs.iter().any(|(r2, reg2)| {
+            r2.block == r.block && reg2 == reg && r2.idx > r.idx
+        });
+        if !superseded {
+            gen[b].insert(di);
+        }
+        for (dj, (_, reg2)) in defs.iter().enumerate() {
+            if reg2 == reg && dj != di {
+                kill[b].insert(dj);
+            }
+        }
+    }
+
+    let mut reach_in = vec![BitSet::new(nd); n];
+    let mut reach_out = vec![BitSet::new(nd); n];
+    let order = cfg.reverse_postorder();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            let bi = b.index();
+            let mut inp = BitSet::new(nd);
+            for p in &cfg.preds[bi] {
+                inp.union_with(&reach_out[p.index()]);
+            }
+            let mut out = inp.clone();
+            out.subtract(&kill[bi]);
+            out.union_with(&gen[bi]);
+            if out != reach_out[bi] || inp != reach_in[bi] {
+                changed = true;
+            }
+            reach_in[bi] = inp;
+            reach_out[bi] = out;
+        }
+    }
+    ReachingDefs { defs, reach_in, reach_out }
+}
+
+/// Live registers at block boundaries.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers live at each block's entry (bit = register number).
+    pub live_in: Vec<BitSet>,
+    /// Registers live at each block's exit.
+    pub live_out: Vec<BitSet>,
+}
+
+impl Liveness {
+    /// Is `reg` live at the entry of `b`?
+    pub fn live_in_at(&self, b: BlockId, reg: VReg) -> bool {
+        self.live_in[b.index()].contains(reg.0 as usize)
+    }
+
+    /// Is `reg` live at the exit of `b`?
+    pub fn live_out_at(&self, b: BlockId, reg: VReg) -> bool {
+        self.live_out[b.index()].contains(reg.0 as usize)
+    }
+}
+
+/// Compute register liveness for `f` (backward, may, union-confluence).
+pub fn liveness(f: &Function) -> Liveness {
+    let cfg = Cfg::new(f);
+    let n = cfg.len();
+    let nr = f.num_regs as usize;
+
+    // use[b]: read before any def in b; def[b]: defined in b.
+    let mut use_ = vec![BitSet::new(nr); n];
+    let mut def = vec![BitSet::new(nr); n];
+    for (bi, blk) in f.blocks.iter().enumerate() {
+        for inst in &blk.insts {
+            for u in inst.uses() {
+                if !def[bi].contains(u.0 as usize) {
+                    use_[bi].insert(u.0 as usize);
+                }
+            }
+            if let Some(d) = inst.def() {
+                def[bi].insert(d.0 as usize);
+            }
+        }
+    }
+
+    let mut live_in = vec![BitSet::new(nr); n];
+    let mut live_out = vec![BitSet::new(nr); n];
+    // Postorder = reverse of RPO, the fast direction for backward flow.
+    let order: Vec<BlockId> = cfg.reverse_postorder().into_iter().rev().collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            let bi = b.index();
+            let mut out = BitSet::new(nr);
+            for s in &cfg.succs[bi] {
+                out.union_with(&live_in[s.index()]);
+            }
+            let mut inp = out.clone();
+            inp.subtract(&def[bi]);
+            inp.union_with(&use_[bi]);
+            if out != live_out[bi] || inp != live_in[bi] {
+                changed = true;
+            }
+            live_in[bi] = inp;
+            live_out[bi] = out;
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvgnn_ir::inst::BinOp;
+    use mvgnn_ir::types::Ty;
+    use mvgnn_ir::{FunctionBuilder, Module};
+
+    fn accumulator_loop() -> (Module, FuncId, VReg, BlockId, BlockId) {
+        // acc = 0; for i in 0..8 { acc = acc + a[i] }; ret acc
+        let mut m = Module::new("t");
+        let a = m.add_array("a", Ty::F64, 8);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let (lo, hi, st) = (b.const_i64(0), b.const_i64(8), b.const_i64(1));
+        let acc = b.const_f64(0.0);
+        let l = b.for_loop(lo, hi, st, |b, iv| {
+            let x = b.load(a, iv);
+            b.bin_to(acc, BinOp::Add, acc, x);
+        });
+        b.ret(Some(acc));
+        let f = b.finish();
+        let info = m.funcs[f.index()].loops[l.index()].clone();
+        (m, f, acc, info.header, info.latch)
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "second insert is a no-op");
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+        let mut t = BitSet::new(130);
+        t.insert(64);
+        assert!(s.union_with(&t));
+        assert!(!s.union_with(&t), "idempotent");
+        s.subtract(&t);
+        assert!(!s.contains(64));
+        s.remove(0);
+        assert!(!s.contains(0));
+        assert_eq!(s.len(), 130);
+    }
+
+    #[test]
+    fn accumulator_is_live_around_the_loop() {
+        let (m, f, acc, header, _latch) = accumulator_loop();
+        let live = liveness(&m.funcs[f.index()]);
+        // The accumulator's value crosses iterations: live into the header.
+        assert!(live.live_in_at(header, acc));
+    }
+
+    #[test]
+    fn body_temp_is_not_live_into_header() {
+        // t = a[i]; b[i] = t * t — t dies within the iteration.
+        let mut m = Module::new("t");
+        let a = m.add_array("a", Ty::F64, 8);
+        let out = m.add_array("b", Ty::F64, 8);
+        let mut bld = FunctionBuilder::new(&mut m, "main", 0);
+        let (lo, hi, st) = (bld.const_i64(0), bld.const_i64(8), bld.const_i64(1));
+        let mut t_reg = None;
+        let l = bld.for_loop(lo, hi, st, |b, iv| {
+            let x = b.load(a, iv);
+            t_reg = Some(x);
+            let y = b.bin(BinOp::Mul, x, x);
+            b.store(out, iv, y);
+        });
+        let f = bld.finish();
+        let header = m.funcs[f.index()].loops[l.index()].header;
+        let live = liveness(&m.funcs[f.index()]);
+        assert!(!live.live_in_at(header, t_reg.unwrap()));
+    }
+
+    #[test]
+    fn reaching_defs_of_the_accumulator() {
+        let (m, f, acc, header, _latch) = accumulator_loop();
+        let rd = reaching_definitions(&m.funcs[f.index()], f);
+        // Both the init const and the in-loop update reach the header.
+        let sites = rd.reaching(header, acc);
+        assert_eq!(sites.len(), 2, "init + update reach the header: {sites:?}");
+        // Exactly one def of acc reaches the entry block's exit.
+        let entry_out: Vec<_> = rd.reach_out[0]
+            .iter()
+            .filter(|&i| rd.defs[i].1 == acc)
+            .collect();
+        assert_eq!(entry_out.len(), 1);
+    }
+}

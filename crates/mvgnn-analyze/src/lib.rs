@@ -1,0 +1,37 @@
+//! # mvgnn-analyze — static dataflow and dependence analysis over `mvgnn-ir`
+//!
+//! Three layers (see DESIGN.md §11):
+//!
+//! - [`dataflow`]: a generic worklist engine over [`mvgnn_ir::Cfg`] with the
+//!   two classic instances the rest of the crate needs — reaching
+//!   definitions and live registers.
+//! - [`affine`]: affine (symbolic) index expressions over induction
+//!   registers, per-loop access summaries, the GCD/Banerjee-class conflict
+//!   test, and memory reduction-chain recognition. This is the machinery
+//!   the `mvgnn-baselines` static tools (`pluto_like`, `autopar_like`)
+//!   consume; it used to live inside that crate.
+//! - [`oracle`]: the static loop-carried dependence oracle. For one loop
+//!   it returns a [`Verdict`] — `ProvablyParallel`, `ProvablyDependent`
+//!   or `Unknown` — together with provenance [`Fact`]s naming the
+//!   accesses and the test that decided each one, and an `excused` set of
+//!   reduction-chain instructions whose observed carried dependences are
+//!   benign. The `lint` binary of `mvgnn-bench` audits the generated
+//!   corpus by cross-checking these verdicts against the profiler's
+//!   `DepGraph` and the dataset labels.
+//!
+//! The oracle is deliberately asymmetric: `ProvablyParallel` and
+//! `ProvablyDependent` are *claims* that the corpus auditor treats as
+//! hard soundness obligations, so both sides only fire on conservative,
+//! closed-form evidence; everything else is `Unknown`.
+
+pub mod affine;
+pub mod dataflow;
+pub mod oracle;
+
+pub use affine::{
+    conflicts, reduction_chains, reduction_store_sites, summarize_loop, summarize_loop_strict,
+    Access, AffineExpr,
+    LoopSummary, ReductionChain,
+};
+pub use dataflow::{liveness, reaching_definitions, BitSet, Liveness, ReachingDefs};
+pub use oracle::{analyze_loop, loop_bounds, DepTest, Fact, LoopBounds, OracleReport, Verdict};

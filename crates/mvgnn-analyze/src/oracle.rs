@@ -1,0 +1,737 @@
+//! The static loop-carried dependence oracle.
+//!
+//! [`analyze_loop`] classifies one loop into a three-point lattice:
+//!
+//! - [`Verdict::ProvablyParallel`] — every conflicting access pair is
+//!   cleared by an exact test (ZIV/strong-SIV/GCD) or sits on a
+//!   recognised reduction chain, every scalar recurrence is commutative
+//!   or privatizable, and the loop body is call-free.
+//! - [`Verdict::ProvablyDependent`] — a genuine loop-carried dependence
+//!   is exhibited in closed form: an affine access pair with a definite
+//!   carried distance smaller than the (statically known) trip count
+//!   executing on every iteration, or a non-commutative scalar
+//!   recurrence whose value provably crosses iterations.
+//! - [`Verdict::Unknown`] — everything else.
+//!
+//! Both definite verdicts are *claims* audited against dynamic ground
+//! truth by the `mvgnn-bench` `lint` binary, so each carries provenance:
+//! [`Fact`]s naming the accesses and the deciding test, plus the
+//! `excused` reduction-chain instructions whose observed carried
+//! dependences are benign by commutativity.
+
+use crate::affine::{conflicts, reduction_chains, summarize_loop_strict, Access, AffineExpr};
+use crate::dataflow::liveness;
+use mvgnn_ir::inst::{BinOp, Inst, InstRef};
+use mvgnn_ir::module::{FuncId, Function, LoopId, LoopInfo, Module};
+use mvgnn_ir::types::{ArrayId, VReg};
+use mvgnn_ir::{Cfg, Dominators};
+use std::collections::{HashMap, HashSet};
+
+/// The oracle's three-point verdict lattice (`Unknown` is the top).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Iterations are provably independent (modulo excused reductions).
+    ProvablyParallel,
+    /// A loop-carried dependence provably exists and is not a reduction.
+    ProvablyDependent,
+    /// The analysis cannot decide either way.
+    Unknown,
+}
+
+impl Verdict {
+    /// Stable lowercase name (used by the JSON audit report).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::ProvablyParallel => "parallel",
+            Verdict::ProvablyDependent => "dependent",
+            Verdict::Unknown => "unknown",
+        }
+    }
+}
+
+/// The exact dependence test that decided an access pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepTest {
+    /// Zero-induction-variable test: both indices are iteration-invariant.
+    Ziv,
+    /// Strong SIV: equal induction coefficients, constant distance.
+    StrongSiv,
+    /// GCD (Banerjee-class) divisibility test on distinct coefficients.
+    Gcd,
+}
+
+impl DepTest {
+    /// Stable lowercase name (used by the JSON audit report).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DepTest::Ziv => "ziv",
+            DepTest::StrongSiv => "strong-siv",
+            DepTest::Gcd => "gcd",
+        }
+    }
+}
+
+/// One provenance record backing the verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fact {
+    /// An access pair was proven independent across iterations.
+    PairIndependent {
+        /// First access.
+        a: InstRef,
+        /// Second access.
+        b: InstRef,
+        /// Deciding test.
+        test: DepTest,
+    },
+    /// An access pair provably conflicts across iterations.
+    PairDependent {
+        /// First access.
+        a: InstRef,
+        /// Second access.
+        b: InstRef,
+        /// Deciding test.
+        test: DepTest,
+        /// Carried iteration distance when the test produces one
+        /// (`None` for ZIV same-cell conflicts, which recur at every
+        /// distance).
+        distance: Option<i64>,
+    },
+    /// An access pair may conflict but nothing definite is known.
+    PairMayConflict {
+        /// First access.
+        a: InstRef,
+        /// Second access.
+        b: InstRef,
+    },
+    /// A store participates in a recognised reduction chain; carried
+    /// dependences among the chain's instructions are benign.
+    ReductionChain {
+        /// The chain's store.
+        store: InstRef,
+    },
+    /// A scalar updated commutatively across iterations (`acc = acc ⊕ x`)
+    /// — parallelisable as a reduction.
+    CommutativeRecurrence {
+        /// The accumulator register.
+        reg: VReg,
+    },
+    /// A self-updating scalar whose value never crosses iterations: each
+    /// iteration can get a private copy.
+    PrivatizableScalar {
+        /// The register.
+        reg: VReg,
+    },
+    /// A non-commutative scalar recurrence whose value crosses iterations.
+    NonCommutativeRecurrence {
+        /// The register.
+        reg: VReg,
+    },
+    /// An access whose index is not affine in the induction registers.
+    NonAffineAccess {
+        /// The access instruction.
+        at: InstRef,
+    },
+    /// The loop body contains a call the oracle does not look through.
+    OpaqueCall,
+    /// The loop is not a counted `for` (no induction register).
+    NonCountedLoop,
+}
+
+/// Statically recovered counted-loop bounds (SCEV-lite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopBounds {
+    /// Initial induction value.
+    pub lo: i64,
+    /// Exclusive upper bound (`iv < hi`).
+    pub hi: i64,
+    /// Per-iteration increment (positive).
+    pub step: i64,
+    /// Number of iterations executed.
+    pub trip: i64,
+}
+
+/// Per-array access-section summary for one loop.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArraySection {
+    /// Number of reads of the array inside the loop.
+    pub reads: usize,
+    /// Number of writes.
+    pub writes: usize,
+    /// Every access index is affine in the induction registers.
+    pub all_affine: bool,
+}
+
+/// The oracle's full output for one loop.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Provenance records explaining it.
+    pub facts: Vec<Fact>,
+    /// Reduction-chain instructions whose observed carried dependences
+    /// are benign; the corpus auditor excuses dynamic dependences whose
+    /// endpoints both sit in this set.
+    pub excused: HashSet<InstRef>,
+    /// Per-array section summaries (reads/writes/affine-ness).
+    pub sections: HashMap<ArrayId, ArraySection>,
+    /// Memory accesses seen inside the loop.
+    pub n_accesses: usize,
+    /// Same-array pairs with at least one write that were tested.
+    pub n_pairs_tested: usize,
+    /// Statically recovered bounds, when the loop is a recognisable
+    /// counted `for` over constants.
+    pub bounds: Option<LoopBounds>,
+}
+
+impl OracleReport {
+    /// Width of [`OracleReport::feature_vec`].
+    pub const FEAT_DIM: usize = 10;
+
+    /// The oracle's facts as a dense feature vector, broadcast onto the
+    /// loop's PEG nodes when static features are enabled in
+    /// `mvgnn-embed` (off by default; ablation-ready):
+    /// verdict one-hot (3), ln1p access/pair counts (2), reduction and
+    /// non-affine indicators (2), bounds-known flag, ln1p trip count,
+    /// ln1p written-array count.
+    pub fn feature_vec(&self) -> [f32; Self::FEAT_DIM] {
+        let mut v = [0.0f32; Self::FEAT_DIM];
+        match self.verdict {
+            Verdict::ProvablyParallel => v[0] = 1.0,
+            Verdict::ProvablyDependent => v[1] = 1.0,
+            Verdict::Unknown => v[2] = 1.0,
+        }
+        v[3] = (self.n_accesses as f32).ln_1p();
+        v[4] = (self.n_pairs_tested as f32).ln_1p();
+        v[5] = f32::from(self.facts.iter().any(|f| {
+            matches!(f, Fact::ReductionChain { .. } | Fact::CommutativeRecurrence { .. })
+        }));
+        v[6] = f32::from(self.facts.iter().any(|f| matches!(f, Fact::NonAffineAccess { .. })));
+        v[7] = f32::from(self.bounds.is_some());
+        v[8] = self.bounds.map_or(0.0, |b| (b.trip as f32).ln_1p());
+        v[9] = (self.sections.values().filter(|s| s.writes > 0).count() as f32).ln_1p();
+        v
+    }
+}
+
+/// Single-def integer-constant registers of `f`.
+fn const_i64_regs(f: &Function) -> HashMap<VReg, i64> {
+    let mut def_count: HashMap<VReg, u32> = HashMap::new();
+    let mut vals: HashMap<VReg, i64> = HashMap::new();
+    for blk in &f.blocks {
+        for inst in &blk.insts {
+            if let Some(d) = inst.def() {
+                *def_count.entry(d).or_insert(0) += 1;
+            }
+            if let Inst::Const { dst, value } = inst {
+                if let Some(v) = value.as_i64() {
+                    vals.insert(*dst, v);
+                }
+            }
+        }
+    }
+    vals.retain(|r, _| def_count.get(r) == Some(&1));
+    vals
+}
+
+/// Recognise the counted-loop shape the builder emits — `iv = lo` before
+/// the header, `iv < hi` in the header, `iv += step` in the latch, all
+/// three operands single-def integer constants — and return the bounds.
+pub fn loop_bounds(f: &Function, info: &LoopInfo) -> Option<LoopBounds> {
+    let iv = info.induction?;
+    let consts = const_i64_regs(f);
+    let loop_set: HashSet<_> = {
+        let mut s = vec![info.header, info.latch];
+        s.extend(info.body.iter().copied());
+        s.into_iter().collect()
+    };
+
+    // The builder's counted-loop shape defines `iv` exactly twice: the
+    // init copy before the header and the increment in the latch. Any
+    // other def means `iv` is not a simple counter.
+    let mut lo = None;
+    let mut step = None;
+    for (bi, blk) in f.blocks.iter().enumerate() {
+        let bid = mvgnn_ir::module::BlockId(bi as u32);
+        for inst in &blk.insts {
+            if inst.def() != Some(iv) {
+                continue;
+            }
+            match inst {
+                Inst::Copy { src, .. } if !loop_set.contains(&bid) && lo.is_none() => {
+                    lo = Some(*consts.get(src)?);
+                }
+                Inst::Bin { op: BinOp::Add, lhs, rhs, .. }
+                    if bid == info.latch && step.is_none() =>
+                {
+                    let other = if *lhs == iv {
+                        *rhs
+                    } else if *rhs == iv {
+                        *lhs
+                    } else {
+                        return None;
+                    };
+                    step = Some(*consts.get(&other)?);
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    // iv < hi in the header.
+    let header = &f.blocks[info.header.index()];
+    let hi = header.insts.iter().find_map(|inst| match inst {
+        Inst::Bin { op: BinOp::CmpLt, lhs, rhs, .. } if *lhs == iv => consts.get(rhs).copied(),
+        _ => None,
+    })?;
+
+    let (lo, step) = (lo?, step?);
+    if step <= 0 {
+        return None;
+    }
+    let trip = if hi > lo { (hi - lo + step - 1) / step } else { 0 };
+    Some(LoopBounds { lo, hi, step, trip })
+}
+
+/// Which exact test applies to an affine pair with matching outer
+/// coefficients, and what it concludes.
+enum PairResult {
+    Independent(DepTest),
+    /// Conflict with closed-form evidence strong enough to *claim* a
+    /// dependence (subject to trip-count and execution checks).
+    Definite(DepTest, Option<i64>),
+    /// Conflict, but only as a may-dependence.
+    May,
+}
+
+fn test_pair(iv: VReg, a: &Access, b: &Access) -> PairResult {
+    let (
+        AffineExpr::Affine { constant: c1, coeffs: k1 },
+        AffineExpr::Affine { constant: c2, coeffs: k2 },
+    ) = (&a.index, &b.index)
+    else {
+        return PairResult::May;
+    };
+    let strip = |k: &std::collections::BTreeMap<u32, i64>| -> Vec<(u32, i64)> {
+        k.iter().filter(|&(&r, _)| r != iv.0).map(|(&r, &c)| (r, c)).collect()
+    };
+    if strip(k1) != strip(k2) {
+        return PairResult::May;
+    }
+    let x = k1.get(&iv.0).copied().unwrap_or(0);
+    let y = k2.get(&iv.0).copied().unwrap_or(0);
+    let dc = c2 - c1;
+    match (x, y) {
+        (0, 0) => {
+            if dc == 0 {
+                // Same fixed cell touched on every iteration.
+                PairResult::Definite(DepTest::Ziv, None)
+            } else {
+                PairResult::Independent(DepTest::Ziv)
+            }
+        }
+        (x, y) if x == y => {
+            if dc == 0 {
+                // Same cell in the same iteration only: loop-independent.
+                PairResult::Independent(DepTest::StrongSiv)
+            } else if dc % x == 0 {
+                PairResult::Definite(DepTest::StrongSiv, Some((dc / x).abs()))
+            } else {
+                PairResult::Independent(DepTest::StrongSiv)
+            }
+        }
+        (x, y) => {
+            let g = crate::affine::gcd(x, y);
+            if g != 0 && dc % g == 0 {
+                // Solvable, but existence of an in-bounds solution is not
+                // established — a may-dependence only.
+                PairResult::May
+            } else {
+                PairResult::Independent(DepTest::Gcd)
+            }
+        }
+    }
+}
+
+/// Run the oracle on loop `l` of `func`.
+pub fn analyze_loop(module: &Module, func: FuncId, l: LoopId) -> OracleReport {
+    let f = &module.funcs[func.index()];
+    let info = &f.loops[l.index()];
+    // Strict symbolic walk: a proof must not trust last-write-wins on
+    // conditionally reassigned registers (see `summarize_loop_strict`).
+    let summary = summarize_loop_strict(module, func, l);
+    let chains = reduction_chains(module, func, l);
+    let excused: HashSet<InstRef> = chains.iter().flat_map(|c| c.refs()).collect();
+    let red_arrays: HashSet<ArrayId> = chains
+        .iter()
+        .filter_map(|c| match &f.blocks[c.store.block.index()].insts[c.store.idx as usize] {
+            Inst::Store { arr, .. } => Some(*arr),
+            _ => None,
+        })
+        .collect();
+    let bounds = loop_bounds(f, info);
+
+    let mut sections: HashMap<ArrayId, ArraySection> = HashMap::new();
+    for a in &summary.accesses {
+        let s = sections.entry(a.arr).or_insert(ArraySection { all_affine: true, ..Default::default() });
+        if a.is_write {
+            s.writes += 1;
+        } else {
+            s.reads += 1;
+        }
+        if matches!(a.index, AffineExpr::Unknown) {
+            s.all_affine = false;
+        }
+    }
+
+    let mut facts: Vec<Fact> = Vec::new();
+    let mut provably_parallel = true;
+    let mut dependent = false;
+
+    let Some(iv) = info.induction else {
+        facts.push(Fact::NonCountedLoop);
+        return OracleReport {
+            verdict: Verdict::Unknown,
+            facts,
+            excused,
+            sections,
+            n_accesses: summary.accesses.len(),
+            n_pairs_tested: 0,
+            bounds,
+        };
+    };
+
+    if summary.has_call {
+        facts.push(Fact::OpaqueCall);
+        provably_parallel = false;
+    }
+    for a in &summary.accesses {
+        if matches!(a.index, AffineExpr::Unknown) {
+            facts.push(Fact::NonAffineAccess { at: a.inst_ref(func) });
+        }
+    }
+
+    // Scalar recurrences: the dataflow engine distinguishes genuine
+    // cross-iteration accumulators (live into the header) from body
+    // temporaries that privatisation handles.
+    let live = liveness(f);
+    let cfg = Cfg::new(f);
+    let dom = Dominators::compute(&cfg);
+    for &r in &summary.noncommutative_recs {
+        if live.live_in_at(info.header, r) {
+            facts.push(Fact::NonCommutativeRecurrence { reg: r });
+            provably_parallel = false;
+            // The update must execute every iteration for the value chain
+            // to be provably unbroken; its def block dominating the latch
+            // guarantees that. Trip ≥ 2 makes the dependence non-vacuous.
+            let update_dominates = f.insts_with_refs(func).any(|(ir, inst, _)| {
+                inst.def() == Some(r)
+                    && matches!(inst, Inst::Bin { dst, lhs, rhs, .. } if dst == lhs || dst == rhs)
+                    && f.loop_of_block(ir.block) == Some(l)
+                    && dom.dominates(ir.block, info.latch)
+            });
+            if update_dominates && bounds.is_some_and(|b| b.trip >= 2) {
+                dependent = true;
+            }
+        } else {
+            facts.push(Fact::PrivatizableScalar { reg: r });
+        }
+    }
+    for &r in &summary.commutative_recs {
+        if live.live_in_at(info.header, r) {
+            facts.push(Fact::CommutativeRecurrence { reg: r });
+        } else {
+            facts.push(Fact::PrivatizableScalar { reg: r });
+        }
+    }
+
+    for c in &chains {
+        facts.push(Fact::ReductionChain { store: c.store });
+    }
+
+    // A definite memory dependence claim additionally needs the accesses
+    // to execute on every iteration of exactly this loop.
+    let executes_every_iteration = |a: &Access| {
+        f.loop_of_block(a.block) == Some(l) && dom.dominates(a.block, info.latch)
+    };
+
+    let mut n_pairs = 0usize;
+    for (i, a) in summary.accesses.iter().enumerate() {
+        for b in &summary.accesses[i..] {
+            if a.arr != b.arr || (!a.is_write && !b.is_write) {
+                continue;
+            }
+            if red_arrays.contains(&a.arr) {
+                continue; // tolerated: implemented as a reduction
+            }
+            n_pairs += 1;
+            let (ra, rb) = (a.inst_ref(func), b.inst_ref(func));
+            if !conflicts(iv, a, b) {
+                let test = match test_pair(iv, a, b) {
+                    PairResult::Independent(t) => t,
+                    // `conflicts` said no, so the pair is independent even
+                    // if the exact-test classifier is more conservative.
+                    _ => DepTest::Gcd,
+                };
+                facts.push(Fact::PairIndependent { a: ra, b: rb, test });
+                continue;
+            }
+            provably_parallel = false;
+            match test_pair(iv, a, b) {
+                PairResult::Definite(test, distance) => {
+                    let trip_ok = match (distance, bounds) {
+                        (Some(d), Some(bd)) => d != 0 && d < bd.trip,
+                        (None, Some(bd)) => bd.trip >= 2, // ZIV same cell
+                        _ => false,
+                    };
+                    if trip_ok && executes_every_iteration(a) && executes_every_iteration(b) {
+                        facts.push(Fact::PairDependent { a: ra, b: rb, test, distance });
+                        dependent = true;
+                    } else {
+                        facts.push(Fact::PairMayConflict { a: ra, b: rb });
+                    }
+                }
+                _ => facts.push(Fact::PairMayConflict { a: ra, b: rb }),
+            }
+        }
+    }
+
+    let verdict = if dependent {
+        Verdict::ProvablyDependent
+    } else if provably_parallel {
+        Verdict::ProvablyParallel
+    } else {
+        Verdict::Unknown
+    };
+    OracleReport {
+        verdict,
+        facts,
+        excused,
+        sections,
+        n_accesses: summary.accesses.len(),
+        n_pairs_tested: n_pairs,
+        bounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvgnn_ir::types::Ty;
+    use mvgnn_ir::FunctionBuilder;
+
+    fn analyze(m: &Module, f: FuncId, l: LoopId) -> OracleReport {
+        analyze_loop(m, f, l)
+    }
+
+    #[test]
+    fn map_loop_is_provably_parallel() {
+        let mut m = Module::new("t");
+        let a = m.add_array("a", Ty::F64, 16);
+        let out = m.add_array("b", Ty::F64, 16);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let (lo, hi, st) = (b.const_i64(0), b.const_i64(16), b.const_i64(1));
+        let l = b.for_loop(lo, hi, st, |b, iv| {
+            let x = b.load(a, iv);
+            let y = b.bin(BinOp::Mul, x, x);
+            b.store(out, iv, y);
+        });
+        let f = b.finish();
+        let r = analyze(&m, f, l);
+        assert_eq!(r.verdict, Verdict::ProvablyParallel);
+        assert_eq!(r.bounds, Some(LoopBounds { lo: 0, hi: 16, step: 1, trip: 16 }));
+        assert!(r.facts.iter().any(|x| matches!(x, Fact::PairIndependent { .. })));
+        let feats = r.feature_vec();
+        assert_eq!(feats[0], 1.0);
+        assert_eq!(feats[7], 1.0);
+    }
+
+    #[test]
+    fn in_place_recurrence_is_provably_dependent() {
+        // a[i] = a[i-1] + 1: carried RAW distance 1.
+        let mut m = Module::new("t");
+        let a = m.add_array("a", Ty::I64, 16);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let (lo, hi, st) = (b.const_i64(1), b.const_i64(16), b.const_i64(1));
+        let one = b.const_i64(1);
+        let l = b.for_loop(lo, hi, st, |b, iv| {
+            let p = b.bin(BinOp::Sub, iv, one);
+            let x = b.load(a, p);
+            let y = b.bin(BinOp::Add, x, one);
+            b.store(a, iv, y);
+        });
+        let f = b.finish();
+        let r = analyze(&m, f, l);
+        assert_eq!(r.verdict, Verdict::ProvablyDependent, "{:?}", r.facts);
+        assert!(r.facts.iter().any(|x| matches!(
+            x,
+            Fact::PairDependent { test: DepTest::StrongSiv, distance: Some(1), .. }
+        )));
+    }
+
+    #[test]
+    fn memory_reduction_is_parallel_with_excuses() {
+        let mut m = Module::new("t");
+        let a = m.add_array("a", Ty::F64, 16);
+        let s = m.add_array("s", Ty::F64, 1);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let (lo, hi, st) = (b.const_i64(0), b.const_i64(16), b.const_i64(1));
+        let zero = b.const_i64(0);
+        let l = b.for_loop(lo, hi, st, |b, iv| {
+            let x = b.load(a, iv);
+            let cur = b.load(s, zero);
+            let nxt = b.bin(BinOp::Add, cur, x);
+            b.store(s, zero, nxt);
+        });
+        let f = b.finish();
+        let r = analyze(&m, f, l);
+        assert_eq!(r.verdict, Verdict::ProvablyParallel, "{:?}", r.facts);
+        assert!(!r.excused.is_empty(), "chain instructions must be excused");
+        assert!(r.facts.iter().any(|x| matches!(x, Fact::ReductionChain { .. })));
+    }
+
+    #[test]
+    fn scalar_accumulator_crossing_iterations() {
+        let mut m = Module::new("t");
+        let a = m.add_array("a", Ty::F64, 16);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let (lo, hi, st) = (b.const_i64(0), b.const_i64(16), b.const_i64(1));
+        let acc = b.const_f64(0.0);
+        let l = b.for_loop(lo, hi, st, |b, iv| {
+            let x = b.load(a, iv);
+            b.bin_to(acc, BinOp::Add, acc, x);
+        });
+        b.ret(Some(acc));
+        let f = b.finish();
+        let r = analyze(&m, f, l);
+        assert_eq!(r.verdict, Verdict::ProvablyParallel, "{:?}", r.facts);
+        assert!(r.facts.iter().any(|x| matches!(x, Fact::CommutativeRecurrence { .. })));
+    }
+
+    #[test]
+    fn non_commutative_recurrence_is_dependent() {
+        let mut m = Module::new("t");
+        let a = m.add_array("a", Ty::F64, 16);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let (lo, hi, st) = (b.const_i64(0), b.const_i64(16), b.const_i64(1));
+        let acc = b.const_f64(100.0);
+        let l = b.for_loop(lo, hi, st, |b, iv| {
+            let x = b.load(a, iv);
+            let scaled = b.bin(BinOp::Mul, x, acc);
+            b.bin_to(acc, BinOp::Sub, acc, scaled);
+        });
+        b.ret(Some(acc));
+        let f = b.finish();
+        let r = analyze(&m, f, l);
+        assert_eq!(r.verdict, Verdict::ProvablyDependent, "{:?}", r.facts);
+        assert!(r.facts.iter().any(|x| matches!(x, Fact::NonCommutativeRecurrence { .. })));
+    }
+
+    #[test]
+    fn call_in_body_is_unknown() {
+        let mut m = Module::new("t");
+        let a = m.add_array("a", Ty::F64, 16);
+        // Pure helper: f(x) = x + x.
+        let mut hb = FunctionBuilder::new(&mut m, "helper", 1);
+        let p = hb.param(0);
+        let d = hb.bin(BinOp::Add, p, p);
+        hb.ret(Some(d));
+        let helper = hb.finish();
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let (lo, hi, st) = (b.const_i64(0), b.const_i64(16), b.const_i64(1));
+        let l = b.for_loop(lo, hi, st, |b, iv| {
+            let x = b.load(a, iv);
+            let y = b.call(helper, &[x]);
+            b.store(a, iv, y);
+        });
+        let f = b.finish();
+        let r = analyze(&m, f, l);
+        assert_eq!(r.verdict, Verdict::Unknown, "{:?}", r.facts);
+        assert!(r.facts.iter().any(|x| matches!(x, Fact::OpaqueCall)));
+    }
+
+    #[test]
+    fn indirect_write_is_unknown_not_dependent() {
+        // out[idx[i]] = 1.0: may conflict, never a definite claim.
+        let mut m = Module::new("t");
+        let idx = m.add_array("idx", Ty::I64, 16);
+        let out = m.add_array("out", Ty::F64, 16);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let (lo, hi, st) = (b.const_i64(0), b.const_i64(16), b.const_i64(1));
+        let one = b.const_f64(1.0);
+        let l = b.for_loop(lo, hi, st, |b, iv| {
+            let j = b.load(idx, iv);
+            b.store(out, j, one);
+        });
+        let f = b.finish();
+        let r = analyze(&m, f, l);
+        assert_eq!(r.verdict, Verdict::Unknown, "{:?}", r.facts);
+        assert!(r.facts.iter().any(|x| matches!(x, Fact::PairMayConflict { .. })));
+        assert!(r.facts.iter().any(|x| matches!(x, Fact::NonAffineAccess { .. })));
+        let feats = r.feature_vec();
+        assert_eq!(feats[2], 1.0);
+        assert_eq!(feats[6], 1.0);
+    }
+
+    #[test]
+    fn bounds_recognition() {
+        let mut m = Module::new("t");
+        let a = m.add_array("a", Ty::F64, 64);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let (lo, hi, st) = (b.const_i64(3), b.const_i64(20), b.const_i64(4));
+        let one = b.const_f64(1.0);
+        let l = b.for_loop(lo, hi, st, |b, iv| b.store(a, iv, one));
+        let f = b.finish();
+        let func = &m.funcs[f.index()];
+        let bd = loop_bounds(func, &func.loops[l.index()]).unwrap();
+        assert_eq!(bd, LoopBounds { lo: 3, hi: 20, step: 4, trip: 5 });
+    }
+
+    #[test]
+    fn sections_summarise_arrays() {
+        let mut m = Module::new("t");
+        let a = m.add_array("a", Ty::F64, 16);
+        let out = m.add_array("b", Ty::F64, 16);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let (lo, hi, st) = (b.const_i64(0), b.const_i64(16), b.const_i64(1));
+        let l = b.for_loop(lo, hi, st, |b, iv| {
+            let x = b.load(a, iv);
+            b.store(out, iv, x);
+        });
+        let f = b.finish();
+        let r = analyze(&m, f, l);
+        let sa = &r.sections[&a];
+        let sb = &r.sections[&out];
+        assert_eq!((sa.reads, sa.writes, sa.all_affine), (1, 0, true));
+        assert_eq!((sb.reads, sb.writes, sb.all_affine), (0, 1, true));
+    }
+
+    #[test]
+    fn conditionally_reassigned_write_index_is_unknown() {
+        // The guarded-scatter shape: `j = 0; if (k[i] < 1) j = i;
+        // d[j] = s[i]`. A trace where the guard always fires shows no
+        // conflict, and the flow-insensitive tool walk sees `d[i]` — but
+        // iterations *can* collide on `d[0]`, so a ProvablyParallel
+        // verdict here would be a false proof.
+        use mvgnn_ir::inst::BinOp;
+        let mut m = Module::new("t");
+        let key = m.add_array("k", Ty::F64, 16);
+        let src = m.add_array("s", Ty::F64, 16);
+        let dst = m.add_array("d", Ty::F64, 16);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let t = b.const_f64(1.0);
+        let z = b.const_i64(0);
+        let (lo, hi, st) = (b.const_i64(0), b.const_i64(16), b.const_i64(1));
+        let l = b.for_loop(lo, hi, st, |b, iv| {
+            let k = b.load(key, iv);
+            let c = b.bin(BinOp::CmpLt, k, t);
+            let j = b.copy(z);
+            b.if_then(c, |b| b.copy_to(j, iv));
+            let v = b.load(src, iv);
+            b.store(dst, j, v);
+        });
+        let f = b.finish();
+        let r = analyze(&m, f, l);
+        assert_eq!(r.verdict, Verdict::Unknown);
+        assert!(r.facts.iter().any(|x| matches!(x, Fact::NonAffineAccess { .. })));
+    }
+}

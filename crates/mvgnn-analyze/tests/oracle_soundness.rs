@@ -1,0 +1,133 @@
+//! Property-based soundness of the static dependence oracle against the
+//! interpreting profiler: a `ProvablyParallel` verdict must never coexist
+//! with an observed loop-carried dependence outside the oracle's excused
+//! reduction chains, on any kernel the generator can draw.
+//!
+//! This is the same contract the corpus auditor (`mvgnn-bench --bin
+//! lint`) enforces over the generated suites, checked here over a much
+//! wilder space of offsets, strides, aliasing and guarded index shapes.
+
+use mvgnn_analyze::{analyze_loop, Verdict};
+use mvgnn_ir::inst::BinOp;
+use mvgnn_ir::module::{FuncId, LoopId};
+use mvgnn_ir::types::Ty;
+use mvgnn_ir::{FunctionBuilder, Module};
+use mvgnn_profiler::profile_module;
+use proptest::prelude::*;
+
+/// A parameterised strided kernel `dst[s·i + off] = f(src[i ± offsets…])`
+/// with optional aliasing (`dst == src`) and an optional guarded index
+/// reassignment (the trace-limited scatter shape).
+#[derive(Debug, Clone)]
+struct KernelSpec {
+    offsets: Vec<i64>,
+    in_place: bool,
+    stride: i64,
+    write_off: i64,
+    guarded: bool,
+    n: i64,
+}
+
+fn build(spec: &KernelSpec) -> (Module, FuncId, LoopId) {
+    let max_off = spec
+        .offsets
+        .iter()
+        .map(|o| o.abs())
+        .max()
+        .unwrap_or(0)
+        .max(spec.write_off.abs());
+    let len = ((spec.n + max_off) * spec.stride.max(1) + max_off + 1) as usize;
+    let mut m = Module::new("prop");
+    let src = m.add_array("src", Ty::F64, len);
+    let dst = if spec.in_place { src } else { m.add_array("dst", Ty::F64, len) };
+    let mut b = FunctionBuilder::new(&mut m, "main", 0);
+    let lo = b.const_i64(max_off);
+    let hi = b.const_i64(max_off + spec.n);
+    let st = b.const_i64(1);
+    let stride = b.const_i64(spec.stride);
+    let woff = b.const_i64(spec.write_off);
+    let off_regs: Vec<_> = spec.offsets.iter().map(|&o| b.const_i64(o)).collect();
+    let thresh = b.const_f64(0.5);
+    let zero_idx = b.const_i64(0);
+    let l = b.for_loop(lo, hi, st, |b, iv| {
+        let mut acc = b.const_f64(0.0);
+        for off in &off_regs {
+            let idx = b.bin(BinOp::Add, iv, *off);
+            let x = b.load(src, idx);
+            acc = b.bin(BinOp::Add, acc, x);
+        }
+        let scaled = b.bin(BinOp::Mul, iv, stride);
+        let widx = b.bin(BinOp::Add, scaled, woff);
+        if spec.guarded {
+            // j = 0; if (acc < 0.5) j = widx; dst[j] = acc — the index
+            // has two reaching definitions, so no proof may trust it.
+            let c = b.bin(BinOp::CmpLt, acc, thresh);
+            let j = b.copy(zero_idx);
+            b.if_then(c, |b| b.copy_to(j, widx));
+            b.store(dst, j, acc);
+        } else {
+            b.store(dst, widx, acc);
+        }
+    });
+    let f = b.finish();
+    (m, f, l)
+}
+
+fn spec_strategy() -> impl Strategy<Value = KernelSpec> {
+    (
+        proptest::collection::vec(-3i64..=3, 1..4),
+        any::<bool>(),
+        1i64..=3,
+        -2i64..=2,
+        any::<bool>(),
+        4i64..16,
+    )
+        .prop_map(|(offsets, in_place, stride, write_off, guarded, n)| KernelSpec {
+            offsets,
+            in_place,
+            stride,
+            write_off,
+            guarded,
+            n,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The auditor's rule A, over the random kernel space: every observed
+    /// carried dependence of a `ProvablyParallel` loop lies on an excused
+    /// reduction chain.
+    #[test]
+    fn never_provably_parallel_with_observed_carried_dep(spec in spec_strategy()) {
+        let (m, f, l) = build(&spec);
+        let res = profile_module(&m, f, &[]).unwrap();
+        let report = analyze_loop(&m, f, l);
+        if report.verdict == Verdict::ProvablyParallel {
+            for d in res.deps.carried_by(f, l) {
+                prop_assert!(
+                    report.excused.contains(&d.src) && report.excused.contains(&d.dst),
+                    "false parallel proof on {spec:?}: observed carried {} {} -> {}",
+                    d.kind, d.src, d.dst
+                );
+            }
+        }
+    }
+
+    /// Completeness on the unconditional family: these kernels execute
+    /// every access on every iteration, so a dependence *proof* must be
+    /// witnessed by the trace.
+    #[test]
+    fn provably_dependent_is_witnessed_on_unguarded_kernels(spec in spec_strategy()) {
+        let spec = KernelSpec { guarded: false, ..spec };
+        let (m, f, l) = build(&spec);
+        let res = profile_module(&m, f, &[]).unwrap();
+        let report = analyze_loop(&m, f, l);
+        if report.verdict == Verdict::ProvablyDependent {
+            prop_assert!(
+                !res.deps.carried_by(f, l).is_empty(),
+                "dependence proof with a clean trace on {spec:?}"
+            );
+        }
+    }
+}

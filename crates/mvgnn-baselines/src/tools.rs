@@ -13,11 +13,12 @@
 //!   DiscoPoP's practical filters (profitability threshold, call-free
 //!   regions), which introduce its characteristic false negatives.
 
-use mvgnn_ir::inst::{BinOp, Inst};
+use mvgnn_analyze::{conflicts, reduction_store_sites, summarize_loop};
+use mvgnn_ir::inst::Inst;
 use mvgnn_ir::module::{BlockId, FuncId, LoopId, Module};
-use mvgnn_ir::types::{ArrayId, VReg};
+use mvgnn_ir::types::ArrayId;
 use mvgnn_profiler::{classify_loop, DepGraph, LoopRuntime};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::HashSet;
 
 /// A tool's verdict on one loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,301 +36,6 @@ impl ToolVerdict {
     }
 }
 
-/// Affine expression over induction registers, or unanalysable.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Sym {
-    Affine {
-        constant: i64,
-        /// Coefficient per induction register.
-        coeffs: BTreeMap<u32, i64>,
-    },
-    Unknown,
-}
-
-impl Sym {
-    fn constant(c: i64) -> Sym {
-        Sym::Affine { constant: c, coeffs: BTreeMap::new() }
-    }
-
-    fn var(reg: VReg) -> Sym {
-        let mut coeffs = BTreeMap::new();
-        coeffs.insert(reg.0, 1);
-        Sym::Affine { constant: 0, coeffs }
-    }
-
-    fn add(&self, other: &Sym, negate: bool) -> Sym {
-        match (self, other) {
-            (
-                Sym::Affine { constant: c1, coeffs: k1 },
-                Sym::Affine { constant: c2, coeffs: k2 },
-            ) => {
-                let sign = if negate { -1 } else { 1 };
-                let mut coeffs = k1.clone();
-                for (&r, &c) in k2 {
-                    *coeffs.entry(r).or_insert(0) += sign * c;
-                }
-                coeffs.retain(|_, &mut c| c != 0);
-                Sym::Affine { constant: c1 + sign * c2, coeffs }
-            }
-            _ => Sym::Unknown,
-        }
-    }
-
-    fn mul(&self, other: &Sym) -> Sym {
-        match (self, other) {
-            (Sym::Affine { constant, coeffs }, rhs) if coeffs.is_empty() => rhs.scale(*constant),
-            (lhs, Sym::Affine { constant, coeffs }) if coeffs.is_empty() => lhs.scale(*constant),
-            _ => Sym::Unknown,
-        }
-    }
-
-    fn scale(&self, s: i64) -> Sym {
-        match self {
-            Sym::Affine { constant, coeffs } => {
-                let mut k: BTreeMap<u32, i64> =
-                    coeffs.iter().map(|(&r, &c)| (r, c * s)).collect();
-                k.retain(|_, &mut c| c != 0);
-                Sym::Affine { constant: constant * s, coeffs: k }
-            }
-            Sym::Unknown => Sym::Unknown,
-        }
-    }
-}
-
-/// One static memory access in a loop body.
-#[derive(Debug, Clone)]
-struct Access {
-    arr: ArrayId,
-    index: Sym,
-    is_write: bool,
-    block: BlockId,
-    idx_in_block: usize,
-}
-
-/// Static summary of a loop body.
-struct LoopSummary {
-    accesses: Vec<Access>,
-    has_call: bool,
-    /// Self-updating registers (`r = r ⊕ x`, r not an induction), split by
-    /// commutativity of the update.
-    commutative_recs: HashSet<VReg>,
-    noncommutative_recs: HashSet<VReg>,
-}
-
-fn summarise(module: &Module, func: FuncId, l: LoopId) -> LoopSummary {
-    let f = &module.funcs[func.index()];
-    let blocks: Vec<BlockId> = f.loop_blocks(l);
-    let block_set: HashSet<BlockId> = blocks.iter().copied().collect();
-    let inductions: HashSet<VReg> = f.loops.iter().filter_map(|i| i.induction).collect();
-
-    // Multi-def registers (outside induction updates) become Unknown.
-    let mut def_count: HashMap<VReg, u32> = HashMap::new();
-    for (r, inst, _) in f.insts_with_refs(func) {
-        let _ = r;
-        if let Some(d) = inst.def() {
-            *def_count.entry(d).or_insert(0) += 1;
-        }
-    }
-
-    let mut sym: HashMap<VReg, Sym> = HashMap::new();
-    for iv in &inductions {
-        sym.insert(*iv, Sym::var(*iv));
-    }
-    let lookup = |sym: &HashMap<VReg, Sym>, r: VReg| sym.get(&r).cloned().unwrap_or(Sym::Unknown);
-
-    let mut summary = LoopSummary {
-        accesses: Vec::new(),
-        has_call: false,
-        commutative_recs: HashSet::new(),
-        noncommutative_recs: HashSet::new(),
-    };
-
-    // Walk the whole function in block order so values defined before the
-    // loop (bounds, constants, strides) are known; record accesses only
-    // inside the loop's blocks.
-    for (bi, blk) in f.blocks.iter().enumerate() {
-        let bid = BlockId(bi as u32);
-        let inside = block_set.contains(&bid);
-        for (ii, inst) in blk.insts.iter().enumerate() {
-            match inst {
-                Inst::Const { dst, value }
-                    if !inductions.contains(dst) => {
-                        let s = value
-                            .as_i64()
-                            .map(Sym::constant)
-                            .unwrap_or(Sym::Unknown);
-                        sym.insert(*dst, s);
-                    }
-                Inst::Copy { dst, src }
-                    if !inductions.contains(dst) => {
-                        let s = lookup(&sym, *src);
-                        sym.insert(*dst, s);
-                    }
-                Inst::Bin { op, dst, lhs, rhs } => {
-                    if inside && (*dst == *lhs || *dst == *rhs) && !inductions.contains(dst) {
-                        if matches!(op, BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max) {
-                            summary.commutative_recs.insert(*dst);
-                        } else {
-                            summary.noncommutative_recs.insert(*dst);
-                        }
-                    }
-                    if !inductions.contains(dst) {
-                        let a = lookup(&sym, *lhs);
-                        let b = lookup(&sym, *rhs);
-                        let s = if def_count.get(dst).copied().unwrap_or(0) > 1 {
-                            Sym::Unknown
-                        } else {
-                            match op {
-                                BinOp::Add => a.add(&b, false),
-                                BinOp::Sub => a.add(&b, true),
-                                BinOp::Mul => a.mul(&b),
-                                _ => Sym::Unknown,
-                            }
-                        };
-                        sym.insert(*dst, s);
-                    }
-                }
-                Inst::Un { dst, .. }
-                    if !inductions.contains(dst) => {
-                        sym.insert(*dst, Sym::Unknown);
-                    }
-                Inst::Load { dst, arr, idx } => {
-                    if inside {
-                        summary.accesses.push(Access {
-                            arr: *arr,
-                            index: lookup(&sym, *idx),
-                            is_write: false,
-                            block: bid,
-                            idx_in_block: ii,
-                        });
-                    }
-                    if !inductions.contains(dst) {
-                        sym.insert(*dst, Sym::Unknown);
-                    }
-                }
-                Inst::Store { arr, idx, .. }
-                    if inside => {
-                        summary.accesses.push(Access {
-                            arr: *arr,
-                            index: lookup(&sym, *idx),
-                            is_write: true,
-                            block: bid,
-                            idx_in_block: ii,
-                        });
-                    }
-                Inst::Call { dst, .. } => {
-                    if inside {
-                        summary.has_call = true;
-                    }
-                    if let Some(d) = dst {
-                        sym.insert(*d, Sym::Unknown);
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    summary
-}
-
-fn gcd(a: i64, b: i64) -> i64 {
-    let (mut a, mut b) = (a.abs(), b.abs());
-    while b != 0 {
-        let t = a % b;
-        a = b;
-        b = t;
-    }
-    a
-}
-
-/// Does a pair of accesses conflict across iterations of the loop whose
-/// induction register is `iv`? Conservative: `true` unless provably safe.
-fn conflicts(iv: VReg, a: &Access, b: &Access) -> bool {
-    let (Sym::Affine { constant: c1, coeffs: k1 }, Sym::Affine { constant: c2, coeffs: k2 }) =
-        (&a.index, &b.index)
-    else {
-        return true; // unanalysable index
-    };
-    let a_iv = k1.get(&iv.0).copied().unwrap_or(0);
-    let b_iv = k2.get(&iv.0).copied().unwrap_or(0);
-    // Remaining symbols (outer/inner loop ivs) must match coefficient-wise;
-    // otherwise be conservative.
-    let strip = |k: &BTreeMap<u32, i64>| -> BTreeMap<u32, i64> {
-        k.iter().filter(|&(&r, _)| r != iv.0).map(|(&r, &c)| (r, c)).collect()
-    };
-    if strip(k1) != strip(k2) {
-        return true;
-    }
-    let dc = c2 - c1;
-    match (a_iv, b_iv) {
-        (0, 0) => dc == 0, // same fixed cell touched every iteration
-        (x, y) if x == y => {
-            // a(i1 - i2) = dc: carried iff a nonzero distance exists.
-            dc != 0 && dc % x == 0
-        }
-        (x, y) => {
-            // x·i1 − y·i2 = dc solvable (GCD test) — conservative on
-            // distinct coefficients.
-            let g = gcd(x, y);
-            g != 0 && dc % g == 0
-        }
-    }
-}
-
-/// Memory reduction chains: stores whose value flows through a
-/// commutative op from a load of the same array and index register in
-/// the same block (the classic `a[x] = a[x] ⊕ v`).
-fn reduction_stores(module: &Module, func: FuncId, l: LoopId) -> HashSet<(BlockId, usize)> {
-    let f = &module.funcs[func.index()];
-    let blocks: HashSet<BlockId> = f.loop_blocks(l).into_iter().collect();
-    // Single-def constant registers (front-ends emit one per literal).
-    let mut def_count: HashMap<VReg, u32> = HashMap::new();
-    let mut const_val: HashMap<VReg, mvgnn_ir::types::Value> = HashMap::new();
-    for blk in &f.blocks {
-        for inst in &blk.insts {
-            if let Some(d) = inst.def() {
-                *def_count.entry(d).or_insert(0) += 1;
-            }
-            if let Inst::Const { dst, value } = inst {
-                const_val.insert(*dst, *value);
-            }
-        }
-    }
-    const_val.retain(|r, _| def_count.get(r) == Some(&1));
-    let mut out = HashSet::new();
-    for (bi, blk) in f.blocks.iter().enumerate() {
-        let bid = BlockId(bi as u32);
-        if !blocks.contains(&bid) {
-            continue;
-        }
-        for (si, inst) in blk.insts.iter().enumerate() {
-            let Inst::Store { arr, idx, src } = inst else { continue };
-            let mut reduction = false;
-            for prev in blk.insts[..si].iter().rev() {
-                if prev.def() == Some(*src) {
-                    if let Inst::Bin { op, lhs, rhs, .. } = prev {
-                        if matches!(op, BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max) {
-                            reduction = blk.insts[..si].iter().any(|p| {
-                                matches!(p, Inst::Load { dst, arr: la, idx: li }
-                                    if (dst == lhs || dst == rhs) && la == arr
-                                        && (li == idx
-                                            || matches!(
-                                                (const_val.get(li), const_val.get(idx)),
-                                                (Some(x), Some(y)) if x == y)))
-                            });
-                        }
-                    }
-                    break;
-                }
-            }
-            if reduction {
-                out.insert((bid, si));
-            }
-        }
-    }
-    out
-}
-
 /// Pluto-like static verdict: affine dependence testing, no reduction
 /// support, rejects calls and scalar recurrences.
 pub fn pluto_like(module: &Module, func: FuncId, l: LoopId) -> ToolVerdict {
@@ -337,7 +43,7 @@ pub fn pluto_like(module: &Module, func: FuncId, l: LoopId) -> ToolVerdict {
     let Some(iv) = f.loops[l.index()].induction else {
         return ToolVerdict::NotParallel; // non-counted loop
     };
-    let s = summarise(module, func, l);
+    let s = summarize_loop(module, func, l);
     if s.has_call || !s.commutative_recs.is_empty() || !s.noncommutative_recs.is_empty() {
         return ToolVerdict::NotParallel;
     }
@@ -361,7 +67,7 @@ pub fn autopar_like(module: &Module, func: FuncId, l: LoopId) -> ToolVerdict {
     let Some(iv) = f.loops[l.index()].induction else {
         return ToolVerdict::NotParallel;
     };
-    let s = summarise(module, func, l);
+    let s = summarize_loop(module, func, l);
     if !s.noncommutative_recs.is_empty() {
         return ToolVerdict::NotParallel;
     }
@@ -369,7 +75,7 @@ pub fn autopar_like(module: &Module, func: FuncId, l: LoopId) -> ToolVerdict {
     if s.has_call && has_call_failing(module, func, l, is_simple_pure) {
         return ToolVerdict::NotParallel;
     }
-    let red = reduction_stores(module, func, l);
+    let red = reduction_store_sites(module, func, l);
     // Arrays that are targets of reduction stores: conflicts on them are
     // tolerated (implemented as an OpenMP reduction/atomic).
     let red_arrays: HashSet<ArrayId> = s

@@ -1,0 +1,129 @@
+//! Pins the static tool verdicts that drive the Table III ordering.
+//!
+//! The affine machinery behind `pluto_like`/`autopar_like` lives in
+//! `mvgnn-analyze`; this test freezes the verdict of both tools on every
+//! kernel template at several seeds so any refactor of the shared
+//! analyses is provably behaviour-preserving (the expected strings were
+//! captured from the pre-refactor implementation).
+
+use mvgnn_baselines::{autopar_like, pluto_like, ToolVerdict};
+use mvgnn_dataset::{build_kernel, KernelKind};
+use mvgnn_ir::Module;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One line per (kernel, seed): `kind seed pluto-verdicts autopar-verdicts`
+/// with one `P`/`.` char per loop of the kernel, in loop order.
+fn verdict_table(seeds: &[u64], size: i64) -> String {
+    let mut out = String::new();
+    for kind in KernelKind::ALL {
+        for &seed in seeds {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut m = Module::new("pins");
+            let (f, loops) = build_kernel(&mut m, kind, 0, size, &mut rng);
+            let verdicts = |tool: &dyn Fn(&Module, _, _) -> ToolVerdict| -> String {
+                loops
+                    .iter()
+                    .map(|(l, _)| if tool(&m, f, *l) == ToolVerdict::Parallel { 'P' } else { '.' })
+                    .collect()
+            };
+            let p = verdicts(&|m, f, l| pluto_like(m, f, l));
+            let a = verdicts(&|m, f, l| autopar_like(m, f, l));
+            out.push_str(&format!("{kind:?} {seed} {p} {a}\n"));
+        }
+    }
+    out
+}
+
+#[test]
+fn pluto_and_autopar_verdicts_are_pinned() {
+    let actual = verdict_table(&[4, 16, 77], 12);
+    assert_eq!(actual, EXPECTED, "static tool verdicts drifted:\n{actual}");
+}
+
+const EXPECTED: &str = "\
+VectorMap 4 P P
+VectorMap 16 P P
+VectorMap 77 P P
+Triad 4 P P
+Triad 16 P P
+Triad 77 P P
+DotProduct 4 . P
+DotProduct 16 . P
+DotProduct 77 . P
+SumReduction 4 . P
+SumReduction 16 . P
+SumReduction 77 . P
+MaxReduction 4 . P
+MaxReduction 16 . P
+MaxReduction 77 . P
+Stencil3 4 P P
+Stencil3 16 P P
+Stencil3 77 P P
+Stencil3InPlace 4 . .
+Stencil3InPlace 16 . .
+Stencil3InPlace 77 . .
+PrefixSum 4 . .
+PrefixSum 16 . .
+PrefixSum 77 . .
+Recurrence 4 . .
+Recurrence 16 . .
+Recurrence 77 . .
+MatVec 4 P. PP
+MatVec 16 P. PP
+MatVec 77 P. PP
+MatMul 4 PP. PPP
+MatMul 16 PP. PPP
+MatMul 77 PP. PPP
+Jacobi2d 4 PP PP
+Jacobi2d 16 PP PP
+Jacobi2d 77 PP PP
+GaussSeidel 4 .. ..
+GaussSeidel 16 .. ..
+GaussSeidel 77 .. ..
+Histogram 4 P. PP
+Histogram 16 P. PP
+Histogram 77 P. PP
+IndirectGather 4 PP PP
+IndirectGather 16 PP PP
+IndirectGather 77 PP PP
+ScatterConflict 4 P. P.
+ScatterConflict 16 P. P.
+ScatterConflict 77 P. P.
+FirFilter 4 P P
+FirFilter 16 P P
+FirFilter 77 P P
+Transpose 4 PP PP
+Transpose 16 PP PP
+Transpose 77 PP PP
+TriangularSolve 4 P.. P.P
+TriangularSolve 16 P.. P.P
+TriangularSolve 77 P.. P.P
+TaskSpawn 4 . .
+TaskSpawn 16 . .
+TaskSpawn 77 . .
+CallDoAll 4 . P
+CallDoAll 16 . P
+CallDoAll 77 . P
+TinyDoAll 4 P P
+TinyDoAll 16 P P
+TinyDoAll 77 P P
+ScalarSumReduction 4 . P
+ScalarSumReduction 16 . P
+ScalarSumReduction 77 . P
+NonCommutativeScalar 4 . .
+NonCommutativeScalar 16 . .
+NonCommutativeScalar 77 . .
+DistanceRecurrence 4 . .
+DistanceRecurrence 16 . .
+DistanceRecurrence 77 . .
+GuardedReduction 4 . P
+GuardedReduction 16 . P
+GuardedReduction 77 . P
+ScatterPermutation 4 P. P.
+ScatterPermutation 16 P. P.
+ScatterPermutation 77 P. P.
+GuardedScatter 4 P P
+GuardedScatter 16 P P
+GuardedScatter 77 P P
+";

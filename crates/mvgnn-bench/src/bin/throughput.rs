@@ -15,7 +15,7 @@
 //!
 //! `--alloc-smoke` (needs `--features count-allocs`) asserts the pooled
 //! steady state: after warm-up, one full engine stream must stay under
-//! [`ALLOC_BUDGET_PER_LOOP`] heap allocations per loop. The full run
+//! `ALLOC_BUDGET_PER_LOOP` heap allocations per loop. The full run
 //! also reports allocs/loop for the per-sample baseline versus the
 //! pooled engine, and the featurisation-cache hit rate, in
 //! `BENCH_throughput.json`.

@@ -72,6 +72,7 @@ pub fn pipeline_config(scale: Scale) -> PipelineConfig {
             sample: Default::default(),
             seed: 0xda7a,
             label_noise: 0.03,
+            static_features: false,
         },
         train: TrainConfig { epochs, batch_size: 16, ..Default::default() },
         paper_scale: scale == Scale::Paper,

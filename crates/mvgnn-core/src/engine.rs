@@ -236,6 +236,7 @@ mod tests {
             sample: Default::default(),
             seed: 6,
             label_noise: 0.0,
+            static_features: false,
         })
     }
 

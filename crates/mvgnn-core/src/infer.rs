@@ -82,7 +82,7 @@ struct PendingLoop {
 /// the function: faults degrade individual loops, they never abort the
 /// batch.
 ///
-/// Healthy loops are classified in packed batches of [`INFER_CHUNK`] —
+/// Healthy loops are classified in packed batches of `INFER_CHUNK` —
 /// one tape per chunk instead of one per loop. Per-loop fault isolation
 /// is preserved: finiteness is judged per row, and any row showing a
 /// non-finite head is re-run through single-sample inference so its

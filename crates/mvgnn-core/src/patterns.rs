@@ -109,6 +109,7 @@ mod tests {
             sample: Default::default(),
             seed: 3,
             label_noise: 0.0,
+            static_features: false,
         });
         let probe = &ds.train[0].sample;
         let mut model = MvGnn::new(pattern_model_config(probe.node_dim, probe.aw_vocab));

@@ -395,6 +395,7 @@ mod tests {
                 sample: Default::default(),
                 seed: 9,
                 label_noise: 0.0,
+                static_features: false,
             },
             train: TrainConfig { epochs: 6, batch_size: 8, ..Default::default() },
             paper_scale: false,

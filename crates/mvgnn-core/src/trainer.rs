@@ -302,6 +302,7 @@ mod tests {
             sample: Default::default(),
             seed: 5,
             label_noise: 0.0,
+            static_features: false,
         })
     }
 

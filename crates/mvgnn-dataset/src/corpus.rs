@@ -3,7 +3,8 @@
 
 use crate::kernels::PatternKind;
 use crate::suites::{generate_suite, GeneratedApp, Suite};
-use mvgnn_embed::{build_sample, GraphSample, Inst2Vec, Inst2VecConfig, SampleConfig};
+use mvgnn_analyze::{analyze_loop, OracleReport};
+use mvgnn_embed::{build_sample_with_static, GraphSample, Inst2Vec, Inst2VecConfig, SampleConfig};
 use mvgnn_ir::transform::{optimize, OptLevel};
 use mvgnn_peg::{build_peg, loop_subpeg};
 use mvgnn_profiler::{build_cus, loop_features, profile_module};
@@ -54,6 +55,12 @@ pub struct CorpusConfig {
     /// positive "caused by missing expert annotation"). Applied per base
     /// loop so all augmented variants stay consistent.
     pub label_noise: f64,
+    /// Append the static dependence-oracle features
+    /// (`mvgnn_analyze::OracleReport::feature_vec`) to every node row.
+    /// Off by default so the paper's feature layout is reproduced
+    /// exactly; turning it on widens `node_dim` by
+    /// `OracleReport::FEAT_DIM` for the static-feature ablation.
+    pub static_features: bool,
 }
 
 impl Default for CorpusConfig {
@@ -68,6 +75,7 @@ impl Default for CorpusConfig {
             sample: SampleConfig::default(),
             seed: 0xda7a,
             label_noise: 0.03,
+            static_features: false,
         }
     }
 }
@@ -148,6 +156,10 @@ fn samples_of_variant(
     };
     let cus = build_cus(module);
     let peg = build_peg(module, &cus, &res.deps);
+    let sample_cfg = SampleConfig {
+        static_dim: if cfg.static_features { OracleReport::FEAT_DIM } else { 0 },
+        ..cfg.sample.clone()
+    };
     app.loops
         .iter()
         .filter_map(|(f, l, pattern)| {
@@ -155,7 +167,16 @@ fn samples_of_variant(
             let feats = loop_features(module, *f, *l, &res.deps, runtime);
             let sub = loop_subpeg(&peg, module, &cus, *f, *l);
             let label = usize::from(pattern.is_parallelizable());
-            let sample = build_sample(&sub, inst2vec, &feats, &cfg.sample, Some(label));
+            let static_vec =
+                cfg.static_features.then(|| analyze_loop(module, *f, *l).feature_vec());
+            let sample = build_sample_with_static(
+                &sub,
+                inst2vec,
+                &feats,
+                static_vec.as_ref().map(|v| &v[..]),
+                &sample_cfg,
+                Some(label),
+            );
             let key = base_key(app.spec.name, seed, *f, *l);
             Some(LabeledSample {
                 sample,
@@ -274,6 +295,41 @@ mod tests {
             sample: SampleConfig::default(),
             seed: 77,
             label_noise: 0.0,
+            static_features: false,
+        }
+    }
+
+    #[test]
+    fn static_features_widen_node_dim_only_when_enabled() {
+        let mut cfg = CorpusConfig {
+            seeds: vec![5],
+            opt_levels: vec![OptLevel::O0],
+            per_class: Some(8),
+            ..tiny_cfg()
+        };
+        let plain = build_corpus(&cfg);
+        cfg.static_features = true;
+        let augmented = build_corpus(&cfg);
+        let plain_dim = plain.train[0].sample.node_dim;
+        let aug_dim = augmented.train[0].sample.node_dim;
+        assert_eq!(aug_dim, plain_dim + OracleReport::FEAT_DIM);
+        for s in plain.train.iter().chain(&plain.test) {
+            assert_eq!(s.sample.node_dim, plain_dim);
+        }
+        for s in augmented.train.iter().chain(&augmented.test) {
+            assert_eq!(s.sample.node_dim, aug_dim);
+            assert_eq!(s.sample.node_feats.len(), s.sample.n * aug_dim);
+            // The verdict one-hot lives at the head of the static block
+            // and always has exactly one bit set.
+            let verdict: Vec<f32> = (0..s.sample.n)
+                .flat_map(|r| {
+                    let off = (r + 1) * aug_dim - OracleReport::FEAT_DIM;
+                    s.sample.node_feats[off..off + 3].to_vec()
+                })
+                .collect();
+            for row in verdict.chunks(3) {
+                assert_eq!(row.iter().filter(|&&x| x == 1.0).count(), 1, "{row:?}");
+            }
         }
     }
 

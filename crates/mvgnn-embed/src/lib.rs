@@ -21,4 +21,4 @@ pub use awe::structural_distributions;
 pub use batch::GraphBatch;
 pub use cache::{sample_fingerprint, CacheStats, FeatureCache};
 pub use inst2vec::{Inst2Vec, Inst2VecConfig};
-pub use sample::{build_sample, GraphSample, SampleConfig};
+pub use sample::{build_sample, build_sample_with_static, GraphSample, SampleConfig};

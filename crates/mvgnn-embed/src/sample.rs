@@ -21,6 +21,11 @@ pub struct SampleConfig {
     /// distances and can over-smooth small graphs; they always remain
     /// visible through the node edge-census features and the walks.
     pub hierarchy_in_adjacency: bool,
+    /// Width of the optional static-oracle feature block appended to each
+    /// node row (see `mvgnn_analyze::OracleReport::feature_vec`). `0`
+    /// disables the block entirely — the default, so the paper's feature
+    /// layout is unchanged unless an ablation opts in.
+    pub static_dim: usize,
 }
 
 impl Default for SampleConfig {
@@ -29,6 +34,7 @@ impl Default for SampleConfig {
             walks: WalkConfig::default(),
             walk_len: WalkConfig::default().walk_len,
             hierarchy_in_adjacency: false,
+            static_dim: 0,
         }
     }
 }
@@ -55,8 +61,8 @@ pub struct GraphSample {
     pub adj: SparseMatrix,
     /// Node-feature view matrix, row-major `n × node_dim`.
     pub node_feats: Vec<f32>,
-    /// Node-feature width:
-    /// inst2vec dim + [`KIND_DIM`] + [`EDGE_DIM`] + Table I dims.
+    /// Node-feature width: inst2vec dim + [`KIND_DIM`] + [`EDGE_DIM`] +
+    /// Table I dims + `SampleConfig::static_dim` (0 unless enabled).
     pub node_dim: usize,
     /// Structural view: anonymous-walk distributions `n × aw_vocab`.
     pub struct_dists: Vec<f32>,
@@ -104,10 +110,33 @@ pub fn build_sample(
     cfg: &SampleConfig,
     label: Option<usize>,
 ) -> GraphSample {
+    build_sample_with_static(sub, inst2vec, dyn_feats, None, cfg, label)
+}
+
+/// [`build_sample`] with an optional static-oracle feature block.
+///
+/// When `cfg.static_dim > 0`, `static_feats` must be a slice of exactly
+/// that width; like the dynamic features it is loop-level and broadcast
+/// onto every node row. When `cfg.static_dim == 0` the argument is
+/// ignored and the layout is identical to [`build_sample`].
+pub fn build_sample_with_static(
+    sub: &SubPeg,
+    inst2vec: &Inst2Vec,
+    dyn_feats: &DynamicFeatures,
+    static_feats: Option<&[f32]>,
+    cfg: &SampleConfig,
+    label: Option<usize>,
+) -> GraphSample {
     assert_eq!(cfg.walk_len, cfg.walks.walk_len, "walk length mismatch in config");
+    let static_vec: &[f32] = if cfg.static_dim == 0 { &[] } else { static_feats.unwrap_or(&[]) };
+    assert_eq!(
+        static_vec.len(),
+        cfg.static_dim,
+        "static feature width must match cfg.static_dim"
+    );
     let n = sub.graph.node_count();
     let e_dim = inst2vec.dim();
-    let node_dim = e_dim + KIND_DIM + EDGE_DIM + DynamicFeatures::DIM;
+    let node_dim = e_dim + KIND_DIM + EDGE_DIM + DynamicFeatures::DIM + cfg.static_dim;
 
     // Incident-edge census per node.
     let mut edge_feats = vec![[0.0f32; EDGE_DIM]; n];
@@ -153,6 +182,7 @@ pub fn build_sample(
         node_feats.extend_from_slice(&kind_onehot(&node.kind, &node.token));
         node_feats.extend_from_slice(&edge_feats[id.index()]);
         node_feats.extend_from_slice(&dyn_vec);
+        node_feats.extend_from_slice(static_vec);
     }
 
     let vocab = AwVocab::new(cfg.walk_len);
@@ -292,6 +322,53 @@ mod tests {
     fn token_sequence_covers_every_statement() {
         let s = make_sample();
         assert!(s.token_ids.len() >= s.n, "at least one token per node");
+    }
+
+    #[test]
+    fn static_block_is_appended_only_when_enabled() {
+        let mut m = Module::new("t");
+        let a = m.add_array("a", Ty::F64, 16);
+        let out = m.add_array("b", Ty::F64, 16);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let lo = b.const_i64(0);
+        let hi = b.const_i64(16);
+        let st = b.const_i64(1);
+        let l = b.for_loop(lo, hi, st, |b, iv| {
+            let x = b.load(a, iv);
+            let y = b.bin(BinOp::Mul, x, x);
+            b.store(out, iv, y);
+        });
+        let f = b.finish();
+        let cus = build_cus(&m);
+        let res = profile_module(&m, f, &[]).unwrap();
+        let peg = build_peg(&m, &cus, &res.deps);
+        let sub = loop_subpeg(&peg, &m, &cus, f, l);
+        let feats = loop_features(&m, f, l, &res.deps, &res.loops[&(f, l)]);
+        let i2v = Inst2Vec::train(
+            &[&m],
+            &Inst2VecConfig { dim: 8, epochs: 2, negatives: 2, lr: 0.05, seed: 1 },
+        );
+        let plain = build_sample(&sub, &i2v, &feats, &SampleConfig::default(), None);
+        let cfg = SampleConfig { static_dim: 3, ..SampleConfig::default() };
+        let stat = [0.5f32, 0.0, 2.0];
+        let s = build_sample_with_static(&sub, &i2v, &feats, Some(&stat), &cfg, None);
+        assert_eq!(s.node_dim, plain.node_dim + 3);
+        assert_eq!(s.node_feats.len(), s.n * s.node_dim);
+        for r in 0..s.n {
+            let tail = &s.node_feats[(r + 1) * s.node_dim - 3..(r + 1) * s.node_dim];
+            assert_eq!(tail, &stat[..], "row {r} static block differs");
+        }
+        // Explicitly passing None with static_dim == 0 is the plain layout.
+        let again = build_sample_with_static(
+            &sub,
+            &i2v,
+            &feats,
+            None,
+            &SampleConfig::default(),
+            None,
+        );
+        assert_eq!(again.node_dim, plain.node_dim);
+        assert_eq!(again.node_feats, plain.node_feats);
     }
 
     #[test]

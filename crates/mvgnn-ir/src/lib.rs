@@ -23,6 +23,7 @@
 //!   augmentation
 
 pub mod builder;
+pub mod cfg;
 pub mod inst;
 pub mod interp;
 pub mod module;
@@ -32,6 +33,7 @@ pub mod types;
 pub mod verify;
 
 pub use builder::FunctionBuilder;
+pub use cfg::{Cfg, Dominators};
 pub use inst::{BinOp, Inst, InstRef, UnOp};
 pub use interp::{ExecStats, InterpError, Interpreter, NoTracer, Tracer};
 pub use module::{ArrayDecl, Block, BlockId, FuncId, Function, LoopId, LoopInfo, Module};

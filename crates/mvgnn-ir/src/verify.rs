@@ -1,110 +1,376 @@
 //! Structural verifier: every block terminated exactly once, branch
 //! targets and register/array/function indices in range, loop metadata
-//! self-consistent.
+//! self-consistent, and loop headers dominating their bodies.
+//!
+//! Failures are typed ([`VerifyError`]) so tooling — most notably the
+//! `mvgnn-bench` corpus linter — can react to the *kind* of violation
+//! instead of grepping a message string.
 
+use crate::cfg::{Cfg, Dominators};
 use crate::inst::Inst;
-use crate::module::{Function, Module};
+use crate::module::{BlockId, Function, LoopId, Module};
+use crate::types::{ArrayId, VReg};
 
-/// A verification failure with human-readable context.
+/// A typed verification failure. The `Display` form keeps the
+/// human-readable phrasing the rest of the workspace reports to users.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct VerifyError(pub String);
+pub enum VerifyError {
+    /// Function has no basic blocks.
+    NoBlocks {
+        /// Offending function name.
+        func: String,
+    },
+    /// `arity` exceeds the declared register count.
+    ArityExceedsRegs {
+        /// Offending function name.
+        func: String,
+        /// Declared parameter count.
+        arity: u32,
+        /// Declared register count.
+        num_regs: u32,
+    },
+    /// `block_loop` is not parallel to `blocks`.
+    BlockLoopLenMismatch {
+        /// Offending function name.
+        func: String,
+    },
+    /// A block's `lines` vector is not parallel to its `insts`.
+    LinesNotParallel {
+        /// Offending function name.
+        func: String,
+        /// Offending block.
+        block: BlockId,
+    },
+    /// A block does not end in a terminator.
+    MissingTerminator {
+        /// Offending function name.
+        func: String,
+        /// Offending block.
+        block: BlockId,
+    },
+    /// A terminator appears before the end of its block.
+    TerminatorMidBlock {
+        /// Offending function name.
+        func: String,
+        /// Offending block.
+        block: BlockId,
+        /// Instruction index of the stray terminator.
+        idx: usize,
+    },
+    /// An instruction defines or uses a register `>= num_regs`.
+    RegOutOfRange {
+        /// Offending function name.
+        func: String,
+        /// Offending block.
+        block: BlockId,
+        /// Instruction index.
+        idx: usize,
+        /// The out-of-range register.
+        reg: VReg,
+        /// Whether the register is written (`true`) or read.
+        is_def: bool,
+    },
+    /// A branch targets a block outside the function.
+    BranchTargetOutOfRange {
+        /// Offending function name.
+        func: String,
+        /// Offending block.
+        block: BlockId,
+        /// Whether the terminator is a conditional branch.
+        conditional: bool,
+    },
+    /// A load/store references an array the module does not declare.
+    UndeclaredArray {
+        /// Offending function name.
+        func: String,
+        /// Offending block.
+        block: BlockId,
+        /// The undeclared array id.
+        arr: ArrayId,
+    },
+    /// A call references a function index outside the module.
+    CallToMissingFunc {
+        /// Offending function name.
+        func: String,
+        /// Offending block.
+        block: BlockId,
+        /// The missing callee index.
+        callee: u32,
+    },
+    /// A call passes a different number of arguments than the callee's
+    /// arity.
+    CallArityMismatch {
+        /// Offending function name.
+        func: String,
+        /// Offending block.
+        block: BlockId,
+        /// Callee name.
+        callee: String,
+        /// Arguments passed.
+        args: usize,
+        /// Callee arity.
+        arity: u32,
+    },
+    /// Loop metadata references a block outside the function.
+    LoopBlockOutOfRange {
+        /// Offending function name.
+        func: String,
+        /// Offending loop.
+        l: LoopId,
+    },
+    /// A loop's parent id is out of range.
+    LoopParentOutOfRange {
+        /// Offending function name.
+        func: String,
+        /// Offending loop.
+        l: LoopId,
+    },
+    /// A loop's depth disagrees with its parent chain.
+    LoopDepthInconsistent {
+        /// Offending function name.
+        func: String,
+        /// Offending loop.
+        l: LoopId,
+    },
+    /// A loop's induction register is out of range.
+    InductionOutOfRange {
+        /// Offending function name.
+        func: String,
+        /// Offending loop.
+        l: LoopId,
+        /// The out-of-range register.
+        reg: VReg,
+    },
+    /// A loop header fails to dominate a body or latch block, so the
+    /// "loop" is not a natural loop and iteration attribution (profiler,
+    /// dataflow analyses) would be meaningless.
+    HeaderDoesNotDominate {
+        /// Offending function name.
+        func: String,
+        /// Offending loop.
+        l: LoopId,
+        /// The body/latch block the header does not dominate.
+        block: BlockId,
+    },
+    /// Two functions share a name.
+    DuplicateFunctionName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// Two arrays share a name.
+    DuplicateArrayName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// An array is declared with zero elements.
+    ZeroLengthArray {
+        /// Offending array name.
+        name: String,
+    },
+}
 
 impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "IR verification failed: {}", self.0)
+        write!(f, "IR verification failed: ")?;
+        match self {
+            VerifyError::NoBlocks { func } => write!(f, "fn {func}: no blocks"),
+            VerifyError::ArityExceedsRegs { func, arity, num_regs } => {
+                write!(f, "fn {func}: arity {arity} exceeds register count {num_regs}")
+            }
+            VerifyError::BlockLoopLenMismatch { func } => {
+                write!(f, "fn {func}: block_loop length mismatch")
+            }
+            VerifyError::LinesNotParallel { func, block } => {
+                write!(f, "fn {func} block {}: lines not parallel to insts", block.0)
+            }
+            VerifyError::MissingTerminator { func, block } => {
+                write!(f, "fn {func} block {}: missing terminator", block.0)
+            }
+            VerifyError::TerminatorMidBlock { func, block, idx } => {
+                write!(f, "fn {func} block {} inst {idx}: terminator mid-block", block.0)
+            }
+            VerifyError::RegOutOfRange { func, block, idx, reg, is_def } => {
+                let what = if *is_def { "def" } else { "use" };
+                write!(f, "fn {func} block {} inst {idx}: {what} {reg} out of range", block.0)
+            }
+            VerifyError::BranchTargetOutOfRange { func, block, conditional } => {
+                let which = if *conditional { "condbr" } else { "br" };
+                write!(f, "fn {func} block {}: {which} target out of range", block.0)
+            }
+            VerifyError::UndeclaredArray { func, block, arr } => {
+                write!(f, "fn {func} block {}: array {arr} undeclared", block.0)
+            }
+            VerifyError::CallToMissingFunc { func, block, callee } => {
+                write!(f, "fn {func} block {}: call to missing fn {callee}", block.0)
+            }
+            VerifyError::CallArityMismatch { func, block, callee, args, arity } => {
+                write!(
+                    f,
+                    "fn {func} block {}: call to {callee} with {args} args, arity {arity}",
+                    block.0
+                )
+            }
+            VerifyError::LoopBlockOutOfRange { func, l } => {
+                write!(f, "fn {func} loop {}: block out of range", l.0)
+            }
+            VerifyError::LoopParentOutOfRange { func, l } => {
+                write!(f, "fn {func} loop {}: parent out of range", l.0)
+            }
+            VerifyError::LoopDepthInconsistent { func, l } => {
+                write!(f, "fn {func} loop {}: depth inconsistent with parent", l.0)
+            }
+            VerifyError::InductionOutOfRange { func, l, reg } => {
+                write!(f, "fn {func} loop {}: induction {reg} out of range", l.0)
+            }
+            VerifyError::HeaderDoesNotDominate { func, l, block } => {
+                write!(f, "fn {func} loop {}: header does not dominate block {}", l.0, block.0)
+            }
+            VerifyError::DuplicateFunctionName { name } => {
+                write!(f, "duplicate function name {name}")
+            }
+            VerifyError::DuplicateArrayName { name } => write!(f, "duplicate array name {name}"),
+            VerifyError::ZeroLengthArray { name } => write!(f, "array {name} has zero length"),
+        }
     }
 }
 
 impl std::error::Error for VerifyError {}
 
-fn err(msg: impl Into<String>) -> Result<(), VerifyError> {
-    Err(VerifyError(msg.into()))
-}
-
 /// Verify one function against its module.
 pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
     let nblocks = f.blocks.len();
+    let func = || f.name.clone();
     if nblocks == 0 {
-        return err(format!("fn {}: no blocks", f.name));
+        return Err(VerifyError::NoBlocks { func: func() });
     }
     if f.arity > f.num_regs {
-        return err(format!("fn {}: arity {} exceeds register count {}", f.name, f.arity, f.num_regs));
+        return Err(VerifyError::ArityExceedsRegs {
+            func: func(),
+            arity: f.arity,
+            num_regs: f.num_regs,
+        });
     }
     if f.block_loop.len() != nblocks {
-        return err(format!("fn {}: block_loop length mismatch", f.name));
+        return Err(VerifyError::BlockLoopLenMismatch { func: func() });
     }
     for (bi, blk) in f.blocks.iter().enumerate() {
+        let block = BlockId(bi as u32);
         if blk.insts.len() != blk.lines.len() {
-            return err(format!("fn {} block {bi}: lines not parallel to insts", f.name));
+            return Err(VerifyError::LinesNotParallel { func: func(), block });
         }
         if blk.terminator().is_none() {
-            return err(format!("fn {} block {bi}: missing terminator", f.name));
+            return Err(VerifyError::MissingTerminator { func: func(), block });
         }
         for (ii, inst) in blk.insts.iter().enumerate() {
             if inst.is_terminator() && ii + 1 != blk.insts.len() {
-                return err(format!("fn {} block {bi} inst {ii}: terminator mid-block", f.name));
+                return Err(VerifyError::TerminatorMidBlock { func: func(), block, idx: ii });
             }
             if let Some(d) = inst.def() {
                 if d.0 >= f.num_regs {
-                    return err(format!("fn {} block {bi} inst {ii}: def {d} out of range", f.name));
+                    return Err(VerifyError::RegOutOfRange {
+                        func: func(),
+                        block,
+                        idx: ii,
+                        reg: d,
+                        is_def: true,
+                    });
                 }
             }
             for u in inst.uses() {
                 if u.0 >= f.num_regs {
-                    return err(format!("fn {} block {bi} inst {ii}: use {u} out of range", f.name));
+                    return Err(VerifyError::RegOutOfRange {
+                        func: func(),
+                        block,
+                        idx: ii,
+                        reg: u,
+                        is_def: false,
+                    });
                 }
             }
             match inst {
                 Inst::Br { target }
                     if target.index() >= nblocks => {
-                        return err(format!("fn {} block {bi}: br target out of range", f.name));
+                        return Err(VerifyError::BranchTargetOutOfRange {
+                            func: func(),
+                            block,
+                            conditional: false,
+                        });
                     }
                 Inst::CondBr { then_blk, else_blk, .. }
                     if (then_blk.index() >= nblocks || else_blk.index() >= nblocks) => {
-                        return err(format!("fn {} block {bi}: condbr target out of range", f.name));
+                        return Err(VerifyError::BranchTargetOutOfRange {
+                            func: func(),
+                            block,
+                            conditional: true,
+                        });
                     }
                 Inst::Load { arr, .. } | Inst::Store { arr, .. }
                     if arr.index() >= m.arrays.len() => {
-                        return err(format!("fn {} block {bi}: array {arr} undeclared", f.name));
+                        return Err(VerifyError::UndeclaredArray { func: func(), block, arr: *arr });
                     }
-                Inst::Call { func, args, .. } => {
-                    let Some(callee) = m.funcs.get(func.index()) else {
-                        return err(format!("fn {} block {bi}: call to missing fn {}", f.name, func.0));
+                Inst::Call { func: callee, args, .. } => {
+                    let Some(target) = m.funcs.get(callee.index()) else {
+                        return Err(VerifyError::CallToMissingFunc {
+                            func: func(),
+                            block,
+                            callee: callee.0,
+                        });
                     };
-                    if args.len() != callee.arity as usize {
-                        return err(format!(
-                            "fn {} block {bi}: call to {} with {} args, arity {}",
-                            f.name,
-                            callee.name,
-                            args.len(),
-                            callee.arity
-                        ));
+                    if args.len() != target.arity as usize {
+                        return Err(VerifyError::CallArityMismatch {
+                            func: func(),
+                            block,
+                            callee: target.name.clone(),
+                            args: args.len(),
+                            arity: target.arity,
+                        });
                     }
                 }
                 _ => {}
             }
         }
     }
+    // Loop metadata: block ranges, parent chains, induction registers, and
+    // — once the ranges are known good — header dominance over the body.
     for info in &f.loops {
         for b in [info.header, info.latch, info.exit] {
             if b.index() >= nblocks {
-                return err(format!("fn {} loop {}: block out of range", f.name, info.id.0));
+                return Err(VerifyError::LoopBlockOutOfRange { func: func(), l: info.id });
             }
         }
         for b in &info.body {
             if b.index() >= nblocks {
-                return err(format!("fn {} loop {}: body block out of range", f.name, info.id.0));
+                return Err(VerifyError::LoopBlockOutOfRange { func: func(), l: info.id });
+            }
+        }
+        if let Some(iv) = info.induction {
+            if iv.0 >= f.num_regs {
+                return Err(VerifyError::InductionOutOfRange { func: func(), l: info.id, reg: iv });
             }
         }
         if let Some(p) = info.parent {
             if p.index() >= f.loops.len() {
-                return err(format!("fn {} loop {}: parent out of range", f.name, info.id.0));
+                return Err(VerifyError::LoopParentOutOfRange { func: func(), l: info.id });
             }
             if f.loops[p.index()].depth + 1 != info.depth {
-                return err(format!("fn {} loop {}: depth inconsistent with parent", f.name, info.id.0));
+                return Err(VerifyError::LoopDepthInconsistent { func: func(), l: info.id });
             }
         } else if info.depth != 0 {
-            return err(format!("fn {} loop {}: root loop with non-zero depth", f.name, info.id.0));
+            return Err(VerifyError::LoopDepthInconsistent { func: func(), l: info.id });
+        }
+    }
+    if !f.loops.is_empty() {
+        let dom = Dominators::compute(&Cfg::new(f));
+        for info in &f.loops {
+            for b in info.body.iter().copied().chain([info.latch]) {
+                if !dom.dominates(info.header, b) {
+                    return Err(VerifyError::HeaderDoesNotDominate {
+                        func: func(),
+                        l: info.id,
+                        block: b,
+                    });
+                }
+            }
         }
     }
     Ok(())
@@ -116,16 +382,16 @@ pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
     let mut names = std::collections::HashSet::new();
     for f in &m.funcs {
         if !names.insert(&f.name) {
-            return err(format!("duplicate function name {}", f.name));
+            return Err(VerifyError::DuplicateFunctionName { name: f.name.clone() });
         }
     }
     let mut anames = std::collections::HashSet::new();
     for a in &m.arrays {
         if a.len == 0 {
-            return err(format!("array {} has zero length", a.name));
+            return Err(VerifyError::ZeroLengthArray { name: a.name.clone() });
         }
         if !anames.insert(&a.name) {
-            return err(format!("duplicate array name {}", a.name));
+            return Err(VerifyError::DuplicateArrayName { name: a.name.clone() });
         }
     }
     for f in &m.funcs {
@@ -138,7 +404,7 @@ pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
 mod tests {
     use super::*;
     use crate::inst::Inst;
-    use crate::module::{Block, BlockId, Function};
+    use crate::module::{Block, BlockId, Function, LoopInfo};
     use crate::types::{Ty, VReg};
 
     fn minimal_fn(insts: Vec<Inst>) -> Function {
@@ -165,7 +431,8 @@ mod tests {
         let mut m = Module::new("t");
         m.funcs.push(minimal_fn(vec![Inst::Copy { dst: VReg(0), src: VReg(1) }]));
         let e = verify_module(&m).unwrap_err();
-        assert!(e.0.contains("missing terminator"), "{e}");
+        assert!(matches!(e, VerifyError::MissingTerminator { .. }), "{e}");
+        assert!(e.to_string().contains("missing terminator"), "{e}");
     }
 
     #[test]
@@ -176,7 +443,7 @@ mod tests {
             Inst::Ret { val: None },
         ]));
         let e = verify_module(&m).unwrap_err();
-        assert!(e.0.contains("terminator mid-block"), "{e}");
+        assert!(matches!(e, VerifyError::TerminatorMidBlock { idx: 0, .. }), "{e}");
     }
 
     #[test]
@@ -187,7 +454,11 @@ mod tests {
             Inst::Ret { val: None },
         ]));
         let e = verify_module(&m).unwrap_err();
-        assert!(e.0.contains("out of range"), "{e}");
+        assert!(
+            matches!(e, VerifyError::RegOutOfRange { reg: VReg(9), is_def: true, .. }),
+            "{e}"
+        );
+        assert!(e.to_string().contains("out of range"), "{e}");
     }
 
     #[test]
@@ -195,7 +466,11 @@ mod tests {
         let mut m = Module::new("t");
         m.funcs.push(minimal_fn(vec![Inst::Br { target: BlockId(5) }]));
         let e = verify_module(&m).unwrap_err();
-        assert!(e.0.contains("br target"), "{e}");
+        assert!(
+            matches!(e, VerifyError::BranchTargetOutOfRange { conditional: false, .. }),
+            "{e}"
+        );
+        assert!(e.to_string().contains("br target"), "{e}");
     }
 
     #[test]
@@ -206,7 +481,11 @@ mod tests {
             Inst::Ret { val: None },
         ]));
         let e = verify_module(&m).unwrap_err();
-        assert!(e.0.contains("undeclared"), "{e}");
+        assert!(
+            matches!(e, VerifyError::UndeclaredArray { arr: crate::types::ArrayId(0), .. }),
+            "{e}"
+        );
+        assert!(e.to_string().contains("undeclared"), "{e}");
     }
 
     #[test]
@@ -228,7 +507,7 @@ mod tests {
             block_loop: vec![None],
         });
         let e = verify_module(&m).unwrap_err();
-        assert!(e.0.contains("arity"), "{e}");
+        assert!(matches!(e, VerifyError::CallArityMismatch { args: 1, arity: 0, .. }), "{e}");
     }
 
     #[test]
@@ -238,10 +517,88 @@ mod tests {
         let mut f2 = minimal_fn(vec![Inst::Ret { val: None }]);
         f2.name = "f".into();
         m.funcs.push(f2);
-        assert!(verify_module(&m).unwrap_err().0.contains("duplicate"));
+        assert!(matches!(
+            verify_module(&m).unwrap_err(),
+            VerifyError::DuplicateFunctionName { .. }
+        ));
 
         let mut m2 = Module::new("t");
         m2.add_array("a", Ty::F64, 0);
-        assert!(verify_module(&m2).unwrap_err().0.contains("zero length"));
+        assert!(matches!(verify_module(&m2).unwrap_err(), VerifyError::ZeroLengthArray { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_induction() {
+        let mut m = Module::new("t");
+        let mut f = minimal_fn(vec![Inst::Ret { val: None }]);
+        f.loops.push(LoopInfo {
+            id: crate::module::LoopId(0),
+            header: BlockId(0),
+            body: vec![],
+            latch: BlockId(0),
+            exit: BlockId(0),
+            induction: Some(VReg(99)),
+            parent: None,
+            depth: 0,
+            line_span: (1, 2),
+        });
+        m.funcs.push(f);
+        let e = verify_module(&m).unwrap_err();
+        assert!(matches!(e, VerifyError::InductionOutOfRange { reg: VReg(99), .. }), "{e}");
+    }
+
+    #[test]
+    fn rejects_header_not_dominating_body() {
+        // Block 0 (entry) branches straight to block 2 ("body"), bypassing
+        // block 1 which the metadata claims is the loop header.
+        let mut m = Module::new("t");
+        let f = Function {
+            name: "f".into(),
+            arity: 0,
+            num_regs: 1,
+            blocks: vec![
+                Block { insts: vec![Inst::Br { target: BlockId(2) }], lines: vec![1] },
+                Block { insts: vec![Inst::Br { target: BlockId(2) }], lines: vec![2] },
+                Block { insts: vec![Inst::Ret { val: None }], lines: vec![3] },
+            ],
+            loops: vec![LoopInfo {
+                id: crate::module::LoopId(0),
+                header: BlockId(1),
+                body: vec![BlockId(2)],
+                latch: BlockId(2),
+                exit: BlockId(2),
+                induction: None,
+                parent: None,
+                depth: 0,
+                line_span: (1, 3),
+            }],
+            block_loop: vec![None, Some(crate::module::LoopId(0)), Some(crate::module::LoopId(0))],
+        };
+        m.funcs.push(f);
+        let e = verify_module(&m).unwrap_err();
+        assert!(
+            matches!(e, VerifyError::HeaderDoesNotDominate { block: BlockId(2), .. }),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn builder_loops_satisfy_dominance() {
+        use crate::inst::BinOp;
+        let mut m = Module::new("t");
+        let a = m.add_array("a", Ty::F64, 8);
+        let mut b = crate::FunctionBuilder::new(&mut m, "main", 0);
+        let (lo, hi, st) = (b.const_i64(0), b.const_i64(8), b.const_i64(1));
+        b.for_loop(lo, hi, st, |b, i| {
+            let x = b.load(a, i);
+            let one = b.const_i64(1);
+            let c = b.bin(BinOp::CmpLt, x, one);
+            b.if_then(c, |b| {
+                let y = b.bin(BinOp::Add, x, x);
+                b.store(a, i, y);
+            });
+        });
+        b.finish();
+        verify_module(&m).unwrap();
     }
 }

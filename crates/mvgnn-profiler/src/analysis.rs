@@ -255,12 +255,9 @@ pub fn classify_loop(module: &Module, func: FuncId, l: LoopId, deps: &DepGraph) 
     if carried.is_empty() && comm_acc.is_empty() && non_comm_acc.is_empty() {
         return LoopClass::DoAll;
     }
-    if !non_comm_acc.is_empty() {
+    if let Some(reg) = non_comm_acc.iter().map(|r| r.0).min() {
         return LoopClass::NotParallel {
-            reason: format!(
-                "non-commutative scalar recurrence on %{}",
-                non_comm_acc.iter().map(|r| r.0).min().expect("non-empty")
-            ),
+            reason: format!("non-commutative scalar recurrence on %{reg}"),
         };
     }
     // All carried memory deps must lie on reduction chains.

@@ -214,7 +214,7 @@ pub fn build_cus(module: &Module) -> CuGraph {
 
         // Tokens: singleton -> inst token; compute -> dominant member token.
         for cu in cus.iter_mut().filter(|c| c.func == func) {
-            let tokens: Vec<String> = cu
+            let mut tokens: Vec<String> = cu
                 .members
                 .iter()
                 .map(|r| {
@@ -222,8 +222,8 @@ pub fn build_cus(module: &Module) -> CuGraph {
                     insts[i].1.token()
                 })
                 .collect();
-            cu.token = if tokens.len() == 1 {
-                tokens.into_iter().next().expect("singleton")
+            cu.token = if let [_] = tokens.as_slice() {
+                tokens.swap_remove(0)
             } else {
                 // Dominant (most frequent, ties by lexicographic order).
                 let mut counts: HashMap<&str, usize> = HashMap::new();

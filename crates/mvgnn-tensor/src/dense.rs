@@ -206,7 +206,7 @@ fn tanh_branchless(x: f32) -> f32 {
 }
 
 /// Elementwise `tanh` of a slice into a fresh vec (vectorised; see
-/// [`tanh_branchless`] for the numerics).
+/// `tanh_branchless` for the numerics).
 pub fn tanh_vec(x: &[f32]) -> Vec<f32> {
     x.iter().map(|&v| tanh_branchless(v)).collect()
 }

@@ -23,6 +23,7 @@ fn main() {
         sample: Default::default(),
         seed: 0xfa17,
         label_noise: 0.0,
+        static_features: false,
     });
     let probe = &ds.train[0].sample;
     let cfg = MvGnnConfig::small(probe.node_dim, probe.aw_vocab);

@@ -22,6 +22,7 @@ fn main() {
         sample: Default::default(),
         seed: 0x5a5e,
         label_noise: 0.0,
+        static_features: false,
     });
     let probe = &ds.train[0].sample;
     let cfg = MvGnnConfig::small(probe.node_dim, probe.aw_vocab);

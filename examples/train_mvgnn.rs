@@ -22,6 +22,7 @@ fn main() {
         sample: Default::default(),
         seed: 0xf00d,
         label_noise: 0.03,
+        static_features: false,
     };
     println!("building corpus…");
     let ds = build_corpus(&corpus);

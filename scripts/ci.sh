@@ -25,6 +25,12 @@ cargo run --release -p mvgnn-bench --bin throughput --quiet -- --smoke
 echo "==> alloc smoke (pooled steady state stays under budget)"
 cargo run --release -p mvgnn-bench --features count-allocs --bin throughput --quiet -- --alloc-smoke
 
+echo "==> corpus label audit (static oracle vs profiler, smoke slice)"
+cargo run --release -p mvgnn-bench --bin lint --quiet -- --smoke
+
+echo "==> rustdoc (-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> panic-site ratchet"
 bash scripts/panic_audit.sh
 

@@ -1,6 +1,7 @@
 //! # mvgnn — Multi-View GNN Parallelism Discovery
 //!
 //! Facade crate re-exporting the full workspace. See the README for a tour.
+pub use mvgnn_analyze as analyze;
 pub use mvgnn_baselines as baselines;
 pub use mvgnn_core as core;
 pub use mvgnn_dataset as dataset;

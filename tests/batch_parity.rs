@@ -144,6 +144,7 @@ fn trained_model_predictions_match_across_test_split() {
         sample: Default::default(),
         seed: 0xfeed,
         label_noise: 0.0,
+        static_features: false,
     });
     let probe = &ds.train[0].sample;
     let mut model = MvGnn::new(MvGnnConfig::small(probe.node_dim, probe.aw_vocab));

@@ -25,6 +25,7 @@ fn trained_model_and_split() -> (Arc<MvGnn>, mvgnn::dataset::Dataset) {
         sample: Default::default(),
         seed: 0xc0de,
         label_noise: 0.0,
+        static_features: false,
     });
     let probe = &ds.train[0].sample;
     let mut model = MvGnn::new(MvGnnConfig::small(probe.node_dim, probe.aw_vocab));

@@ -19,6 +19,7 @@ fn cfg() -> CorpusConfig {
         sample: Default::default(),
         seed: 0xd00d,
         label_noise: 0.0,
+        static_features: false,
     }
 }
 

@@ -23,6 +23,7 @@ fn tiny_corpus(suite: Option<Suite>, per_class: usize) -> mvgnn::dataset::Datase
         sample: Default::default(),
         seed: 0xbeef,
         label_noise: 0.0,
+        static_features: false,
     })
 }
 

@@ -69,6 +69,7 @@ fn tiny_dataset() -> mvgnn::dataset::Dataset {
         sample: Default::default(),
         seed: 5,
         label_noise: 0.0,
+        static_features: false,
     })
 }
 

@@ -44,7 +44,7 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Run `routine` [`ITERS`] times, keeping the fastest wall time.
+    /// Run `routine` `ITERS` times, keeping the fastest wall time.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         for _ in 0..ITERS {
             let start = Instant::now();
