@@ -7,22 +7,35 @@ use mvgnn_core::trainer::{evaluate, train};
 use mvgnn_dataset::build_corpus;
 use mvgnn_tensor::tape::Tape;
 
+/// Parse an override from the environment, exiting with a usable message
+/// on garbage instead of panicking.
+fn env_override<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("fatal: {name}={raw:?} does not parse");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let mut cfg = pipeline_config(Scale::Default);
-    if let Ok(lr) = std::env::var("DIAG_LR") {
-        cfg.train.lr = lr.parse().expect("DIAG_LR");
+    if let Some(lr) = env_override("DIAG_LR") {
+        cfg.train.lr = lr;
     }
-    if let Ok(e) = std::env::var("DIAG_EPOCHS") {
-        cfg.train.epochs = e.parse().expect("DIAG_EPOCHS");
+    if let Some(e) = env_override("DIAG_EPOCHS") {
+        cfg.train.epochs = e;
     }
-    if let Ok(c) = std::env::var("DIAG_CLIP") {
-        cfg.train.clip = c.parse().expect("DIAG_CLIP");
+    if let Some(c) = env_override("DIAG_CLIP") {
+        cfg.train.clip = c;
     }
-    if let Ok(b) = std::env::var("DIAG_BATCH") {
-        cfg.train.batch_size = b.parse().expect("DIAG_BATCH");
+    if let Some(b) = env_override("DIAG_BATCH") {
+        cfg.train.batch_size = b;
     }
-    if let Ok(a) = std::env::var("DIAG_AUX") {
-        cfg.train.aux_weight = a.parse().expect("DIAG_AUX");
+    if let Some(a) = env_override("DIAG_AUX") {
+        cfg.train.aux_weight = a;
     }
     eprintln!("lr {} epochs {} clip {} batch {} aux {}", cfg.train.lr, cfg.train.epochs, cfg.train.clip, cfg.train.batch_size, cfg.train.aux_weight);
     let ds = build_corpus(&cfg.corpus);
@@ -57,8 +70,9 @@ fn main() {
     for e in stats.iter().step_by(5) {
         println!("epoch {:>3} loss {:.4} train-acc {:.3}", e.epoch, e.loss, e.accuracy);
     }
-    let last = stats.last().unwrap();
-    println!("final train acc {:.3}", last.accuracy);
+    if let Some(last) = stats.last() {
+        println!("final train acc {:.3}", last.accuracy);
+    }
     let m = evaluate(&model, &ds.test);
     println!("test: {m}");
     // Per-(suite, pattern) error census on the evaluation pool.

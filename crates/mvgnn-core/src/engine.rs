@@ -19,6 +19,7 @@
 //! head is re-run through single-sample inference, so its verdict is
 //! decided in isolation from its batch-mates.
 
+use crate::error::MvGnnError;
 use crate::model::{CheckedPrediction, MvGnn};
 use mvgnn_embed::GraphSample;
 use mvgnn_tensor::Workspace;
@@ -43,6 +44,24 @@ impl Default for EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// Check the configuration for degenerate values. `threads == 0` and
+    /// `batch_size == 0` are configuration mistakes, not tuning choices —
+    /// both would otherwise reach the dispatcher and silently behave as
+    /// one. Long-running callers (the `mvgnn-serve` front door) construct
+    /// engines through [`InferenceEngine::try_new`], which rejects them
+    /// here as a typed [`MvGnnError::Config`].
+    pub fn validate(&self) -> Result<(), MvGnnError> {
+        if self.threads == 0 {
+            return Err(MvGnnError::Config("engine threads must be >= 1 (got 0)".into()));
+        }
+        if self.batch_size == 0 {
+            return Err(MvGnnError::Config("engine batch_size must be >= 1 (got 0)".into()));
+        }
+        Ok(())
+    }
+}
+
 /// Order-preserving concurrent inference over a shared model.
 ///
 /// Each worker checks a [`Workspace`] out of a shared pool for the
@@ -58,13 +77,22 @@ pub struct InferenceEngine {
 
 impl InferenceEngine {
     /// Build an engine over a shared model. Zero `threads`/`batch_size`
-    /// are treated as 1.
+    /// are treated as 1 — interactive callers get a working engine no
+    /// matter what; services that would rather fail loudly use
+    /// [`Self::try_new`].
     pub fn new(model: Arc<MvGnn>, cfg: EngineConfig) -> Self {
         let cfg = EngineConfig {
             threads: cfg.threads.max(1),
             batch_size: cfg.batch_size.max(1),
         };
         Self { model, cfg, workspaces: Arc::new(Mutex::new(Vec::new())) }
+    }
+
+    /// Build an engine, rejecting a degenerate [`EngineConfig`] with a
+    /// typed [`MvGnnError::Config`] instead of clamping it.
+    pub fn try_new(model: Arc<MvGnn>, cfg: EngineConfig) -> Result<Self, MvGnnError> {
+        cfg.validate()?;
+        Ok(Self { model, cfg, workspaces: Arc::new(Mutex::new(Vec::new())) })
     }
 
     /// The shared model.
@@ -196,24 +224,53 @@ impl InferenceEngine {
     /// batched verdict shows a non-finite head is re-run alone, so its
     /// degradation is judged by the single-sample path.
     pub fn predict_checked_stream(&self, samples: &[&GraphSample]) -> Vec<CheckedPrediction> {
-        self.fan_out(samples, |ws, chunk| {
-            self.model
-                .predict_checked_batch_ws(ws, chunk)
-                .into_iter()
-                .zip(chunk)
-                .map(|(checked, s)| {
-                    let faulty = checked.fused.is_none()
-                        || checked.node.is_none()
-                        || checked.structural.is_none();
-                    if faulty {
-                        self.model.predict_checked(s)
-                    } else {
-                        checked
-                    }
-                })
-                .collect()
-        })
+        self.fan_out(samples, |ws, chunk| checked_isolated(&self.model, ws, chunk))
     }
+
+    /// Run one already-coalesced batch through a pooled workspace with
+    /// the per-row fault isolation of [`Self::predict_checked_stream`].
+    ///
+    /// This is the dispatch hook for external batching layers (the
+    /// `mvgnn-serve` micro-batcher): the caller owns arrival coalescing
+    /// and deadline accounting and hands over a ready batch; the engine
+    /// owns execution and workspace pooling, so steady-state calls
+    /// allocate nothing. The batch is executed as-is on the calling
+    /// thread — no chunking, no fan-out — which keeps the f32 summation
+    /// order a function of the batch contents alone.
+    pub fn classify_batch(&self, samples: &[&GraphSample]) -> Vec<CheckedPrediction> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let mut ws = self.checkout();
+        let out = checked_isolated(&self.model, &mut ws, samples);
+        self.checkin(ws);
+        out
+    }
+}
+
+/// Checked predictions for one packed batch, re-running any row whose
+/// batched verdict shows a non-finite head through single-sample
+/// inference so its degradation is decided in isolation.
+fn checked_isolated(
+    model: &MvGnn,
+    ws: &mut Workspace,
+    chunk: &[&GraphSample],
+) -> Vec<CheckedPrediction> {
+    model
+        .predict_checked_batch_ws(ws, chunk)
+        .into_iter()
+        .zip(chunk)
+        .map(|(checked, s)| {
+            let faulty = checked.fused.is_none()
+                || checked.node.is_none()
+                || checked.structural.is_none();
+            if faulty {
+                model.predict_checked(s)
+            } else {
+                checked
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -304,6 +361,43 @@ mod tests {
         let samples: Vec<&mvgnn_embed::GraphSample> =
             ds.test.iter().take(3).map(|s| &s.sample).collect();
         assert_eq!(eng.predict_stream(&samples).len(), 3);
+    }
+
+    #[test]
+    fn degenerate_config_is_a_typed_error() {
+        let ds = tiny_dataset();
+        let model = Arc::new(tiny_model(&ds));
+        for cfg in [
+            EngineConfig { threads: 0, batch_size: 8 },
+            EngineConfig { threads: 2, batch_size: 0 },
+        ] {
+            assert!(matches!(cfg.validate(), Err(MvGnnError::Config(_))), "{cfg:?}");
+            assert!(matches!(
+                InferenceEngine::try_new(Arc::clone(&model), cfg),
+                Err(MvGnnError::Config(_))
+            ));
+        }
+        let ok = EngineConfig { threads: 2, batch_size: 8 };
+        assert!(ok.validate().is_ok());
+        assert!(InferenceEngine::try_new(model, ok).is_ok());
+    }
+
+    #[test]
+    fn classify_batch_matches_the_stream_path() {
+        let ds = tiny_dataset();
+        let model = Arc::new(tiny_model(&ds));
+        let samples: Vec<&mvgnn_embed::GraphSample> =
+            ds.test.iter().take(5).map(|s| &s.sample).collect();
+        let eng = InferenceEngine::new(
+            Arc::clone(&model),
+            EngineConfig { threads: 1, batch_size: 5 },
+        );
+        assert_eq!(eng.classify_batch(&samples), eng.predict_checked_stream(&samples));
+        assert!(eng.classify_batch(&[]).is_empty());
+        // The pooled workspace is parked again after the call.
+        let resident_before = eng.workspace_stats().resident;
+        let _ = eng.classify_batch(&samples);
+        assert!(eng.workspace_stats().resident >= resident_before);
     }
 
     #[test]

@@ -107,6 +107,59 @@ impl FaultPlan {
         let mut state = self.seed ^ 0x2545_f491_4f6c_dd1d;
         5 + splitmix(&mut state) % 20
     }
+
+    /// `n` interarrival gaps (µs) of a Poisson arrival process with mean
+    /// rate `rate_per_sec`: i.i.d. exponential draws, seed-keyed, capped
+    /// at 60 s so a tiny rate cannot stall a harness forever.
+    pub fn poisson_interarrival_micros(&self, rate_per_sec: f64, n: usize) -> Vec<u64> {
+        let mut state = self.seed ^ 0x6c62_272e_07bb_0142;
+        let mean_us = 1_000_000.0 / rate_per_sec.max(1e-9);
+        (0..n)
+            .map(|_| (-unit(&mut state).ln() * mean_us).min(60_000_000.0) as u64)
+            .collect()
+    }
+
+    /// Bursty storm gaps (µs): arrivals land in back-to-back volleys of
+    /// `burst`, separated by exponential lulls sized so the long-run mean
+    /// rate is still `rate_per_sec`. The degenerate `burst <= 1` case is
+    /// plain Poisson.
+    pub fn bursty_interarrival_micros(
+        &self,
+        rate_per_sec: f64,
+        burst: usize,
+        n: usize,
+    ) -> Vec<u64> {
+        let burst = burst.max(1);
+        if burst == 1 {
+            return self.poisson_interarrival_micros(rate_per_sec, n);
+        }
+        let mut state = self.seed ^ 0x9ae1_6a3b_2f90_404f;
+        let volley_mean_us = burst as f64 * 1_000_000.0 / rate_per_sec.max(1e-9);
+        (0..n)
+            .map(|i| {
+                if i % burst == 0 {
+                    (-unit(&mut state).ln() * volley_mean_us).min(60_000_000.0) as u64
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
+    /// Seed-keyed Bernoulli: whether event `i` is selected for fault
+    /// injection at probability `frac`. Deterministic per `(seed, i)` and
+    /// independent of evaluation order, so a storm can decide per-request
+    /// malformation without sharing mutable RNG state across clients.
+    pub fn selects(&self, i: u64, frac: f64) -> bool {
+        let mut state =
+            self.seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x853c_49e6_748f_ea9b;
+        unit(&mut state) <= frac.clamp(0.0, 1.0)
+    }
+}
+
+/// Uniform draw in (0, 1] — never exactly 0, so `ln()` is always finite.
+fn unit(state: &mut u64) -> f64 {
+    (((splitmix(state) >> 11) + 1) as f64) / (1u64 << 53) as f64
 }
 
 #[cfg(test)]
@@ -139,6 +192,34 @@ mod tests {
             .map(|id| params.data(id).iter().filter(|x| x.is_nan()).count())
             .sum();
         assert!(poisoned >= 1, "expected at least one NaN");
+    }
+
+    #[test]
+    fn arrival_storms_are_deterministic_and_shaped() {
+        let plan = FaultPlan::new(7);
+        let a = plan.poisson_interarrival_micros(1000.0, 256);
+        assert_eq!(a, plan.poisson_interarrival_micros(1000.0, 256));
+        // Mean gap of a 1 kHz process is ~1000 µs; allow wide slack.
+        let mean = a.iter().sum::<u64>() as f64 / a.len() as f64;
+        assert!((200.0..5000.0).contains(&mean), "mean gap {mean}");
+
+        let b = plan.bursty_interarrival_micros(1000.0, 8, 64);
+        assert_eq!(b, plan.bursty_interarrival_micros(1000.0, 8, 64));
+        // Within a volley the gaps collapse to zero.
+        for (i, gap) in b.iter().enumerate() {
+            if i % 8 != 0 {
+                assert_eq!(*gap, 0, "gap {i} inside a volley");
+            }
+        }
+        assert!(b.iter().any(|&g| g > 0), "volleys must be separated");
+
+        // Bernoulli selection is per-index deterministic and monotone-ish
+        // in frac at the extremes.
+        assert!((0..64).all(|i| !plan.selects(i, 0.0)));
+        assert!((0..64).all(|i| plan.selects(i, 1.0)));
+        let picked: Vec<u64> = (0..256).filter(|&i| plan.selects(i, 0.25)).collect();
+        assert!(!picked.is_empty() && picked.len() < 256);
+        assert_eq!(picked, (0..256).filter(|&i| plan.selects(i, 0.25)).collect::<Vec<_>>());
     }
 
     #[test]

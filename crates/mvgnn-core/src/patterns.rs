@@ -15,7 +15,12 @@ pub const PATTERN_CLASSES: [PatternKind; 4] =
 
 /// Class index of a pattern.
 pub fn pattern_class(p: PatternKind) -> usize {
-    PATTERN_CLASSES.iter().position(|&q| q == p).expect("known pattern")
+    match p {
+        PatternKind::DoAll => 0,
+        PatternKind::Reduction => 1,
+        PatternKind::Serial => 2,
+        PatternKind::Task => 3,
+    }
 }
 
 /// Configure a 4-class MV-GNN for pattern classification.

@@ -1,0 +1,79 @@
+//! Per-request deadlines, propagated from admission to dispatch.
+//!
+//! A [`Deadline`] is an absolute wall-clock point (or "none"): it is
+//! fixed when the client builds the request, travels with the request
+//! through the submission queue, and is re-checked at every stage that
+//! could otherwise spend work on an answer nobody is waiting for —
+//! admission, the in-queue expiry sweep when a micro-batch is drained,
+//! and the frontend path's inter-stage checks.
+
+use std::time::{Duration, Instant};
+
+/// An absolute per-request deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// No deadline: the request waits as long as it takes.
+    pub fn none() -> Self {
+        Self { at: None }
+    }
+
+    /// A deadline `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Self { at: Instant::now().checked_add(budget) }
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(at: Instant) -> Self {
+        Self { at: Some(at) }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        match self.at {
+            Some(at) => Instant::now() >= at,
+            None => false,
+        }
+    }
+
+    /// Time left before expiry: `None` means unbounded, `Some(0)` means
+    /// already expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at.map(|at| at.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn zero_budget_is_immediately_expired() {
+        let d = Deadline::within(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_budget_is_live() {
+        let d = Deadline::within(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining().unwrap() > Duration::from_secs(3000));
+    }
+}

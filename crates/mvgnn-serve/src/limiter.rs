@@ -1,0 +1,187 @@
+//! Admission control: a token limiter that sheds load instead of
+//! queueing it unboundedly.
+//!
+//! Every request holds one token from admission to completion (queued
+//! *and* executing), so `capacity` bounds the total outstanding work of
+//! the service. When the tokens run out, [`Limiter::try_acquire`]
+//! returns a typed [`ServeError::Overloaded`] whose `retry_after` is an
+//! honest estimate of the backlog drain time: current in-flight count ×
+//! an EWMA of the recently observed per-request service time. The
+//! batcher feeds that EWMA after every dispatched micro-batch, so the
+//! hint tracks the actual serving rate, batched or not.
+
+use crate::response::ServeError;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fixed-point scale of the EWMA (µs × 1024), so sub-microsecond
+/// per-request times survive integer storage.
+const EWMA_SCALE: u64 = 1024;
+
+/// EWMA smoothing: `new = old + (obs - old) / EWMA_DECAY`.
+const EWMA_DECAY: u64 = 8;
+
+/// Token-based admission limiter with shed accounting.
+#[derive(Debug)]
+pub struct Limiter {
+    capacity: usize,
+    inflight: AtomicUsize,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    /// EWMA of per-request service time, in µs × [`EWMA_SCALE`].
+    ewma_service: AtomicU64,
+}
+
+/// Point-in-time counters of a [`Limiter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LimiterStats {
+    /// Requests currently holding a token.
+    pub inflight: usize,
+    /// Tokens ever granted.
+    pub admitted: u64,
+    /// Requests shed for want of a token.
+    pub shed: u64,
+}
+
+impl Limiter {
+    /// A limiter with `capacity` tokens. Zero capacity admits nothing —
+    /// [`crate::ServeConfig::validate`] rejects it upstream.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inflight: AtomicUsize::new(0),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            // Seed the estimate at 100 µs so the very first shed still
+            // carries a plausible, non-zero retry hint.
+            ewma_service: AtomicU64::new(100 * EWMA_SCALE),
+        }
+    }
+
+    /// Acquire a token or shed with a typed overload response.
+    pub fn try_acquire(self: &Arc<Self>) -> Result<Permit, ServeError> {
+        let mut cur = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.capacity {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    retry_after: self.retry_after(cur),
+                    inflight: cur,
+                });
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.admitted.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Permit { limiter: Arc::clone(self) });
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Estimated drain time of `backlog` outstanding requests at the
+    /// observed service rate.
+    pub fn retry_after(&self, backlog: usize) -> Duration {
+        let per_req_us = self.ewma_service.load(Ordering::Relaxed) / EWMA_SCALE;
+        Duration::from_micros(per_req_us.saturating_mul(backlog.max(1) as u64).max(1))
+    }
+
+    /// Feed the service-time estimate: `n` requests were served in
+    /// `elapsed` (one micro-batch, or one frontend request with `n = 1`).
+    pub fn observe(&self, n: usize, elapsed: Duration) {
+        if n == 0 {
+            return;
+        }
+        let obs = (elapsed.as_micros() as u64).saturating_mul(EWMA_SCALE) / n as u64;
+        let mut cur = self.ewma_service.load(Ordering::Relaxed);
+        loop {
+            let next = if cur == 0 {
+                obs
+            } else {
+                // Signed update without casts going out of range.
+                let step = (obs as i64 - cur as i64) / EWMA_DECAY as i64;
+                (cur as i64 + step).max(1) as u64
+            };
+            match self.ewma_service.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> LimiterStats {
+        LimiterStats {
+            inflight: self.inflight.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total token capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// An admission token; dropping it releases the slot.
+#[derive(Debug)]
+pub struct Permit {
+    limiter: Arc<Limiter>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.limiter.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sheds_past_capacity_and_releases_on_drop() {
+        let lim = Arc::new(Limiter::new(2));
+        let a = lim.try_acquire().unwrap();
+        let b = lim.try_acquire().unwrap();
+        match lim.try_acquire() {
+            Err(ServeError::Overloaded { retry_after, inflight }) => {
+                assert_eq!(inflight, 2);
+                assert!(retry_after > Duration::ZERO);
+            }
+            other => panic!("expected overload, got {other:?}"),
+        }
+        assert_eq!(lim.stats().shed, 1);
+        drop(a);
+        let c = lim.try_acquire().unwrap();
+        drop(b);
+        drop(c);
+        assert_eq!(lim.stats().inflight, 0);
+        assert_eq!(lim.stats().admitted, 3);
+    }
+
+    #[test]
+    fn ewma_tracks_observed_service_time() {
+        let lim = Arc::new(Limiter::new(4));
+        for _ in 0..64 {
+            lim.observe(32, Duration::from_micros(32_000)); // 1 ms per request
+        }
+        let hint = lim.retry_after(10);
+        assert!(
+            hint >= Duration::from_micros(5_000) && hint <= Duration::from_millis(50),
+            "{hint:?}"
+        );
+    }
+}

@@ -1,0 +1,440 @@
+//! The request front door: admission, submission, and lifecycle.
+//!
+//! A [`Server`] owns a [`mvgnn_core::InferenceEngine`] (and with it the
+//! pooled workspaces), a token [`Limiter`], a
+//! bounded submission queue, and one or more micro-batching workers.
+//! Two request paths exist:
+//!
+//! - **Sample path** ([`Server::classify`] / [`Server::submit`]): a
+//!   pre-featurised loop sample rides the micro-batcher, so bursts of
+//!   concurrent singles are served at packed-batch throughput.
+//! - **Source path** ([`Server::classify_source`]): a source program is
+//!   compiled, profiled, and classified per-loop on the caller's thread
+//!   under the same admission token, with the per-loop degradation of
+//!   [`mvgnn_core::classify_module`] and a shared
+//!   [`FeatureCache`] hit-through.
+//!
+//! Overload is never unbounded queueing: a request either gets a token
+//! and a queue slot, or a typed [`ServeError::Overloaded`] with a
+//! retry-after hint derived from the observed service rate.
+
+use crate::batcher::{panic_message, worker_loop, Batcher, Request, Slot};
+use crate::deadline::Deadline;
+use crate::limiter::{Limiter, LimiterStats};
+use crate::response::{
+    Classification, DeadlineStage, ModuleClassification, ServeError, ServeResult,
+};
+use mvgnn_core::{classify_module_cached, EngineConfig, InferenceEngine, MvGnn, MvGnnError};
+use mvgnn_embed::{FeatureCache, GraphSample, Inst2Vec, SampleConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the serving layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Micro-batch flush size: a filling batch is dispatched as soon as
+    /// this many requests have coalesced.
+    pub max_batch: usize,
+    /// Micro-batch flush deadline: a batch seeded by one arrival waits
+    /// at most this long for company before dispatching anyway.
+    pub max_delay: Duration,
+    /// Bound of the submission queue; arrivals past it are shed.
+    pub max_queue: usize,
+    /// Token capacity of the admission limiter — total outstanding
+    /// requests (queued + executing) across both request paths.
+    pub max_inflight: usize,
+    /// Micro-batching worker threads.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_delay: Duration::from_micros(500),
+            max_queue: 256,
+            max_inflight: 512,
+            workers: 1,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reject degenerate configurations with a typed
+    /// [`MvGnnError::Config`] before any thread is spawned.
+    pub fn validate(&self) -> Result<(), MvGnnError> {
+        if self.max_batch == 0 {
+            return Err(MvGnnError::Config("serve max_batch must be >= 1 (got 0)".into()));
+        }
+        if self.max_queue == 0 {
+            return Err(MvGnnError::Config("serve max_queue must be >= 1 (got 0)".into()));
+        }
+        if self.workers == 0 {
+            return Err(MvGnnError::Config("serve workers must be >= 1 (got 0)".into()));
+        }
+        if self.max_inflight < self.max_batch {
+            return Err(MvGnnError::Config(format!(
+                "serve max_inflight ({}) must cover at least one full batch ({})",
+                self.max_inflight, self.max_batch
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Frontend configuration for the source-program path.
+pub struct Frontend {
+    /// Token embedding used for featurisation (must match the model's
+    /// training embedding).
+    pub inst2vec: Inst2Vec,
+    /// Walk/assembly configuration of the featuriser.
+    pub sample_cfg: SampleConfig,
+    /// Capacity of the shared [`FeatureCache`] (entries).
+    pub cache_capacity: usize,
+    /// Default interpreter step budget (None = interpreter default).
+    pub max_steps: Option<u64>,
+    /// Default interpreter call-depth budget.
+    pub max_call_depth: Option<u32>,
+}
+
+struct FrontendState {
+    inst2vec: Inst2Vec,
+    sample_cfg: SampleConfig,
+    cache: Mutex<FeatureCache>,
+    max_steps: Option<u64>,
+    max_call_depth: Option<u32>,
+}
+
+/// Monotonic counters merged across the server's layers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests presented to either path (before any gate).
+    pub submitted: u64,
+    /// Requests granted an admission token.
+    pub admitted: u64,
+    /// Requests shed by the limiter or the queue bound.
+    pub shed: u64,
+    /// Requests dropped in-queue at drain time for an expired deadline.
+    pub expired: u64,
+    /// Requests refused as structurally unusable.
+    pub rejected: u64,
+    /// Source-path requests refused with a typed compile error.
+    pub compile_errors: u64,
+    /// Dispatch panics caught and converted to typed internal faults.
+    pub panics_caught: u64,
+    /// Micro-batches dispatched.
+    pub batches: u64,
+    /// Requests served through micro-batches.
+    pub batched_requests: u64,
+    /// Tokens currently held.
+    pub inflight: usize,
+    /// Submission-queue depth right now.
+    pub queue_depth: usize,
+}
+
+impl ServeStats {
+    /// Mean requests per dispatched micro-batch.
+    pub fn mean_fill(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batched_requests as f64 / self.batches as f64
+    }
+}
+
+struct Shared {
+    engine: InferenceEngine,
+    batcher: Batcher,
+    limiter: Arc<Limiter>,
+    frontend: Option<FrontendState>,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    queue_shed: AtomicU64,
+    compile_errors: AtomicU64,
+    frontend_panics: AtomicU64,
+}
+
+/// A long-running, overload-safe classification service over a shared
+/// model. Dropping the server drains and joins its workers.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Handle for one in-flight sample-path request; redeem with
+/// [`Ticket::wait`]. Open-loop clients hold a batch of tickets and
+/// collect them later — arrivals are then decoupled from completions.
+pub struct Ticket {
+    slot: Arc<Slot>,
+    submitted_at: Instant,
+}
+
+impl Ticket {
+    /// Block until the service answers. Every admitted request is
+    /// answered — with a classification, a typed expiry, or a typed
+    /// internal fault — so this cannot hang on a live server.
+    pub fn wait(self) -> ServeResult<Classification> {
+        self.slot.wait()
+    }
+
+    /// When the request was admitted.
+    pub fn submitted_at(&self) -> Instant {
+        self.submitted_at
+    }
+}
+
+impl Server {
+    /// Start a sample-path-only server.
+    pub fn start(model: Arc<MvGnn>, cfg: ServeConfig) -> Result<Self, MvGnnError> {
+        Self::start_inner(model, cfg, None)
+    }
+
+    /// Start a server with the source-program frontend enabled.
+    pub fn start_with_frontend(
+        model: Arc<MvGnn>,
+        frontend: Frontend,
+        cfg: ServeConfig,
+    ) -> Result<Self, MvGnnError> {
+        let state = FrontendState {
+            inst2vec: frontend.inst2vec,
+            sample_cfg: frontend.sample_cfg,
+            cache: Mutex::new(FeatureCache::new(frontend.cache_capacity.max(1))),
+            max_steps: frontend.max_steps,
+            max_call_depth: frontend.max_call_depth,
+        };
+        Self::start_inner(model, cfg, Some(state))
+    }
+
+    fn start_inner(
+        model: Arc<MvGnn>,
+        cfg: ServeConfig,
+        frontend: Option<FrontendState>,
+    ) -> Result<Self, MvGnnError> {
+        cfg.validate()?;
+        let engine = InferenceEngine::try_new(
+            model,
+            EngineConfig { threads: 1, batch_size: cfg.max_batch },
+        )?;
+        let shared = Arc::new(Shared {
+            engine,
+            batcher: Batcher::new(cfg.max_batch, cfg.max_delay, cfg.max_queue),
+            limiter: Arc::new(Limiter::new(cfg.max_inflight)),
+            frontend,
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            queue_shed: AtomicU64::new(0),
+            compile_errors: AtomicU64::new(0),
+            frontend_panics: AtomicU64::new(0),
+        });
+        let workers: Vec<_> = (0..cfg.workers)
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mvgnn-serve-{i}"))
+                    .spawn(move || worker_loop(&sh.batcher, &sh.engine, &sh.limiter))
+                    .map_err(MvGnnError::Io)
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(Self { shared, workers: Mutex::new(workers) })
+    }
+
+    /// Submit one featurised loop for classification; returns a
+    /// [`Ticket`] immediately (open-loop submission).
+    pub fn submit(
+        &self,
+        sample: Arc<GraphSample>,
+        deadline: Deadline,
+    ) -> ServeResult<Ticket> {
+        let sh = &self.shared;
+        sh.submitted.fetch_add(1, Ordering::Relaxed);
+        if sh.batcher.shutting_down() {
+            return Err(ServeError::ShuttingDown);
+        }
+        if deadline.expired() {
+            return Err(ServeError::DeadlineExceeded { stage: DeadlineStage::Admission });
+        }
+        // Shape gate before spending a token: a sample the model cannot
+        // consume is rejected typed, not panicked on mid-batch.
+        let mcfg = &sh.engine.model().cfg;
+        if sample.node_dim != mcfg.node_dim || sample.aw_vocab != mcfg.aw_vocab {
+            sh.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Rejected(format!(
+                "sample/model dimension mismatch (node {} vs {}, vocab {} vs {})",
+                sample.node_dim, mcfg.node_dim, sample.aw_vocab, mcfg.aw_vocab
+            )));
+        }
+        let permit = sh.limiter.try_acquire()?;
+        let mut q = sh
+            .batcher
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if sh.batcher.shutting_down() {
+            return Err(ServeError::ShuttingDown);
+        }
+        if q.len() >= sh.batcher.max_queue {
+            drop(q);
+            sh.queue_shed.fetch_add(1, Ordering::Relaxed);
+            let inflight = sh.limiter.stats().inflight;
+            return Err(ServeError::Overloaded {
+                retry_after: sh.limiter.retry_after(inflight),
+                inflight,
+            });
+        }
+        let slot = Slot::new();
+        let now = Instant::now();
+        q.push_back(Request {
+            sample,
+            deadline,
+            enqueued: now,
+            slot: Arc::clone(&slot),
+            permit,
+        });
+        sh.batcher.arrived.notify_one();
+        drop(q);
+        Ok(Ticket { slot, submitted_at: now })
+    }
+
+    /// Classify one featurised loop, blocking until the answer (closed-
+    /// loop convenience over [`Self::submit`] + [`Ticket::wait`]).
+    pub fn classify(
+        &self,
+        sample: Arc<GraphSample>,
+        deadline: Deadline,
+    ) -> ServeResult<Classification> {
+        self.submit(sample, deadline)?.wait()
+    }
+
+    /// Compile `src` and classify every loop of its `main` function.
+    /// `max_steps` overrides the frontend's default interpreter budget
+    /// (e.g. to propagate a per-request time envelope); `None` keeps it.
+    ///
+    /// Runs on the caller's thread under an admission token — the heavy
+    /// frontend work competes for the same capacity the micro-batcher
+    /// sees, so a flood of source requests sheds instead of starving the
+    /// sample path.
+    pub fn classify_source(
+        &self,
+        src: &str,
+        deadline: Deadline,
+        max_steps: Option<u64>,
+    ) -> ServeResult<ModuleClassification> {
+        let sh = &self.shared;
+        sh.submitted.fetch_add(1, Ordering::Relaxed);
+        if sh.batcher.shutting_down() {
+            return Err(ServeError::ShuttingDown);
+        }
+        if deadline.expired() {
+            return Err(ServeError::DeadlineExceeded { stage: DeadlineStage::Admission });
+        }
+        let Some(fe) = sh.frontend.as_ref() else {
+            sh.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Rejected("source frontend not configured".into()));
+        };
+        let _permit = sh.limiter.try_acquire()?;
+        let t0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let module = mvgnn_lang::compile(src).map_err(ServeError::Compile)?;
+            if deadline.expired() {
+                return Err(ServeError::DeadlineExceeded { stage: DeadlineStage::Frontend });
+            }
+            let Some(entry) = module.func_by_name("main") else {
+                return Err(ServeError::Rejected("program has no `main` function".into()));
+            };
+            let mut cache =
+                fe.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let reports = classify_module_cached(
+                sh.engine.model(),
+                &module,
+                entry,
+                &fe.inst2vec,
+                &fe.sample_cfg,
+                max_steps.or(fe.max_steps),
+                fe.max_call_depth,
+                Some(&mut cache),
+            );
+            Ok(ModuleClassification { reports })
+        }));
+        match outcome {
+            Ok(Ok(mc)) => {
+                sh.limiter.observe(mc.reports.len().max(1), t0.elapsed());
+                Ok(mc)
+            }
+            Ok(Err(e)) => {
+                match &e {
+                    ServeError::Compile(_) => {
+                        sh.compile_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ServeError::Rejected(_) => {
+                        sh.rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                Err(e)
+            }
+            Err(payload) => {
+                sh.frontend_panics.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Internal(panic_message(&payload)))
+            }
+        }
+    }
+
+    /// Featurisation-cache counters of the source path (zeros without a
+    /// frontend).
+    pub fn feature_cache_stats(&self) -> mvgnn_embed::CacheStats {
+        match &self.shared.frontend {
+            Some(fe) => fe
+                .cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .stats(),
+            None => mvgnn_embed::CacheStats::default(),
+        }
+    }
+
+    /// Merged counters across admission, queueing, and dispatch.
+    pub fn stats(&self) -> ServeStats {
+        let sh = &self.shared;
+        let LimiterStats { inflight, admitted, shed } = sh.limiter.stats();
+        let c = &sh.batcher.counters;
+        ServeStats {
+            submitted: sh.submitted.load(Ordering::Relaxed),
+            admitted,
+            shed: shed + sh.queue_shed.load(Ordering::Relaxed),
+            expired: c.expired.load(Ordering::Relaxed),
+            rejected: sh.rejected.load(Ordering::Relaxed),
+            compile_errors: sh.compile_errors.load(Ordering::Relaxed),
+            panics_caught: c.panics_caught.load(Ordering::Relaxed)
+                + sh.frontend_panics.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            batched_requests: c.batched_requests.load(Ordering::Relaxed),
+            inflight,
+            queue_depth: sh.batcher.depth(),
+        }
+    }
+
+    /// The engine's clamped configuration (for introspection).
+    pub fn engine_config(&self) -> EngineConfig {
+        self.shared.engine.config()
+    }
+
+    /// Drain and stop: already-admitted requests are answered, new ones
+    /// get [`ServeError::ShuttingDown`]. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.batcher.begin_shutdown();
+        let mut ws = self.workers.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for h in ws.drain(..) {
+            // A worker that somehow died is already accounted for by the
+            // typed Internal responses it produced; nothing to propagate.
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -25,6 +25,9 @@ cargo run --release -p mvgnn-bench --bin throughput --quiet -- --smoke
 echo "==> alloc smoke (pooled steady state stays under budget)"
 cargo run --release -p mvgnn-bench --features count-allocs --bin throughput --quiet -- --alloc-smoke
 
+echo "==> serve smoke (forced-overload storm: typed sheds, zero panics, liveness)"
+cargo run --release -p mvgnn-bench --bin serve --quiet -- --smoke
+
 echo "==> corpus label audit (static oracle vs profiler, smoke slice)"
 cargo run --release -p mvgnn-bench --bin lint --quiet -- --smoke
 

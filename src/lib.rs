@@ -13,4 +13,5 @@ pub use mvgnn_lang as lang;
 pub use mvgnn_nn as nn;
 pub use mvgnn_peg as peg;
 pub use mvgnn_profiler as profiler;
+pub use mvgnn_serve as serve;
 pub use mvgnn_tensor as tensor;

@@ -223,3 +223,119 @@ fn malformed_source_yields_typed_compile_errors() {
         }
     }
 }
+
+/// Injector 5 — poisoned params behind the service: a stream of requests
+/// through a [`Server`](mvgnn::serve::Server) whose weights are NaN-
+/// poisoned must come back as typed degraded classifications — every
+/// request answered, zero panics caught at the dispatch boundary.
+#[test]
+fn poisoned_params_through_the_service_degrade_typed() {
+    use mvgnn::serve::{Deadline, ServeConfig, Server};
+    use std::sync::Arc;
+
+    let ds = tiny_dataset();
+    let probe = &ds.train[0].sample;
+    let mut model = MvGnn::new(MvGnnConfig::small(probe.node_dim, probe.aw_vocab));
+    FaultPlan::new(17).poison_params(&mut model.params, 64);
+    let server = Server::start(
+        Arc::new(model),
+        ServeConfig { max_batch: 4, ..Default::default() },
+    )
+    .expect("valid config");
+
+    // Open-loop stream: everything is in flight at once, so the poison
+    // hits mid-stream batches, not one isolated request.
+    let tickets: Vec<_> = ds
+        .test
+        .iter()
+        .map(|s| {
+            server
+                .submit(Arc::new(s.sample.clone()), Deadline::none())
+                .expect("admitted")
+        })
+        .collect();
+    assert!(!tickets.is_empty());
+    for t in tickets {
+        let c = t.wait().expect("typed answer, not a panic");
+        assert_ne!(c.source, PredictionSource::Multi, "poison trusted: {c:?}");
+        assert!(c.diagnostic.is_some(), "degraded answers carry a diagnostic");
+    }
+    assert_eq!(server.stats().panics_caught, 0);
+    server.shutdown();
+}
+
+/// Injector 6 — malformed and starved sources through the service
+/// frontend: truncations, manglings, and starved interpreter budgets must
+/// surface as typed compile errors or degraded reports, never as panics
+/// or `Internal` faults.
+#[test]
+fn malformed_sources_through_the_service_are_typed() {
+    use mvgnn::serve::{Deadline, Frontend, ServeConfig, ServeError, Server};
+    use std::sync::Arc;
+
+    let (module, entry) = compiled();
+    let (i2v, model) = model_for(&module, entry);
+    let _ = entry;
+    let server = Server::start_with_frontend(
+        Arc::new(model),
+        Frontend {
+            inst2vec: i2v,
+            sample_cfg: SampleConfig::default(),
+            cache_capacity: 64,
+            max_steps: None,
+            max_call_depth: None,
+        },
+        ServeConfig::default(),
+    )
+    .expect("valid config");
+
+    for seed in 0..24u64 {
+        let plan = FaultPlan::new(seed);
+        let frac = (seed as f64 % 17.0) / 17.0;
+        for src in [plan.truncate_source(PROGRAM, frac), plan.mangle_source(PROGRAM)] {
+            match server.classify_source(&src, Deadline::none(), None) {
+                Ok(mc) => assert!(mc.reports.len() <= 3),
+                Err(ServeError::Compile(_)) | Err(ServeError::Rejected(_)) => {}
+                Err(other) => panic!("seed {seed}: untyped service fault {other:?}"),
+            }
+        }
+    }
+
+    // Starved interpreter budget: the healthy program still answers, with
+    // every loop degraded typed.
+    let budget = FaultPlan::new(21).starved_step_budget();
+    let mc = server
+        .classify_source(PROGRAM, Deadline::none(), Some(budget))
+        .expect("starvation degrades, it does not fail");
+    assert_eq!(mc.reports.len(), 3);
+    assert!(mc.reports.iter().all(|r| r.source != PredictionSource::Multi));
+    assert_eq!(server.stats().panics_caught, 0);
+}
+
+/// Injector 7 — degenerate configurations are typed errors at
+/// construction, for both the engine and the service wrapped around it.
+#[test]
+fn degenerate_configs_are_typed_errors() {
+    use mvgnn::core::{EngineConfig, InferenceEngine};
+    use mvgnn::serve::{ServeConfig, Server};
+    use std::sync::Arc;
+
+    let ds = tiny_dataset();
+    let probe = &ds.train[0].sample;
+    let model = Arc::new(MvGnn::new(MvGnnConfig::small(probe.node_dim, probe.aw_vocab)));
+    for cfg in [
+        EngineConfig { threads: 0, batch_size: 8 },
+        EngineConfig { threads: 1, batch_size: 0 },
+    ] {
+        match InferenceEngine::try_new(Arc::clone(&model), cfg) {
+            Err(MvGnnError::Config(_)) => {}
+            Ok(_) => panic!("degenerate engine config accepted: {cfg:?}"),
+            Err(other) => panic!("wrong error class: {other}"),
+        }
+    }
+    match Server::start(model, ServeConfig { max_batch: 0, ..Default::default() }) {
+        Err(MvGnnError::Config(_)) => {}
+        Ok(_) => panic!("degenerate serve config accepted"),
+        Err(other) => panic!("wrong error class: {other}"),
+    }
+}
