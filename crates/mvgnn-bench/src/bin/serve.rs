@@ -128,7 +128,7 @@ fn storm_section(
             workers: 1,
         },
     ));
-    let inputs = ChaosInputs { samples: pool.to_vec(), sources: Vec::new() };
+    let inputs = ChaosInputs { samples: pool.to_vec(), sources: Vec::new(), oracles: Vec::new() };
     let report = run_chaos(
         &server,
         &inputs,
@@ -186,7 +186,7 @@ fn smoke() {
             workers: 1,
         },
     ));
-    let inputs = ChaosInputs { samples: pool.clone(), sources: Vec::new() };
+    let inputs = ChaosInputs { samples: pool.clone(), sources: Vec::new(), oracles: Vec::new() };
     let report = run_chaos(
         &server,
         &inputs,

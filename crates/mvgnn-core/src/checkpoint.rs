@@ -4,9 +4,13 @@
 //!
 //! Layout (little-endian):
 //! `magic "MVCK" | version u32 | epoch u64 | lr f32 | retries u32 |
+//!  calibration flag u8 [temperature f32] |
 //!  stats count u32 | (epoch u64, loss f32, accuracy f32)* |
 //!  payload len u64 | FNV-1a checksum u64 | payload`
-//! where the payload is the `save_params` weight blob.
+//! where the payload is the `save_params` weight blob. The calibration
+//! field (version 2) stores the cascade's fused-head temperature-scaling
+//! constant alongside the weights it was fit for; version-1 files are
+//! still read (calibration `None`).
 //!
 //! Writes are atomic: the file is written to a sibling `*.tmp` path and
 //! renamed over the target, so a crash mid-write never leaves a
@@ -21,7 +25,8 @@ use bytes::{Buf, BufMut, BytesMut};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"MVCK";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+const MIN_VERSION: u32 = 1;
 
 /// Everything needed to resume an interrupted training run.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +37,11 @@ pub struct Checkpoint {
     pub lr: f32,
     /// Rollback retries consumed so far.
     pub retries: usize,
+    /// Temperature-scaling calibration of the fused head (see
+    /// `crate::cascade::Calibration`), fit on a held-out slice and
+    /// stored with the weights it belongs to. `None` for uncalibrated
+    /// models and version-1 files.
+    pub calibration: Option<f32>,
     /// Telemetry of all completed epochs.
     pub stats: Vec<EpochStats>,
     /// Weight snapshot (`save_params` format).
@@ -55,6 +65,13 @@ pub fn encode_checkpoint(cp: &Checkpoint) -> Vec<u8> {
     buf.put_u64_le(cp.epoch as u64);
     buf.put_f32_le(cp.lr);
     buf.put_u32_le(cp.retries as u32);
+    match cp.calibration {
+        Some(t) => {
+            buf.put_u8(1);
+            buf.put_f32_le(t);
+        }
+        None => buf.put_u8(0),
+    }
     buf.put_u32_le(cp.stats.len() as u32);
     for s in &cp.stats {
         buf.put_u64_le(s.epoch as u64);
@@ -86,16 +103,40 @@ pub fn decode_checkpoint(mut bytes: &[u8]) -> Result<Checkpoint, MvGnnError> {
         return Err(MvGnnError::Checkpoint("bad magic (not a MVCK file)".into()));
     }
     let version = bytes.get_u32_le();
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(MvGnnError::Checkpoint(format!("unsupported version {version}")));
     }
-    need(bytes, 20, "epoch/lr/retries")?;
+    need(bytes, 16, "epoch/lr/retries")?;
     let epoch = bytes.get_u64_le() as usize;
     let lr = bytes.get_f32_le();
     if !lr.is_finite() || lr <= 0.0 {
         return Err(MvGnnError::Checkpoint(format!("non-positive or non-finite lr {lr}")));
     }
     let retries = bytes.get_u32_le() as usize;
+    let calibration = if version >= 2 {
+        need(bytes, 1, "calibration flag")?;
+        match bytes.get_u8() {
+            0 => None,
+            1 => {
+                need(bytes, 4, "calibration temperature")?;
+                let t = bytes.get_f32_le();
+                if !t.is_finite() || t <= 0.0 {
+                    return Err(MvGnnError::Checkpoint(format!(
+                        "non-positive or non-finite calibration temperature {t}"
+                    )));
+                }
+                Some(t)
+            }
+            other => {
+                return Err(MvGnnError::Checkpoint(format!(
+                    "bad calibration flag {other} (want 0 or 1)"
+                )))
+            }
+        }
+    } else {
+        None
+    };
+    need(bytes, 4, "stats count")?;
     let n_stats = bytes.get_u32_le() as usize;
     need(bytes, n_stats.saturating_mul(16), "epoch stats")?;
     let mut stats = Vec::with_capacity(n_stats.min(4096));
@@ -117,7 +158,7 @@ pub fn decode_checkpoint(mut bytes: &[u8]) -> Result<Checkpoint, MvGnnError> {
     if fnv1a(bytes) != checksum {
         return Err(MvGnnError::Checkpoint("payload checksum mismatch".into()));
     }
-    Ok(Checkpoint { epoch, lr, retries, stats, weights: bytes.to_vec() })
+    Ok(Checkpoint { epoch, lr, retries, calibration, stats, weights: bytes.to_vec() })
 }
 
 /// Atomically write a checkpoint: serialise to `<path>.tmp`, then rename
@@ -145,6 +186,7 @@ mod tests {
             epoch: 7,
             lr: 5e-4,
             retries: 1,
+            calibration: Some(1.75),
             stats: vec![
                 EpochStats { epoch: 6, loss: 0.42, accuracy: 0.8 },
                 EpochStats { epoch: 7, loss: 0.40, accuracy: 0.82 },
@@ -199,6 +241,56 @@ mod tests {
         // Corrupting the magic is caught before the checksum.
         bytes[0] = b'X';
         assert!(decode_checkpoint(&bytes).unwrap_err().to_string().contains("magic"));
+    }
+
+    #[test]
+    fn uncalibrated_roundtrip_keeps_none() {
+        let cp = Checkpoint { calibration: None, ..sample_checkpoint() };
+        let decoded = decode_checkpoint(&encode_checkpoint(&cp)).unwrap();
+        assert_eq!(decoded.calibration, None);
+        assert_eq!(decoded, cp);
+    }
+
+    #[test]
+    fn version_1_files_still_read_without_calibration() {
+        // Hand-build the historical v1 layout (no calibration field).
+        let cp = sample_checkpoint();
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(1);
+        buf.put_u64_le(cp.epoch as u64);
+        buf.put_f32_le(cp.lr);
+        buf.put_u32_le(cp.retries as u32);
+        buf.put_u32_le(cp.stats.len() as u32);
+        for s in &cp.stats {
+            buf.put_u64_le(s.epoch as u64);
+            buf.put_f32_le(s.loss);
+            buf.put_f32_le(s.accuracy);
+        }
+        buf.put_u64_le(cp.weights.len() as u64);
+        buf.put_u64_le(fnv1a(&cp.weights));
+        buf.put_slice(&cp.weights);
+        let decoded = decode_checkpoint(&buf.freeze()).unwrap();
+        assert_eq!(decoded.calibration, None);
+        assert_eq!(decoded.weights, cp.weights);
+        assert_eq!(decoded.stats, cp.stats);
+    }
+
+    #[test]
+    fn damaged_calibration_is_a_typed_error() {
+        let full = encode_checkpoint(&sample_checkpoint());
+        // The calibration flag byte sits right after magic(4) + version(4)
+        // + epoch(8) + lr(4) + retries(4).
+        let flag_at = 24;
+        let mut bad_flag = full.clone();
+        bad_flag[flag_at] = 7;
+        let err = decode_checkpoint(&bad_flag).unwrap_err();
+        assert!(err.to_string().contains("calibration flag"), "{err}");
+        // A NaN temperature is refused before the payload is touched.
+        let mut bad_temp = full;
+        bad_temp[flag_at + 1..flag_at + 5].copy_from_slice(&f32::NAN.to_le_bytes());
+        let err = decode_checkpoint(&bad_temp).unwrap_err();
+        assert!(err.to_string().contains("calibration temperature"), "{err}");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! head is re-run through single-sample inference, so its verdict is
 //! decided in isolation from its batch-mates.
 
+use crate::cascade::Cascade;
 use crate::error::MvGnnError;
 use crate::model::{CheckedPrediction, MvGnn};
 use mvgnn_embed::GraphSample;
@@ -224,7 +225,7 @@ impl InferenceEngine {
     /// batched verdict shows a non-finite head is re-run alone, so its
     /// degradation is judged by the single-sample path.
     pub fn predict_checked_stream(&self, samples: &[&GraphSample]) -> Vec<CheckedPrediction> {
-        self.fan_out(samples, |ws, chunk| checked_isolated(&self.model, ws, chunk))
+        self.fan_out(samples, |ws, chunk| Cascade::gnn_batch(&self.model, ws, chunk))
     }
 
     /// Run one already-coalesced batch through a pooled workspace with
@@ -237,40 +238,19 @@ impl InferenceEngine {
     /// allocate nothing. The batch is executed as-is on the calling
     /// thread — no chunking, no fan-out — which keeps the f32 summation
     /// order a function of the batch contents alone.
+    ///
+    /// A thin front over the cascade's tier-1 execution primitive
+    /// ([`Cascade::gnn_batch`]) — the engine contributes only the
+    /// pooled workspace.
     pub fn classify_batch(&self, samples: &[&GraphSample]) -> Vec<CheckedPrediction> {
         if samples.is_empty() {
             return Vec::new();
         }
         let mut ws = self.checkout();
-        let out = checked_isolated(&self.model, &mut ws, samples);
+        let out = Cascade::gnn_batch(&self.model, &mut ws, samples);
         self.checkin(ws);
         out
     }
-}
-
-/// Checked predictions for one packed batch, re-running any row whose
-/// batched verdict shows a non-finite head through single-sample
-/// inference so its degradation is decided in isolation.
-fn checked_isolated(
-    model: &MvGnn,
-    ws: &mut Workspace,
-    chunk: &[&GraphSample],
-) -> Vec<CheckedPrediction> {
-    model
-        .predict_checked_batch_ws(ws, chunk)
-        .into_iter()
-        .zip(chunk)
-        .map(|(checked, s)| {
-            let faulty = checked.fused.is_none()
-                || checked.node.is_none()
-                || checked.structural.is_none();
-            if faulty {
-                model.predict_checked(s)
-            } else {
-                checked
-            }
-        })
-        .collect()
 }
 
 #[cfg(test)]

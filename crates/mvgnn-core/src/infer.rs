@@ -8,12 +8,12 @@
 //! attached; the rest of the batch is unaffected and the function never
 //! panics or aborts.
 
+use crate::cascade::{Cascade, DecidedBy};
 use crate::model::MvGnn;
-use mvgnn_embed::{build_sample, sample_fingerprint, FeatureCache, Inst2Vec, SampleConfig};
-use std::sync::Arc;
+use mvgnn_analyze::OracleReport;
+use mvgnn_embed::{FeatureCache, Inst2Vec, SampleConfig};
 use mvgnn_ir::module::{FuncId, LoopId, Module};
-use mvgnn_peg::{build_peg, loop_subpeg};
-use mvgnn_profiler::{build_cus, loop_features, profile_module_resilient, LoopRuntime};
+use std::sync::Arc;
 
 /// Which signal a loop's final prediction came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +26,8 @@ pub enum PredictionSource {
     StructOnly,
     /// No trustworthy view: conservatively predicted serial.
     ConservativeSerial,
+    /// Decided statically by the tier-0 oracle; the GNN never ran.
+    Oracle,
 }
 
 /// Per-loop classification outcome.
@@ -44,9 +46,14 @@ pub struct LoopReport {
     pub source: PredictionSource,
     /// Why the loop was degraded, when it was.
     pub diagnostic: Option<String>,
+    /// Which cascade tier was final for this loop.
+    pub decided_by: DecidedBy,
+    /// The oracle's full report — facts, excused reductions, sections —
+    /// when tier 0 decided this loop (`None` otherwise).
+    pub oracle: Option<Arc<OracleReport>>,
 }
 
-fn conservative(
+pub(crate) fn conservative(
     func: FuncId,
     l: LoopId,
     line: u32,
@@ -59,20 +66,9 @@ fn conservative(
         prediction: 0,
         source: PredictionSource::ConservativeSerial,
         diagnostic: Some(why.into()),
+        decided_by: DecidedBy::Gnn,
+        oracle: None,
     }
-}
-
-/// Samples per packed forward pass during module classification.
-const INFER_CHUNK: usize = 32;
-
-/// A loop that survived the pre-checks and awaits model inference.
-/// The sample is an `Arc` so a [`FeatureCache`] hit shares the cached
-/// matrices instead of cloning them.
-struct PendingLoop {
-    l: LoopId,
-    line: u32,
-    sample: Arc<mvgnn_embed::GraphSample>,
-    empty_walks: bool,
 }
 
 /// Classify every loop of `entry` with the trained model.
@@ -82,12 +78,16 @@ struct PendingLoop {
 /// the function: faults degrade individual loops, they never abort the
 /// batch.
 ///
-/// Healthy loops are classified in packed batches of `INFER_CHUNK` —
-/// one tape per chunk instead of one per loop. Per-loop fault isolation
-/// is preserved: finiteness is judged per row, and any row showing a
-/// non-finite head is re-run through single-sample inference so its
-/// degradation path (view fallback, conservative serial) is decided
-/// exactly as before, in isolation from its chunk-mates.
+/// Healthy loops are classified in packed batches — one tape per chunk
+/// instead of one per loop. Per-loop fault isolation is preserved:
+/// finiteness is judged per row, and any row showing a non-finite head
+/// is re-run through single-sample inference so its degradation path
+/// (view fallback, conservative serial) is decided exactly as before,
+/// in isolation from its chunk-mates.
+///
+/// This is a thin front over the GNN-only [`Cascade`]; build a
+/// [`Cascade`] directly ([`Cascade::full`]) for the tiered
+/// oracle → GNN → profiler path.
 pub fn classify_module(
     model: &MvGnn,
     module: &Module,
@@ -117,135 +117,24 @@ pub fn classify_module_cached(
     sample_cfg: &SampleConfig,
     max_steps: Option<u64>,
     max_call_depth: Option<u32>,
-    mut cache: Option<&mut FeatureCache>,
+    cache: Option<&mut FeatureCache>,
 ) -> Vec<LoopReport> {
-    let partial = profile_module_resilient(module, entry, &[], max_steps, max_call_depth);
-    let trace_fault = partial.error.as_ref().map(|e| e.to_string());
-    let cus = build_cus(module);
-    let peg = build_peg(module, &cus, &partial.deps);
-
-    // Pass 1 — pre-checks: anything that can fail before the model runs
-    // produces its conservative report immediately; the rest queue up
-    // for batched inference. Report slots keep the loop order.
-    let loops = &module.funcs[entry.index()].loops;
-    let mut reports: Vec<Option<LoopReport>> = (0..loops.len()).map(|_| None).collect();
-    let mut pending: Vec<(usize, PendingLoop)> = Vec::new();
-    for (slot, info) in loops.iter().enumerate() {
-        let l = info.id;
-        let line = info.line_span.0;
-        let runtime = partial.loops.get(&(entry, l)).copied();
-        if runtime.is_none() {
-            if let Some(fault) = &trace_fault {
-                reports[slot] = Some(conservative(
-                    entry,
-                    l,
-                    line,
-                    format!("no dynamic evidence, trace truncated: {fault}"),
-                ));
-                continue;
-            }
-        }
-        let runtime = runtime.unwrap_or(LoopRuntime::default());
-        let feats = loop_features(module, entry, l, &partial.deps, &runtime);
-        let sub = loop_subpeg(&peg, module, &cus, entry, l);
-        if sub.graph.node_count() == 0 {
-            reports[slot] = Some(conservative(entry, l, line, "empty sub-PEG"));
-            continue;
-        }
-        let sample = match cache.as_deref_mut() {
-            Some(c) => {
-                let key = sample_fingerprint(&sub, &feats, sample_cfg, inst2vec.dim());
-                c.get_or_insert_with(key, || {
-                    build_sample(&sub, inst2vec, &feats, sample_cfg, None)
-                })
-            }
-            None => Arc::new(build_sample(&sub, inst2vec, &feats, sample_cfg, None)),
-        };
-        if sample.node_dim != model.cfg.node_dim || sample.aw_vocab != model.cfg.aw_vocab {
-            reports[slot] = Some(conservative(
-                entry,
-                l,
-                line,
-                format!(
-                    "sample/model dimension mismatch (node {} vs {}, vocab {} vs {})",
-                    sample.node_dim, model.cfg.node_dim, sample.aw_vocab, model.cfg.aw_vocab
-                ),
-            ));
-            continue;
-        }
-        let empty_walks = sample.struct_dists.iter().all(|&x| x == 0.0);
-        pending.push((slot, PendingLoop { l, line, sample, empty_walks }));
-    }
-
-    // Pass 2 — batched inference over the surviving loops.
-    for chunk in pending.chunks(INFER_CHUNK) {
-        let samples: Vec<&mvgnn_embed::GraphSample> =
-            chunk.iter().map(|(_, p)| &*p.sample).collect();
-        let checked_rows = model.predict_checked_batch(&samples);
-        for ((slot, p), batch_checked) in chunk.iter().zip(checked_rows) {
-            // Per-graph fault fallback: a row with any non-finite head is
-            // re-run alone so its degradation verdict comes from the
-            // original single-sample path.
-            let faulty = batch_checked.fused.is_none()
-                || batch_checked.node.is_none()
-                || batch_checked.structural.is_none();
-            let checked =
-                if faulty { model.predict_checked(&p.sample) } else { batch_checked };
-
-            // Preference order degrades with the evidence: a clean trace
-            // and healthy walks trust the fused head; a truncated trace or
-            // empty walk distribution drops the structural signal and
-            // falls back to the node view; non-finite heads fall through
-            // to the next view.
-            let candidates: [(Option<usize>, PredictionSource); 3] =
-                if trace_fault.is_some() || p.empty_walks {
-                    [
-                        (checked.node, PredictionSource::NodeOnly),
-                        (checked.structural, PredictionSource::StructOnly),
-                        (None, PredictionSource::ConservativeSerial),
-                    ]
-                } else {
-                    [
-                        (checked.fused, PredictionSource::Multi),
-                        (checked.node, PredictionSource::NodeOnly),
-                        (checked.structural, PredictionSource::StructOnly),
-                    ]
-                };
-            let mut diagnostic = None;
-            if let Some(fault) = &trace_fault {
-                diagnostic = Some(format!("trace truncated: {fault}"));
-            } else if p.empty_walks {
-                diagnostic = Some("empty anonymous-walk distribution".into());
-            }
-            reports[*slot] = Some(match candidates.iter().find_map(|(pr, src)| pr.map(|pr| (pr, *src))) {
-                Some((prediction, source)) => {
-                    if source != PredictionSource::Multi && diagnostic.is_none() {
-                        diagnostic = Some("non-finite logits in the preferred view".into());
-                    }
-                    LoopReport { func: entry, l: p.l, line: p.line, prediction, source, diagnostic }
-                }
-                None => {
-                    let why = match diagnostic {
-                        Some(d) => format!("non-finite logits in every view ({d})"),
-                        None => "non-finite logits in every view".into(),
-                    };
-                    conservative(entry, p.l, p.line, why)
-                }
-            });
-        }
-    }
-    reports.into_iter().flatten().collect()
+    Cascade::gnn_only().classify_module_cached(
+        model, module, entry, inst2vec, sample_cfg, max_steps, max_call_depth, cache,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fault::FaultPlan;
-    use crate::model::MvGnnConfig;
-    use mvgnn_embed::Inst2VecConfig;
+    use crate::model::{MvGnn, MvGnnConfig};
+    use mvgnn_embed::{build_sample, sample_fingerprint, Inst2Vec, Inst2VecConfig};
     use mvgnn_ir::inst::BinOp;
     use mvgnn_ir::types::Ty;
     use mvgnn_ir::FunctionBuilder;
+    use mvgnn_peg::{build_peg, loop_subpeg};
+    use mvgnn_profiler::{build_cus, loop_features, profile_module_resilient};
 
     /// Two loops: a DOALL and a linear recurrence.
     fn test_module() -> (Module, FuncId) {

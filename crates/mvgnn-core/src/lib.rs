@@ -15,6 +15,7 @@
 //! - [`pipeline`]: end-to-end experiment driver producing every Table III
 //!   / Table IV row
 
+pub mod cascade;
 pub mod checkpoint;
 pub mod engine;
 pub mod error;
@@ -27,6 +28,7 @@ pub mod suggest;
 pub mod trainer;
 pub mod views;
 
+pub use cascade::{oracle_decision, Calibration, Cascade, CascadeConfig, DecidedBy};
 pub use checkpoint::{read_checkpoint, write_checkpoint, Checkpoint};
 pub use engine::{EngineConfig, InferenceEngine};
 pub use error::MvGnnError;

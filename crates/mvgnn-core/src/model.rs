@@ -394,6 +394,51 @@ impl MvGnn {
         out
     }
 
+    /// [`Self::predict_checked_batch_ws`] that also returns the fused
+    /// logits row of every sample (finite or not). Same forward pass,
+    /// same tape — the checked verdicts are bit-identical to the plain
+    /// checked path; the logits feed the cascade's calibrated
+    /// confidence band without a second forward.
+    pub fn predict_checked_logits_batch_ws(
+        &self,
+        ws: &mut Workspace,
+        samples: &[&GraphSample],
+    ) -> (Vec<CheckedPrediction>, Vec<Vec<f32>>) {
+        if samples.is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+        let batch = GraphBatch::from_samples_in(ws, samples);
+        let mut tape = Tape::with_workspace(&self.params, std::mem::take(ws));
+        let fwd = self.forward_batch(&mut tape, &batch);
+        let c = self.cfg.classes;
+        let check_row = |tape: &Tape<'_>, v: Var, g: usize| {
+            let row = &tape.data(v)[g * c..(g + 1) * c];
+            row.iter().all(|x| x.is_finite()).then(|| argmax_rows(row, 1, c)[0])
+        };
+        let by_name = |name: &str| {
+            self.views
+                .iter()
+                .position(|v| v.name() == name)
+                .and_then(|i| fwd.view_logits[i])
+        };
+        let (node_v, struct_v) = (by_name("node"), by_name("struct"));
+        let fused_rows: Vec<Vec<f32>> =
+            tape.data(fwd.logits).chunks(c).map(<[f32]>::to_vec).collect();
+        let out: Vec<CheckedPrediction> = (0..samples.len())
+            .map(|g| {
+                let fused = check_row(&tape, fwd.logits, g);
+                CheckedPrediction {
+                    fused,
+                    node: node_v.map_or(fused, |v| check_row(&tape, v, g)),
+                    structural: struct_v.map_or(fused, |v| check_row(&tape, v, g)),
+                }
+            })
+            .collect();
+        *ws = tape.finish();
+        batch.recycle(ws);
+        (out, fused_rows)
+    }
+
     /// Predict with all three heads: `(fused, node, struct)` — absent
     /// views repeat the fused prediction.
     pub fn predict_detailed(&self, s: &GraphSample) -> (usize, usize, usize) {

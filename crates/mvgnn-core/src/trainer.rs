@@ -249,6 +249,7 @@ pub fn train(
                             epoch,
                             lr,
                             retries,
+                            calibration: None,
                             stats: stats.clone(),
                             weights: last_good.to_vec(),
                         },

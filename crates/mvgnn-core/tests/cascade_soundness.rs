@@ -1,0 +1,217 @@
+//! Property-based soundness of the tiered cascade against the static
+//! oracle and the interpreting profiler.
+//!
+//! The cascade's structural contract: a definite oracle verdict is
+//! final. Whatever the GNN's weights (trained, untrained, or poisoned)
+//! and whatever the confidence band routes to the dynamic tier, no
+//! report may ever contradict what the oracle proved, and every
+//! profiler-tier verdict must be exactly what the profiler's
+//! dependence-graph classifier says for that loop. Checked over the
+//! same wild kernel space (offsets × strides × aliasing × guarded
+//! scatter) that `mvgnn-analyze`'s oracle soundness suite draws from.
+
+use mvgnn_analyze::analyze_loop;
+use mvgnn_core::cascade::{oracle_decision, Cascade, CascadeConfig, DecidedBy};
+use mvgnn_core::model::{MvGnn, MvGnnConfig};
+use mvgnn_core::{FaultPlan, PredictionSource};
+use mvgnn_embed::{Inst2Vec, Inst2VecConfig, SampleConfig};
+use mvgnn_ir::inst::BinOp;
+use mvgnn_ir::module::{FuncId, LoopId};
+use mvgnn_ir::types::Ty;
+use mvgnn_ir::{FunctionBuilder, Module};
+use mvgnn_profiler::{classify_loop, profile_module};
+use proptest::prelude::*;
+
+/// A parameterised strided kernel `dst[s·i + off] = f(src[i ± offsets…])`
+/// with optional aliasing and an optional guarded index reassignment —
+/// the space spans all three oracle verdicts.
+#[derive(Debug, Clone)]
+struct KernelSpec {
+    offsets: Vec<i64>,
+    in_place: bool,
+    stride: i64,
+    write_off: i64,
+    guarded: bool,
+    n: i64,
+}
+
+fn build(spec: &KernelSpec) -> (Module, FuncId, LoopId) {
+    let max_off = spec
+        .offsets
+        .iter()
+        .map(|o| o.abs())
+        .max()
+        .unwrap_or(0)
+        .max(spec.write_off.abs());
+    let len = ((spec.n + max_off) * spec.stride.max(1) + max_off + 1) as usize;
+    let mut m = Module::new("prop");
+    let src = m.add_array("src", Ty::F64, len);
+    let dst = if spec.in_place { src } else { m.add_array("dst", Ty::F64, len) };
+    let mut b = FunctionBuilder::new(&mut m, "main", 0);
+    let lo = b.const_i64(max_off);
+    let hi = b.const_i64(max_off + spec.n);
+    let st = b.const_i64(1);
+    let stride = b.const_i64(spec.stride);
+    let woff = b.const_i64(spec.write_off);
+    let off_regs: Vec<_> = spec.offsets.iter().map(|&o| b.const_i64(o)).collect();
+    let thresh = b.const_f64(0.5);
+    let zero_idx = b.const_i64(0);
+    let l = b.for_loop(lo, hi, st, |b, iv| {
+        let mut acc = b.const_f64(0.0);
+        for off in &off_regs {
+            let idx = b.bin(BinOp::Add, iv, *off);
+            let x = b.load(src, idx);
+            acc = b.bin(BinOp::Add, acc, x);
+        }
+        let scaled = b.bin(BinOp::Mul, iv, stride);
+        let widx = b.bin(BinOp::Add, scaled, woff);
+        if spec.guarded {
+            let c = b.bin(BinOp::CmpLt, acc, thresh);
+            let j = b.copy(zero_idx);
+            b.if_then(c, |b| b.copy_to(j, widx));
+            b.store(dst, j, acc);
+        } else {
+            b.store(dst, widx, acc);
+        }
+    });
+    let f = b.finish();
+    (m, f, l)
+}
+
+fn spec_strategy() -> impl Strategy<Value = KernelSpec> {
+    (
+        proptest::collection::vec(-3i64..=3, 1..4),
+        any::<bool>(),
+        1i64..=3,
+        -2i64..=2,
+        any::<bool>(),
+        4i64..16,
+    )
+        .prop_map(|(offsets, in_place, stride, write_off, guarded, n)| KernelSpec {
+            offsets,
+            in_place,
+            stride,
+            write_off,
+            guarded,
+            n,
+        })
+}
+
+/// An untrained model sized for the kernel's featurisation.
+fn model_for(m: &Module) -> (Inst2Vec, MvGnn) {
+    let i2v = Inst2Vec::train(
+        &[m],
+        &Inst2VecConfig { dim: 8, epochs: 1, negatives: 2, lr: 0.05, seed: 9 },
+    );
+    let cfg = SampleConfig::default();
+    let node_dim = i2v.dim()
+        + mvgnn_embed::sample::KIND_DIM
+        + mvgnn_embed::sample::EDGE_DIM
+        + mvgnn_profiler::DynamicFeatures::DIM;
+    let aw_vocab = mvgnn_graph::AwVocab::new(cfg.walk_len).size();
+    (i2v, MvGnn::new(MvGnnConfig::small(node_dim, aw_vocab)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The cascade's verdict never contradicts the oracle, and every
+    /// tier's verdict is what that tier's authority says: oracle rows
+    /// reproduce `analyze_loop`, profiler rows reproduce
+    /// `classify_loop` over the observed dependence graph.
+    #[test]
+    fn cascade_never_contradicts_its_tiers(spec in spec_strategy()) {
+        let (m, f, l) = build(&spec);
+        let (i2v, model) = model_for(&m);
+        let reports = Cascade::full().classify_module(
+            &model, &m, f, &i2v, &SampleConfig::default(), None, None,
+        );
+        prop_assert_eq!(reports.len(), 1, "one kernel loop, one report");
+        let r = &reports[0];
+        prop_assert_eq!(r.l, l);
+        let oracle = analyze_loop(&m, f, l);
+        match oracle_decision(&oracle) {
+            Some(proved) => {
+                prop_assert_eq!(r.decided_by, DecidedBy::Oracle, "{:?} on {:?}", r, spec);
+                prop_assert_eq!(r.prediction, proved, "contradicted a proof on {:?}", spec);
+                prop_assert_eq!(r.source, PredictionSource::Oracle);
+                let carried = r.oracle.as_ref();
+                prop_assert!(carried.is_some(), "tier-0 rows carry the report");
+                prop_assert_eq!(carried.map(|o| o.verdict), Some(oracle.verdict));
+            }
+            None => {
+                prop_assert!(r.decided_by != DecidedBy::Oracle);
+                prop_assert!(r.oracle.is_none());
+                if r.decided_by == DecidedBy::Profiler {
+                    let res = profile_module(&m, f, &[]);
+                    prop_assert!(res.is_ok(), "profiler tier ran, so profiling succeeds");
+                    let deps = res.unwrap().deps;
+                    let want = usize::from(classify_loop(&m, f, l, &deps).is_parallelizable());
+                    prop_assert_eq!(
+                        r.prediction, want,
+                        "profiler tier disagreed with the profiler on {:?}", spec
+                    );
+                }
+            }
+        }
+    }
+
+    /// Poisoned weights cannot reach a tier-0 verdict: oracle rows are
+    /// identical with a healthy and a damaged model, and undecided rows
+    /// still degrade per-loop instead of aborting.
+    #[test]
+    fn poisoned_weights_cannot_move_an_oracle_verdict(spec in spec_strategy(), seed in 0u64..32) {
+        let (m, f, l) = build(&spec);
+        let (i2v, mut model) = model_for(&m);
+        let scfg = SampleConfig::default();
+        let healthy = Cascade::full().classify_module(&model, &m, f, &i2v, &scfg, None, None);
+        FaultPlan::new(seed).poison_params(&mut model.params, 64);
+        let poisoned = Cascade::full().classify_module(&model, &m, f, &i2v, &scfg, None, None);
+        prop_assert_eq!(healthy.len(), 1);
+        prop_assert_eq!(poisoned.len(), 1);
+        let (h, p) = (&healthy[0], &poisoned[0]);
+        if h.decided_by == DecidedBy::Oracle {
+            prop_assert_eq!(p.decided_by, DecidedBy::Oracle);
+            prop_assert_eq!(p.prediction, h.prediction, "weights moved a proof on {:?}", spec);
+        } else {
+            // Undecided by the oracle: whatever the damaged model does,
+            // the report stays typed and the loop is never dropped.
+            prop_assert_eq!(p.l, l);
+            prop_assert!(p.prediction <= 1);
+        }
+    }
+
+    /// The GNN-only cascade never claims a tier it did not run.
+    #[test]
+    fn gnn_only_reports_only_gnn_provenance(spec in spec_strategy()) {
+        let (m, f, l) = build(&spec);
+        let (i2v, model) = model_for(&m);
+        let reports = Cascade::gnn_only().classify_module(
+            &model, &m, f, &i2v, &SampleConfig::default(), None, None,
+        );
+        prop_assert_eq!(reports.len(), 1);
+        prop_assert_eq!(reports[0].l, l);
+        prop_assert_eq!(reports[0].decided_by, DecidedBy::Gnn);
+        prop_assert!(reports[0].oracle.is_none());
+    }
+
+    /// The routing configuration is honoured: with the profiler tier
+    /// off, no report carries profiler provenance even when confidence
+    /// is thresholded.
+    #[test]
+    fn profiler_tier_off_never_routes_to_the_profiler(spec in spec_strategy()) {
+        let (m, f, l) = build(&spec);
+        let (i2v, model) = model_for(&m);
+        let cascade = Cascade::new(CascadeConfig {
+            use_profiler: false,
+            confidence_threshold: 0.99,
+            static_features: false,
+            ..CascadeConfig::default()
+        });
+        let reports =
+            cascade.classify_module(&model, &m, f, &i2v, &SampleConfig::default(), None, None);
+        prop_assert_eq!(reports.len(), 1);
+        prop_assert_eq!(reports[0].l, l);
+        prop_assert!(reports[0].decided_by != DecidedBy::Profiler);
+    }
+}

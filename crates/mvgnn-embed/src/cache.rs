@@ -186,6 +186,40 @@ pub fn sample_fingerprint(
     h.finish()
 }
 
+/// [`sample_fingerprint`] extended with the static-analysis feature
+/// slice appended by `build_sample_with_static`.
+///
+/// The base fingerprint deliberately ignores static features (it
+/// predates them, and persisted keys must keep their meaning); when a
+/// caller attaches an oracle feature vector the key must change with it,
+/// or two samples differing only in their static slice would collide.
+/// `None` hashes differently from `Some(&[])`, and the configured
+/// `static_dim` is folded in so the same bits at a different width never
+/// alias.
+pub fn sample_fingerprint_with_static(
+    sub: &SubPeg,
+    dyn_feats: &DynamicFeatures,
+    cfg: &SampleConfig,
+    i2v_dim: usize,
+    static_feats: Option<&[f32]>,
+) -> u64 {
+    let base = sample_fingerprint(sub, dyn_feats, cfg, i2v_dim);
+    let mut h = DefaultHasher::new();
+    base.hash(&mut h);
+    cfg.static_dim.hash(&mut h);
+    match static_feats {
+        None => 0u8.hash(&mut h),
+        Some(xs) => {
+            1u8.hash(&mut h);
+            xs.len().hash(&mut h);
+            for x in xs {
+                x.to_bits().hash(&mut h);
+            }
+        }
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,6 +19,6 @@ pub mod sample;
 
 pub use awe::structural_distributions;
 pub use batch::GraphBatch;
-pub use cache::{sample_fingerprint, CacheStats, FeatureCache};
+pub use cache::{sample_fingerprint, sample_fingerprint_with_static, CacheStats, FeatureCache};
 pub use inst2vec::{Inst2Vec, Inst2VecConfig};
 pub use sample::{build_sample, build_sample_with_static, GraphSample, SampleConfig};

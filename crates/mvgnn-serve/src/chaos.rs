@@ -22,7 +22,8 @@
 use crate::deadline::Deadline;
 use crate::response::ServeError;
 use crate::server::{Server, Ticket};
-use mvgnn_core::FaultPlan;
+use mvgnn_analyze::OracleReport;
+use mvgnn_core::{DecidedBy, FaultPlan};
 use mvgnn_embed::GraphSample;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -35,6 +36,11 @@ pub struct ChaosInputs {
     /// Source programs for the frontend path (possibly mutated per
     /// request).
     pub sources: Vec<String>,
+    /// Tier-0 oracle reports aligned index-for-index with `samples`
+    /// (`None` entries and a short/empty vector mean "no report": the
+    /// request rides the micro-batcher). Reports with a definite verdict
+    /// are answered at submit time and tallied as `oracle_decided`.
+    pub oracles: Vec<Option<Arc<OracleReport>>>,
 }
 
 /// Storm shape and fault mix.
@@ -90,6 +96,9 @@ pub struct ChaosReport {
     /// Sample-path answers served by a degraded view (typed, not
     /// panicked).
     pub degraded: u64,
+    /// Sample-path answers decided by the tier-0 oracle at submit time
+    /// (never occupied a batch slot).
+    pub oracle_decided: u64,
     /// Source-path requests that came back with per-loop reports.
     pub module_ok: u64,
     /// Degraded per-loop reports inside those answers.
@@ -125,6 +134,7 @@ impl ChaosReport {
     pub fn accounted(&self) -> u64 {
         self.ok
             + self.degraded
+            + self.oracle_decided
             + self.module_ok
             + self.shed
             + self.expired
@@ -139,6 +149,7 @@ impl ChaosReport {
 struct Tally {
     ok: u64,
     degraded: u64,
+    oracle_decided: u64,
     module_ok: u64,
     module_degraded_loops: u64,
     shed: u64,
@@ -165,6 +176,7 @@ impl Tally {
     fn merge(&mut self, other: Tally) {
         self.ok += other.ok;
         self.degraded += other.degraded;
+        self.oracle_decided += other.oracle_decided;
         self.module_ok += other.module_ok;
         self.module_degraded_loops += other.module_degraded_loops;
         self.shed += other.shed;
@@ -233,6 +245,7 @@ pub fn run_chaos(server: &Server, inputs: &ChaosInputs, cfg: &ChaosConfig) -> Ch
         submitted,
         ok: total.ok,
         degraded: total.degraded,
+        oracle_decided: total.oracle_decided,
         module_ok: total.module_ok,
         module_degraded_loops: total.module_degraded_loops,
         shed: total.shed,
@@ -276,7 +289,9 @@ fn client_loop(
                 match ticket.wait() {
                     Ok(c) => {
                         t.latencies_us.push(at.elapsed().as_micros() as u64);
-                        if c.source == mvgnn_core::PredictionSource::Multi {
+                        if c.decided_by == DecidedBy::Oracle {
+                            t.oracle_decided += 1;
+                        } else if c.source == mvgnn_core::PredictionSource::Multi {
                             t.ok += 1;
                         } else {
                             t.degraded += 1;
@@ -309,15 +324,18 @@ fn client_loop(
                             .reports
                             .iter()
                             .filter(|r| {
-                                r.source != mvgnn_core::PredictionSource::Multi
+                                r.decided_by == DecidedBy::Gnn
+                                    && r.source != mvgnn_core::PredictionSource::Multi
                             })
                             .count() as u64;
                     }
                     Err(e) => tally.count_error(&e),
                 }
             } else if !inputs.samples.is_empty() {
-                let sample = Arc::clone(&inputs.samples[i % inputs.samples.len()]);
-                match server.submit(sample, Deadline::within(cfg.deadline)) {
+                let at = i % inputs.samples.len();
+                let sample = Arc::clone(&inputs.samples[at]);
+                let oracle = inputs.oracles.get(at).and_then(|o| o.as_deref());
+                match server.submit_analyzed(sample, oracle, Deadline::within(cfg.deadline)) {
                     Ok(ticket) => {
                         // Collector owns redemption; a send can only fail
                         // if the collector died, which the census counts.

@@ -10,9 +10,10 @@
 //! dispatch panic is caught at the service boundary and surfaced as
 //! [`ServeError::Internal`].
 
+use mvgnn_analyze::{Fact, OracleReport, Verdict};
 use mvgnn_core::infer::LoopReport;
 use mvgnn_core::model::CheckedPrediction;
-use mvgnn_core::PredictionSource;
+use mvgnn_core::{DecidedBy, PredictionSource};
 use std::time::Duration;
 
 /// Result alias for every service entry point.
@@ -104,6 +105,40 @@ pub struct Classification {
     pub batched_with: usize,
     /// Time spent in the submission queue before dispatch.
     pub queued: Duration,
+    /// Which cascade tier was final: the tier-0 oracle answers at submit
+    /// time without touching the micro-batcher, everything else is the
+    /// GNN tier.
+    pub decided_by: DecidedBy,
+    /// The oracle's dependence facts when tier 0 decided this request
+    /// (`None` when the GNN answered).
+    pub oracle_facts: Option<Vec<Fact>>,
+}
+
+impl Classification {
+    /// Build the tier-0 answer for an oracle-decided request.
+    ///
+    /// The verdict must be definite — call [`mvgnn_core::oracle_decision`]
+    /// first; passing an `Unknown` report here is a logic error and is
+    /// answered conservatively serial with a diagnostic rather than a
+    /// panic.
+    pub fn from_oracle(report: &OracleReport) -> Classification {
+        let (prediction, diagnostic) = match report.verdict {
+            Verdict::ProvablyParallel => (1, None),
+            Verdict::ProvablyDependent => (0, None),
+            Verdict::Unknown => {
+                (0, Some("oracle verdict was Unknown; answering conservatively".to_string()))
+            }
+        };
+        Classification {
+            prediction,
+            source: PredictionSource::Oracle,
+            diagnostic,
+            batched_with: 0,
+            queued: Duration::ZERO,
+            decided_by: DecidedBy::Oracle,
+            oracle_facts: Some(report.facts.clone()),
+        }
+    }
 }
 
 /// A classified source-program (module) request.
@@ -136,6 +171,8 @@ pub fn classification_from_checked(
                 .then(|| "non-finite logits in the preferred view".to_string()),
             batched_with,
             queued,
+            decided_by: DecidedBy::Gnn,
+            oracle_facts: None,
         },
         None => Classification {
             prediction: 0,
@@ -143,6 +180,8 @@ pub fn classification_from_checked(
             diagnostic: Some("non-finite logits in every view".into()),
             batched_with,
             queued,
+            decided_by: DecidedBy::Gnn,
+            oracle_facts: None,
         },
     }
 }

@@ -7,7 +7,12 @@
 //!
 //! - **Sample path** ([`Server::classify`] / [`Server::submit`]): a
 //!   pre-featurised loop sample rides the micro-batcher, so bursts of
-//!   concurrent singles are served at packed-batch throughput.
+//!   concurrent singles are served at packed-batch throughput. When the
+//!   caller also carries a tier-0 oracle report
+//!   ([`Server::submit_analyzed`]), a definite static verdict is
+//!   answered at submit time — before the shape gate, the limiter, and
+//!   the queue — so oracle-decidable requests never occupy a micro-batch
+//!   slot or an admission token.
 //! - **Source path** ([`Server::classify_source`]): a source program is
 //!   compiled, profiled, and classified per-loop on the caller's thread
 //!   under the same admission token, with the per-loop degradation of
@@ -24,7 +29,10 @@ use crate::limiter::{Limiter, LimiterStats};
 use crate::response::{
     Classification, DeadlineStage, ModuleClassification, ServeError, ServeResult,
 };
-use mvgnn_core::{classify_module_cached, EngineConfig, InferenceEngine, MvGnn, MvGnnError};
+use mvgnn_analyze::OracleReport;
+use mvgnn_core::{
+    oracle_decision, Cascade, CascadeConfig, EngineConfig, InferenceEngine, MvGnn, MvGnnError,
+};
 use mvgnn_embed::{FeatureCache, GraphSample, Inst2Vec, SampleConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -97,6 +105,11 @@ pub struct Frontend {
     pub max_steps: Option<u64>,
     /// Default interpreter call-depth budget.
     pub max_call_depth: Option<u32>,
+    /// Tier routing of the source path — [`CascadeConfig::default`] for
+    /// the full oracle → GNN → profiler cascade,
+    /// [`CascadeConfig::gnn_only`] to reproduce the pure-GNN service
+    /// bit-for-bit.
+    pub cascade: CascadeConfig,
 }
 
 struct FrontendState {
@@ -105,6 +118,7 @@ struct FrontendState {
     cache: Mutex<FeatureCache>,
     max_steps: Option<u64>,
     max_call_depth: Option<u32>,
+    cascade: CascadeConfig,
 }
 
 /// Monotonic counters merged across the server's layers.
@@ -128,6 +142,9 @@ pub struct ServeStats {
     pub batches: u64,
     /// Requests served through micro-batches.
     pub batched_requests: u64,
+    /// Sample-path requests answered by the tier-0 oracle at submit
+    /// time, without an admission token or a batch slot.
+    pub oracle_decided: u64,
     /// Tokens currently held.
     pub inflight: usize,
     /// Submission-queue depth right now.
@@ -154,6 +171,7 @@ struct Shared {
     queue_shed: AtomicU64,
     compile_errors: AtomicU64,
     frontend_panics: AtomicU64,
+    oracle_decided: AtomicU64,
 }
 
 /// A long-running, overload-safe classification service over a shared
@@ -203,6 +221,7 @@ impl Server {
             cache: Mutex::new(FeatureCache::new(frontend.cache_capacity.max(1))),
             max_steps: frontend.max_steps,
             max_call_depth: frontend.max_call_depth,
+            cascade: frontend.cascade,
         };
         Self::start_inner(model, cfg, Some(state))
     }
@@ -227,6 +246,7 @@ impl Server {
             queue_shed: AtomicU64::new(0),
             compile_errors: AtomicU64::new(0),
             frontend_panics: AtomicU64::new(0),
+            oracle_decided: AtomicU64::new(0),
         });
         let workers: Vec<_> = (0..cfg.workers)
             .map(|i| {
@@ -247,6 +267,24 @@ impl Server {
         sample: Arc<GraphSample>,
         deadline: Deadline,
     ) -> ServeResult<Ticket> {
+        self.submit_analyzed(sample, None, deadline)
+    }
+
+    /// [`Self::submit`] with an optional tier-0 oracle report for the
+    /// loop the sample was featurised from.
+    ///
+    /// A definite verdict ([`oracle_decision`] is `Some`) is answered at
+    /// submit time: the returned [`Ticket`] is already fulfilled, and the
+    /// request never reaches the shape gate, the admission limiter, or
+    /// the micro-batch queue — oracle-decidable traffic sheds *before*
+    /// the batcher and costs the GNN path nothing. An `Unknown` verdict
+    /// (or `None`) rides the micro-batcher exactly like [`Self::submit`].
+    pub fn submit_analyzed(
+        &self,
+        sample: Arc<GraphSample>,
+        oracle: Option<&OracleReport>,
+        deadline: Deadline,
+    ) -> ServeResult<Ticket> {
         let sh = &self.shared;
         sh.submitted.fetch_add(1, Ordering::Relaxed);
         if sh.batcher.shutting_down() {
@@ -255,6 +293,21 @@ impl Server {
         if deadline.expired() {
             return Err(ServeError::DeadlineExceeded { stage: DeadlineStage::Admission });
         }
+        if let Some(report) = oracle {
+            if oracle_decision(report).is_some() {
+                sh.oracle_decided.fetch_add(1, Ordering::Relaxed);
+                let slot = Slot::new();
+                slot.fulfil(Ok(Classification::from_oracle(report)));
+                return Ok(Ticket { slot, submitted_at: Instant::now() });
+            }
+        }
+        self.enqueue(sample, deadline)
+    }
+
+    /// Tier-1 enqueue: shape gate, token, queue slot. Admission counters
+    /// and the shutdown/deadline gates have already run.
+    fn enqueue(&self, sample: Arc<GraphSample>, deadline: Deadline) -> ServeResult<Ticket> {
+        let sh = &self.shared;
         // Shape gate before spending a token: a sample the model cannot
         // consume is rejected typed, not panicked on mid-batch.
         let mcfg = &sh.engine.model().cfg;
@@ -307,6 +360,17 @@ impl Server {
         self.submit(sample, deadline)?.wait()
     }
 
+    /// Closed-loop convenience over [`Self::submit_analyzed`] +
+    /// [`Ticket::wait`].
+    pub fn classify_analyzed(
+        &self,
+        sample: Arc<GraphSample>,
+        oracle: Option<&OracleReport>,
+        deadline: Deadline,
+    ) -> ServeResult<Classification> {
+        self.submit_analyzed(sample, oracle, deadline)?.wait()
+    }
+
     /// Compile `src` and classify every loop of its `main` function.
     /// `max_steps` overrides the frontend's default interpreter budget
     /// (e.g. to propagate a per-request time envelope); `None` keeps it.
@@ -345,7 +409,7 @@ impl Server {
             };
             let mut cache =
                 fe.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            let reports = classify_module_cached(
+            let reports = Cascade::new(fe.cascade).classify_module_cached(
                 sh.engine.model(),
                 &module,
                 entry,
@@ -410,6 +474,7 @@ impl Server {
                 + sh.frontend_panics.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
             batched_requests: c.batched_requests.load(Ordering::Relaxed),
+            oracle_decided: sh.oracle_decided.load(Ordering::Relaxed),
             inflight,
             queue_depth: sh.batcher.depth(),
         }

@@ -4,7 +4,7 @@
 //! a panic anywhere on a request path fails the suite.
 
 use mvgnn_core::model::{MvGnn, MvGnnConfig};
-use mvgnn_core::{FaultPlan, MvGnnError, PredictionSource};
+use mvgnn_core::{CascadeConfig, FaultPlan, MvGnnError, PredictionSource};
 use mvgnn_dataset::{build_corpus, CorpusConfig, Suite};
 use mvgnn_embed::{Inst2Vec, Inst2VecConfig, SampleConfig};
 use mvgnn_ir::transform::OptLevel;
@@ -306,6 +306,7 @@ fn frontend_for(program: &str) -> (Arc<MvGnn>, Frontend) {
         cache_capacity: 64,
         max_steps: None,
         max_call_depth: None,
+        cascade: CascadeConfig::gnn_only(),
     };
     (model, frontend)
 }
@@ -373,6 +374,7 @@ fn chaos_storm_is_fully_accounted_and_panic_free() {
             cache_capacity: 64,
             max_steps: None,
             max_call_depth: None,
+            cascade: CascadeConfig::default(),
         };
         (model, frontend)
     };
@@ -391,6 +393,7 @@ fn chaos_storm_is_fully_accounted_and_panic_free() {
     let inputs = ChaosInputs {
         samples: samples_of(&ds),
         sources: vec![PROGRAM.to_string()],
+        oracles: Vec::new(),
     };
     let cfg = ChaosConfig {
         seed: 0xfeed,
@@ -418,5 +421,95 @@ fn chaos_storm_is_fully_accounted_and_panic_free() {
         .classify(Arc::clone(&inputs.samples[0]), Deadline::within(Duration::from_secs(10)))
         .expect("post-storm liveness");
     assert!(c.prediction <= 1);
+    server.shutdown();
+}
+
+#[test]
+fn oracle_storm_never_occupies_a_micro_batch_slot() {
+    // Every request in this storm carries a decisive oracle report, so
+    // tier 0 must answer all of them at submit time: no admission
+    // token, no queue slot, no micro-batch dispatch.
+    let ds = tiny_dataset();
+    let model = Arc::new(tiny_model(&ds));
+    let server = Server::start(
+        model,
+        ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_micros(500),
+            max_queue: 4, // tiny on purpose: queued requests would shed
+            max_inflight: 8,
+            workers: 1,
+        },
+    )
+    .expect("valid config");
+
+    let module = mvgnn_lang::compile(PROGRAM).expect("compiles");
+    let entry = module.func_by_name("main").expect("has main");
+    let reports: Vec<Arc<mvgnn_analyze::OracleReport>> = module.funcs[entry.index()]
+        .loops
+        .iter()
+        .map(|info| Arc::new(mvgnn_analyze::analyze_loop(&module, entry, info.id)))
+        .collect();
+    assert_eq!(reports.len(), 2, "DOALL + recurrence");
+    for r in &reports {
+        assert!(
+            mvgnn_core::oracle_decision(r).is_some(),
+            "storm requires decisive verdicts: {r:?}"
+        );
+    }
+
+    let samples = samples_of(&ds);
+    let oracles = (0..samples.len())
+        .map(|i| Some(Arc::clone(&reports[i % reports.len()])))
+        .collect();
+    let inputs = ChaosInputs { samples, sources: Vec::new(), oracles };
+    let cfg = ChaosConfig {
+        seed: 0xacce,
+        clients: 4,
+        requests_per_client: 64,
+        rate_per_client: 100_000.0, // would melt the tiny queue if batched
+        burst: 16,
+        deadline: Duration::from_secs(5),
+        source_frac: 0.0,
+        malformed_frac: 0.0,
+        starved_budget: false,
+    };
+    let report = run_chaos(&server, &inputs, &cfg);
+    assert_eq!(report.submitted, 4 * 64);
+    assert_eq!(report.accounted(), report.submitted, "{report:?}");
+    assert_eq!(
+        report.oracle_decided, report.submitted,
+        "every answer must come from tier 0: {report:?}"
+    );
+    assert_eq!(report.internal, 0, "{report:?}");
+
+    // The micro-batcher census: the whole storm cost it nothing.
+    let stats = server.stats();
+    assert_eq!(stats.oracle_decided, report.submitted);
+    assert_eq!(stats.batched_requests, 0, "oracle-decided work took a batch slot: {stats:?}");
+    assert_eq!(stats.batches, 0, "{stats:?}");
+    assert_eq!(stats.admitted, 0, "tier 0 must not consume admission tokens: {stats:?}");
+    assert_eq!(stats.shed + stats.expired + stats.rejected, 0, "{stats:?}");
+    assert_eq!(stats.panics_caught, 0);
+
+    // A single closed-loop request surfaces the provenance and facts.
+    let c = server
+        .classify_analyzed(
+            Arc::clone(&inputs.samples[0]),
+            Some(&reports[0]),
+            Deadline::within(Duration::from_secs(5)),
+        )
+        .expect("oracle-decided request");
+    assert_eq!(c.decided_by, mvgnn_core::DecidedBy::Oracle);
+    assert_eq!(c.source, PredictionSource::Oracle);
+    assert!(c.oracle_facts.is_some(), "tier-0 answers carry the facts: {c:?}");
+    assert_eq!(c.batched_with, 0);
+
+    // The GNN path still works after the storm (nothing was wedged).
+    let gnn = server
+        .classify(Arc::clone(&inputs.samples[0]), Deadline::within(Duration::from_secs(10)))
+        .expect("post-storm liveness");
+    assert!(gnn.prediction <= 1);
+    assert_eq!(gnn.decided_by, mvgnn_core::DecidedBy::Gnn);
     server.shutdown();
 }

@@ -31,6 +31,9 @@ cargo run --release -p mvgnn-bench --bin serve --quiet -- --smoke
 echo "==> corpus label audit (static oracle vs profiler, smoke slice)"
 cargo run --release -p mvgnn-bench --bin lint --quiet -- --smoke
 
+echo "==> cascade smoke (tier-0 short-circuit rate > 0, throughput >= pure GNN)"
+cargo run --release -p mvgnn-bench --bin cascade --quiet -- --smoke
+
 echo "==> rustdoc (-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -170,6 +170,7 @@ fn corrupted_checkpoints_are_rejected() {
         epoch: 2,
         lr: 1e-3,
         retries: 0,
+        calibration: Some(1.25),
         stats: vec![EpochStats { epoch: 2, loss: 0.5, accuracy: 0.7 }],
         weights: (0u32..600).flat_map(|x| x.to_le_bytes()).collect(),
     };
@@ -284,6 +285,7 @@ fn malformed_sources_through_the_service_are_typed() {
             cache_capacity: 64,
             max_steps: None,
             max_call_depth: None,
+            cascade: mvgnn::core::CascadeConfig::default(),
         },
         ServeConfig::default(),
     )
