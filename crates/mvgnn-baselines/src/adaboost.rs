@@ -101,7 +101,9 @@ impl AdaBoost {
                     );
                 }
             }
-            let (mut stump, err) = best.expect("at least one stump");
+            let Some((mut stump, err)) = best else {
+                break; // zero-width feature vectors: nothing to boost on
+            };
             let err = err.max(1e-10);
             if err >= 0.5 {
                 break; // no weak learner better than chance

@@ -3,6 +3,16 @@
 //! dependence graph and the dataset's labels over the full generated
 //! corpus.
 //!
+//! Since the sharded-pipeline refactor the audit runs *per shard*: the
+//! corpus work units are dealt across shards by the same
+//! [`mvgnn_dataset::ShardPlan`] the generator uses, each shard is
+//! audited independently (in parallel), and the per-shard reports are
+//! merged into one. Merge semantics: counters sum, row lists
+//! concatenate and re-sort into the canonical `(seed, app, level,
+//! loop)` order — so the merged report is byte-identical for every
+//! shard count, and a violation found by any shard is fatal for the
+//! whole audit.
+//!
 //! Two soundness rules are *fatal* (non-zero exit):
 //!
 //! - **Rule A** — a loop the oracle marks `ProvablyParallel` must not
@@ -17,13 +27,15 @@
 //! Everything else is reported, not enforced: disagreements with the
 //! dynamic classifier, mismatches against the (noise-injected) dataset
 //! label, and the oracle's `Unknown` coverage. The full run writes
-//! `LINT_report.json`; `--smoke` audits a single seed at `-O0` and
-//! writes nothing (the CI wiring check).
+//! `LINT_report.json`; `--smoke` audits a single seed at `-O0` split
+//! across two shards and writes nothing (the CI wiring check, covering
+//! the shard merge). `--shards N` overrides the shard count.
 
 use mvgnn_analyze::{analyze_loop, Verdict};
-use mvgnn_dataset::{base_key, generate_suite, noisy_label, CorpusConfig};
+use mvgnn_dataset::{base_key, generate_app, noisy_label, CorpusConfig, ShardPlan};
 use mvgnn_ir::transform::{optimize, OptLevel};
 use mvgnn_profiler::{classify_loop, profile_module};
+use rayon::prelude::*;
 
 /// One audited loop (a base loop under one optimisation level).
 struct Audited {
@@ -48,106 +60,166 @@ struct Violation {
     detail: String,
 }
 
+/// What one shard's audit observed; merged across shards below.
+struct ShardAudit {
+    shard_id: usize,
+    audited: Vec<Audited>,
+    violations: Vec<Violation>,
+    profile_failures: usize,
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Audit the work units one shard of the plan owns.
+fn audit_shard(
+    plan: &ShardPlan,
+    shard_id: usize,
+    levels: &[OptLevel],
+    noise_cfg: &CorpusConfig,
+) -> ShardAudit {
+    let mut audited: Vec<Audited> = Vec::new();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut profile_failures = 0usize;
+
+    for &(seed, spec) in plan.units_of(shard_id) {
+        let app = generate_app(spec, seed);
+        for &level in levels {
+            let module = optimize(&app.module, level);
+            let res = match profile_module(&module, app.entry, &[]) {
+                Ok(r) => r,
+                Err(e) => {
+                    profile_failures += 1;
+                    eprintln!(
+                        "[lint] shard {shard_id}: profile failed: {} seed {seed} {level:?}: {e}",
+                        app.spec.name
+                    );
+                    continue;
+                }
+            };
+            for (i, &(f, l, pattern)) in app.loops.iter().enumerate() {
+                if !res.loops.contains_key(&(f, l)) {
+                    continue; // never executed under this input
+                }
+                let kind = app.loop_kinds[i];
+                let report = analyze_loop(&module, f, l);
+                let truth = usize::from(pattern.is_parallelizable());
+                let key = base_key(app.spec.name, seed, f, l);
+                let label = noisy_label(key, noise_cfg.seed, noise_cfg.label_noise, truth);
+                let carried = res.deps.carried_by(f, l);
+
+                // Rule A: a parallel proof excuses only its own
+                // reduction chains; any other observed carried
+                // dependence falsifies it.
+                if report.verdict == Verdict::ProvablyParallel {
+                    for d in &carried {
+                        if !(report.excused.contains(&d.src)
+                            && report.excused.contains(&d.dst))
+                        {
+                            violations.push(Violation {
+                                rule: "A",
+                                detail: format!(
+                                    "{} seed {seed} {level:?} {kind:?} loop f{}:l{}: \
+                                     proved parallel but observed carried {} {} -> {}",
+                                    app.spec.name, f.0, l.0, d.kind, d.src, d.dst
+                                ),
+                            });
+                        }
+                    }
+                }
+                // Rule B: a dependence proof on a loop the generator
+                // built to be parallelisable is a false proof.
+                if report.verdict == Verdict::ProvablyDependent && truth == 1 {
+                    violations.push(Violation {
+                        rule: "B",
+                        detail: format!(
+                            "{} seed {seed} {level:?} {kind:?} loop f{}:l{}: \
+                             proved dependent but pattern {pattern:?} is parallelisable",
+                            app.spec.name, f.0, l.0
+                        ),
+                    });
+                }
+
+                let dynamic = classify_loop(&module, f, l, &res.deps).is_parallelizable();
+                let dynamic_agrees = match report.verdict {
+                    Verdict::ProvablyParallel => dynamic,
+                    Verdict::ProvablyDependent => !dynamic,
+                    Verdict::Unknown => true,
+                };
+                audited.push(Audited {
+                    app: app.spec.name,
+                    seed,
+                    level,
+                    kind: format!("{kind:?}"),
+                    loop_id: format!("f{}:l{}", f.0, l.0),
+                    verdict: report.verdict,
+                    dynamic_agrees,
+                    dataset_label: label,
+                    truth_label: truth,
+                    trace_limited: kind.trace_limited(),
+                });
+            }
+        }
+    }
+    ShardAudit { shard_id, audited, violations, profile_failures }
+}
+
+/// Merge per-shard audits into one report: counters sum, rows re-sort
+/// into the canonical order so the result is shard-count invariant.
+fn merge(mut shards: Vec<ShardAudit>) -> (Vec<Audited>, Vec<Violation>, usize) {
+    shards.sort_by_key(|s| s.shard_id);
+    let mut audited: Vec<Audited> = Vec::new();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut profile_failures = 0usize;
+    for s in shards {
+        audited.extend(s.audited);
+        violations.extend(s.violations);
+        profile_failures += s.profile_failures;
+    }
+    audited.sort_by(|a, b| {
+        (a.seed, a.app, a.level, &a.loop_id).cmp(&(b.seed, b.app, b.level, &b.loop_id))
+    });
+    violations.sort_by(|a, b| (a.rule, &a.detail).cmp(&(b.rule, &b.detail)));
+    (audited, violations, profile_failures)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let num_shards = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(if smoke { 2 } else { 4 })
+        .max(1);
     // The default matches the Default-scale corpus of `pipeline_config`
     // (seeds 1..=2, all six optimisation variants); smoke is one seed at
-    // -O0, seconds-scale.
+    // -O0 split over two shards, seconds-scale.
     let (seeds, levels): (Vec<u64>, Vec<OptLevel>) = if smoke {
         (vec![1], vec![OptLevel::O0])
     } else {
         (vec![1, 2], OptLevel::ALL.to_vec())
     };
     let noise_cfg = CorpusConfig::default();
+    let plan_cfg = CorpusConfig { seeds, suite: None, ..CorpusConfig::default() };
+    let plan = ShardPlan::new(&plan_cfg, num_shards);
 
-    let mut audited: Vec<Audited> = Vec::new();
-    let mut violations: Vec<Violation> = Vec::new();
-    let mut profile_failures = 0usize;
-
-    for &seed in &seeds {
-        for app in generate_suite(None, seed) {
-            for &level in &levels {
-                let module = optimize(&app.module, level);
-                let res = match profile_module(&module, app.entry, &[]) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        profile_failures += 1;
-                        eprintln!("[lint] profile failed: {} seed {seed} {level:?}: {e}", app.spec.name);
-                        continue;
-                    }
-                };
-                for (i, &(f, l, pattern)) in app.loops.iter().enumerate() {
-                    if !res.loops.contains_key(&(f, l)) {
-                        continue; // never executed under this input
-                    }
-                    let kind = app.loop_kinds[i];
-                    let report = analyze_loop(&module, f, l);
-                    let truth = usize::from(pattern.is_parallelizable());
-                    let key = base_key(app.spec.name, seed, f, l);
-                    let label =
-                        noisy_label(key, noise_cfg.seed, noise_cfg.label_noise, truth);
-                    let carried = res.deps.carried_by(f, l);
-
-                    // Rule A: a parallel proof excuses only its own
-                    // reduction chains; any other observed carried
-                    // dependence falsifies it.
-                    if report.verdict == Verdict::ProvablyParallel {
-                        for d in &carried {
-                            if !(report.excused.contains(&d.src)
-                                && report.excused.contains(&d.dst))
-                            {
-                                violations.push(Violation {
-                                    rule: "A",
-                                    detail: format!(
-                                        "{} seed {seed} {level:?} {kind:?} loop f{}:l{}: \
-                                         proved parallel but observed carried {} {} -> {}",
-                                        app.spec.name, f.0, l.0, d.kind, d.src, d.dst
-                                    ),
-                                });
-                            }
-                        }
-                    }
-                    // Rule B: a dependence proof on a loop the generator
-                    // built to be parallelisable is a false proof.
-                    if report.verdict == Verdict::ProvablyDependent && truth == 1 {
-                        violations.push(Violation {
-                            rule: "B",
-                            detail: format!(
-                                "{} seed {seed} {level:?} {kind:?} loop f{}:l{}: \
-                                 proved dependent but pattern {pattern:?} is parallelisable",
-                                app.spec.name, f.0, l.0
-                            ),
-                        });
-                    }
-
-                    let dynamic =
-                        classify_loop(&module, f, l, &res.deps).is_parallelizable();
-                    let dynamic_agrees = match report.verdict {
-                        Verdict::ProvablyParallel => dynamic,
-                        Verdict::ProvablyDependent => !dynamic,
-                        Verdict::Unknown => true,
-                    };
-                    audited.push(Audited {
-                        app: app.spec.name,
-                        seed,
-                        level,
-                        kind: format!("{kind:?}"),
-                        loop_id: format!("f{}:l{}", f.0, l.0),
-                        verdict: report.verdict,
-                        dynamic_agrees,
-                        dataset_label: label,
-                        truth_label: truth,
-                        trace_limited: kind.trace_limited(),
-                    });
-                }
-            }
-        }
+    let shard_audits: Vec<ShardAudit> = (0..num_shards)
+        .into_par_iter()
+        .map(|s| audit_shard(&plan, s, &levels, &noise_cfg))
+        .collect();
+    for s in &shard_audits {
+        println!(
+            "shard {}/{num_shards}: {} loops audited, {} violations, {} profile failures",
+            s.shard_id,
+            s.audited.len(),
+            s.violations.len(),
+            s.profile_failures
+        );
     }
+    let (audited, violations, profile_failures) = merge(shard_audits);
 
     let total = audited.len();
     let count = |v: Verdict| audited.iter().filter(|a| a.verdict == v).count();
@@ -170,7 +242,7 @@ fn main() {
         .filter(|a| a.dataset_label != a.truth_label)
         .count();
 
-    println!("audited loops:          {total}");
+    println!("audited loops:          {total} (merged from {num_shards} shards)");
     println!("  provably parallel:    {n_par}");
     println!("  provably dependent:   {n_dep}");
     println!(
@@ -215,7 +287,8 @@ fn main() {
         let dyn_rows: Vec<String> = dyn_disagree.iter().map(|a| row(a)).collect();
         let label_rows: Vec<String> = label_mismatch.iter().map(|a| row(a)).collect();
         let json = format!(
-            "{{\n  \"audited\": {total},\n  \"verdicts\": {{\"parallel\": {n_par}, \
+            "{{\n  \"audited\": {total},\n  \"shards\": {num_shards},\n  \
+             \"verdicts\": {{\"parallel\": {n_par}, \
              \"dependent\": {n_dep}, \"unknown\": {n_unk}}},\n  \
              \"unknown_rate\": {:.4},\n  \"profile_failures\": {profile_failures},\n  \
              \"violations\": [\n{}\n  ],\n  \

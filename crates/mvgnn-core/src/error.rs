@@ -24,6 +24,9 @@ pub enum MvGnnError {
     /// A checkpoint file failed structural validation (bad magic,
     /// length mismatch, checksum mismatch, …).
     Checkpoint(String),
+    /// An on-disk corpus shard (or its embedding artifact) is corrupt
+    /// or unreadable.
+    Shard(mvgnn_dataset::ShardError),
     /// Training diverged and exhausted its rollback retries.
     Diverged {
         /// Epoch at which the final divergence was detected.
@@ -45,6 +48,7 @@ impl std::fmt::Display for MvGnnError {
             MvGnnError::Persist(e) => write!(f, "persistence error: {e}"),
             MvGnnError::Io(e) => write!(f, "I/O error: {e}"),
             MvGnnError::Checkpoint(msg) => write!(f, "invalid checkpoint: {msg}"),
+            MvGnnError::Shard(e) => write!(f, "corpus shard error: {e}"),
             MvGnnError::Diverged { epoch, retries, loss } => write!(
                 f,
                 "training diverged at epoch {epoch} (loss {loss}) after {retries} rollback retries"
@@ -59,6 +63,7 @@ impl std::error::Error for MvGnnError {
             MvGnnError::Compile(e) => Some(e),
             MvGnnError::Persist(e) => Some(e),
             MvGnnError::Io(e) => Some(e),
+            MvGnnError::Shard(e) => Some(e),
             _ => None,
         }
     }
@@ -85,6 +90,12 @@ impl From<PersistError> for MvGnnError {
 impl From<std::io::Error> for MvGnnError {
     fn from(e: std::io::Error) -> Self {
         MvGnnError::Io(e)
+    }
+}
+
+impl From<mvgnn_dataset::ShardError> for MvGnnError {
+    fn from(e: mvgnn_dataset::ShardError) -> Self {
+        MvGnnError::Shard(e)
     }
 }
 

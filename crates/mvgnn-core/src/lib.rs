@@ -24,6 +24,7 @@ pub mod infer;
 pub mod model;
 pub mod patterns;
 pub mod pipeline;
+pub mod streaming;
 pub mod suggest;
 pub mod trainer;
 pub mod views;
@@ -39,5 +40,6 @@ pub use views::{NodeFeatureEncoder, StructuralEncoder, ViewEncoder};
 pub use pipeline::{evaluate_tools, evaluate_tools_with_noise, run_pipeline, PipelineConfig, PipelineReport};
 pub use patterns::{pattern_confusion, predict_pattern, train_patterns, PATTERN_CLASSES};
 pub use suggest::{annotate_function, suggest, Suggestion};
+pub use streaming::{train_streaming, StreamConfig};
 pub use trainer::{train, EpochStats, TrainConfig};
 pub use views::{view_importance, ViewImportance};

@@ -25,6 +25,7 @@ use mvgnn_dataset::LabeledSample;
 use mvgnn_embed::GraphBatch;
 use mvgnn_tensor::optim::{clip_grad_norm, Adam};
 use mvgnn_tensor::tape::{argmax_rows, GradStore, Tape};
+use mvgnn_tensor::Workspace;
 use rayon::prelude::*;
 use std::path::PathBuf;
 
@@ -87,7 +88,7 @@ pub struct EpochStats {
     pub accuracy: f32,
 }
 
-fn mix(seed: u64, v: u64) -> u64 {
+pub(crate) fn mix(seed: u64, v: u64) -> u64 {
     let mut z = seed ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z ^ (z >> 31)
@@ -102,16 +103,20 @@ fn mix(seed: u64, v: u64) -> u64 {
 /// the shard size before `backward` to keep the historical
 /// sum-of-per-sample-losses gradient semantics: shard boundaries change
 /// only f32 summation order, never the math.
-fn shard_grads(
+pub(crate) fn shard_grads(
     model: &MvGnn,
     shard: &[&LabeledSample],
     aux_weight: f32,
+    ws: &mut Workspace,
 ) -> (GradStore, f64, usize) {
     let temperature = model.cfg.temperature;
     let classes = model.cfg.classes;
     let samples: Vec<&mvgnn_embed::GraphSample> = shard.iter().map(|s| &s.sample).collect();
     let labels: Vec<usize> = shard.iter().map(|s| s.label).collect();
-    let batch = GraphBatch::from_samples(&samples);
+    // Pooled packing: once the workspace is warm this allocates nothing,
+    // and the batch buffers go back to the pool below — per-step RSS is
+    // bounded by the largest batch ever packed, not the batch count.
+    let batch = GraphBatch::from_samples_in(ws, &samples);
 
     let mut tape = Tape::new(&model.params);
     let fwd = model.forward_batch(&mut tape, &batch);
@@ -132,7 +137,57 @@ fn shard_grads(
     let total = tape.scale(loss, shard.len() as f32);
     let loss_sum = tape.data(total)[0] as f64;
     tape.backward(total);
-    (tape.into_grads(), loss_sum, correct)
+    let grads = tape.into_grads();
+    batch.recycle(ws);
+    (grads, loss_sum, correct)
+}
+
+/// One pooled workspace per data-parallel worker slot; reused across
+/// every batch and epoch of a run.
+pub(crate) fn grad_pools(cfg: &TrainConfig) -> Vec<Workspace> {
+    let slots = if cfg.parallel { rayon::current_num_threads().max(1) } else { 1 };
+    (0..slots).map(|_| Workspace::new()).collect()
+}
+
+/// One optimizer step over one batch: data-parallel gradient
+/// accumulation, clip, step. Returns `None` when a non-finite gradient
+/// norm was observed (the step is NOT applied), otherwise the batch's
+/// `(summed loss, correct count)`.
+pub(crate) fn step_batch(
+    model: &mut MvGnn,
+    batch: &[&LabeledSample],
+    cfg: &TrainConfig,
+    opt: &mut Adam,
+    pools: &mut [Workspace],
+) -> Option<(f64, usize)> {
+    let shard_size = batch.len().div_ceil(pools.len().max(1));
+    let results: Vec<(GradStore, f64, usize)> = if cfg.parallel && batch.len() > 1 {
+        let shared: &MvGnn = model;
+        batch
+            .par_chunks(shard_size)
+            .zip(pools.par_iter_mut())
+            .map(|(shard, ws)| shard_grads(shared, shard, cfg.aux_weight, ws))
+            .collect()
+    } else {
+        vec![shard_grads(model, batch, cfg.aux_weight, &mut pools[0])]
+    };
+    let mut master = GradStore::zeros_like(&model.params);
+    let mut loss = 0.0f64;
+    let mut correct = 0usize;
+    for (local, l, c) in results {
+        master.absorb(&local);
+        loss += l;
+        correct += c;
+    }
+    // clip_grad_norm returns the PRE-clip norm, so a NaN/Inf gradient
+    // anywhere in the sidecar surfaces here — bail before the optimizer
+    // step can smear it into the weights.
+    let grad_norm = clip_grad_norm(&mut master, cfg.clip);
+    if !grad_norm.is_finite() {
+        return None;
+    }
+    opt.step(&mut model.params, &master);
+    Some((loss, correct))
 }
 
 /// Outcome of one epoch over the data.
@@ -149,35 +204,21 @@ fn run_epoch(
     order: &[usize],
     cfg: &TrainConfig,
     opt: &mut Adam,
+    pools: &mut [Workspace],
 ) -> EpochRun {
     let mut epoch_loss = 0.0f64;
     let mut epoch_correct = 0usize;
     for batch_idx in order.chunks(cfg.batch_size) {
         let batch: Vec<&LabeledSample> = batch_idx.iter().map(|&i| &data[i]).collect();
-        let threads = if cfg.parallel { rayon::current_num_threads().max(1) } else { 1 };
-        let shard_size = batch.len().div_ceil(threads);
-        let results: Vec<(GradStore, f64, usize)> = if cfg.parallel && batch.len() > 1 {
-            batch
-                .par_chunks(shard_size)
-                .map(|shard| shard_grads(model, shard, cfg.aux_weight))
-                .collect()
-        } else {
-            vec![shard_grads(model, &batch, cfg.aux_weight)]
-        };
-        let mut master = GradStore::zeros_like(&model.params);
-        for (local, loss, correct) in results {
-            master.absorb(&local);
-            epoch_loss += loss;
-            epoch_correct += correct;
+        match step_batch(model, &batch, cfg, opt, pools) {
+            Some((loss, correct)) => {
+                epoch_loss += loss;
+                epoch_correct += correct;
+            }
+            None => {
+                return EpochRun::Diverged { loss: (epoch_loss / data.len() as f64) as f32 }
+            }
         }
-        // clip_grad_norm returns the PRE-clip norm, so a NaN/Inf gradient
-        // anywhere in the sidecar surfaces here — bail before the
-        // optimizer step can smear it into the weights.
-        let grad_norm = clip_grad_norm(&mut master, cfg.clip);
-        if !grad_norm.is_finite() {
-            return EpochRun::Diverged { loss: (epoch_loss / data.len() as f64) as f32 };
-        }
-        opt.step(&mut model.params, &master);
     }
     let loss = (epoch_loss / data.len() as f64) as f32;
     if !loss.is_finite() {
@@ -228,6 +269,7 @@ pub fn train(
     let mut last_good = model.save();
     let mut fault_armed = cfg.fault.as_ref().and_then(|f| f.poison_at_epoch).is_some();
     let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut pools = grad_pools(cfg);
     let mut epoch = start_epoch;
     while epoch < cfg.epochs {
         if let Some(plan) = &cfg.fault {
@@ -238,7 +280,7 @@ pub fn train(
         }
         // Deterministic shuffle.
         order.sort_by_key(|&i| mix(cfg.seed ^ epoch as u64, i as u64));
-        match run_epoch(model, data, &order, cfg, &mut opt) {
+        match run_epoch(model, data, &order, cfg, &mut opt, &mut pools) {
             EpochRun::Done { loss, accuracy } => {
                 stats.push(EpochStats { epoch, loss, accuracy });
                 last_good = model.save();

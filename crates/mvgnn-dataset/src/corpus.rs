@@ -1,14 +1,23 @@
 //! Labeled corpus assembly: generate suites, apply the six optimisation
 //! variants, profile, extract per-loop samples, balance and split.
+//!
+//! Since the sharded-pipeline refactor the generation itself lives in
+//! [`crate::shard`]: [`build_corpus`] is now the single-process
+//! composition of the three pipeline stages — vocabulary pass
+//! ([`crate::shard::fit_inst2vec`]), shard generation
+//! ([`crate::shard::generate_shard`] over one shard), and the in-memory
+//! assembly ([`assemble_dataset`]) that sorts, splits, balances and
+//! noise-injects. Assembly consumes the *union* of shards through a
+//! total order, so any `(num_shards, shard_id)` partition of the same
+//! configuration assembles to a bit-identical [`Dataset`].
 
 use crate::kernels::PatternKind;
-use crate::suites::{generate_suite, GeneratedApp, Suite};
+use crate::suites::{GeneratedApp, Suite};
 use mvgnn_analyze::{analyze_loop, OracleReport};
 use mvgnn_embed::{build_sample_with_static, GraphSample, Inst2Vec, Inst2VecConfig, SampleConfig};
-use mvgnn_ir::transform::{optimize, OptLevel};
+use mvgnn_ir::transform::OptLevel;
 use mvgnn_peg::{build_peg, loop_subpeg};
 use mvgnn_profiler::{build_cus, loop_features, profile_module};
-use rayon::prelude::*;
 
 
 /// One labeled classification sample with provenance.
@@ -27,6 +36,11 @@ pub struct LabeledSample {
     /// Identity of the *source* loop shared by all augmented variants —
     /// the unit of the train/test split (no leakage across variants).
     pub base_key: u64,
+    /// Optimisation level of this augmented variant. Together with
+    /// `base_key` this identifies the sample uniquely, which is what
+    /// makes the assembly order a *total* order independent of which
+    /// shard produced the sample.
+    pub level: OptLevel,
 }
 
 /// Corpus construction configuration.
@@ -144,10 +158,11 @@ fn fxhash(s: &str) -> u64 {
 }
 
 /// Extract every loop sample from one (already optimised) app variant.
-fn samples_of_variant(
+pub(crate) fn samples_of_variant(
     app: &GeneratedApp,
     module: &mvgnn_ir::Module,
     seed: u64,
+    level: OptLevel,
     inst2vec: &Inst2Vec,
     cfg: &CorpusConfig,
 ) -> Vec<LabeledSample> {
@@ -185,6 +200,7 @@ fn samples_of_variant(
                 suite: app.spec.suite,
                 app: app.spec.name.to_string(),
                 base_key: key,
+                level,
             })
         })
         .collect()
@@ -192,34 +208,35 @@ fn samples_of_variant(
 
 /// Build the full corpus: generate, augment, profile, embed, balance,
 /// split. Deterministic for a fixed configuration.
+///
+/// This is the single-process composition of the sharded pipeline: the
+/// vocabulary pass, one shard covering every work unit, and the
+/// in-memory assembly. Generating over any other shard count and
+/// assembling the union produces a bit-identical dataset (pinned by the
+/// shard-determinism tests).
 pub fn build_corpus(cfg: &CorpusConfig) -> Dataset {
-    // Generate apps for every seed.
-    let apps: Vec<(u64, GeneratedApp)> = cfg
-        .seeds
-        .iter()
-        .flat_map(|&s| generate_suite(cfg.suite, s).into_iter().map(move |a| (s, a)))
-        .collect();
+    let inst2vec = crate::shard::fit_inst2vec(cfg);
+    let all = crate::shard::generate_shard(cfg, &inst2vec, 0, 1);
+    assemble_dataset(all, inst2vec, cfg)
+}
 
-    // Train inst2vec on the unoptimised modules.
-    let corpus_modules: Vec<&mvgnn_ir::Module> = apps.iter().map(|(_, a)| &a.module).collect();
-    let inst2vec = Inst2Vec::train(&corpus_modules, &cfg.inst2vec);
-
-    // Profile every (app, opt level) variant in parallel.
-    let mut all: Vec<LabeledSample> = apps
-        .par_iter()
-        .flat_map(|(seed, app)| {
-            cfg.opt_levels
-                .par_iter()
-                .flat_map(|&level| {
-                    let module = optimize(&app.module, level);
-                    samples_of_variant(app, &module, *seed, &inst2vec, cfg)
-                })
-                .collect::<Vec<_>>()
-        })
-        .collect();
-
-    // Deterministic order before any selection.
-    all.sort_by_key(|s| (s.base_key, s.sample.n, s.label));
+/// Assemble a [`Dataset`] from the union of shard outputs: establish the
+/// canonical total order, split by base loop, balance both sides and
+/// apply the annotation noise.
+///
+/// The order of `all` does not matter — the first step sorts by
+/// `(base_key, n, label, level)`, which identifies each sample uniquely
+/// (`base_key` names the source loop, `level` its augmented variant) —
+/// so a union gathered from any shard partition assembles identically.
+pub fn assemble_dataset(
+    mut all: Vec<LabeledSample>,
+    inst2vec: Inst2Vec,
+    cfg: &CorpusConfig,
+) -> Dataset {
+    // Canonical total order before any selection. `n` and `label` are
+    // redundant given `(base_key, level)` but kept first for
+    // compatibility with the historical `(base_key, n, label)` ordering.
+    all.sort_by_key(|s| (s.base_key, s.sample.n, s.label, s.level));
 
     // Split by base loop (variants stay together).
     let is_test = |s: &LabeledSample| {

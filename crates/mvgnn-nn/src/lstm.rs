@@ -65,7 +65,9 @@ impl Lstm {
                 Some(prev) => tape.concat_rows(prev, h),
             });
         }
-        (outputs.expect("non-empty sequence"), h)
+        // `t_len > 0` is asserted above, so the loop ran at least once
+        // and `outputs` is always set; the fallback keeps the zero state.
+        (outputs.unwrap_or(h), h)
     }
 }
 

@@ -28,8 +28,11 @@ cargo run --release -p mvgnn-bench --features count-allocs --bin throughput --qu
 echo "==> serve smoke (forced-overload storm: typed sheds, zero panics, liveness)"
 cargo run --release -p mvgnn-bench --bin serve --quiet -- --smoke
 
-echo "==> corpus label audit (static oracle vs profiler, smoke slice)"
+echo "==> corpus label audit (static oracle vs profiler, per-shard merge, smoke slice)"
 cargo run --release -p mvgnn-bench --bin lint --quiet -- --smoke
+
+echo "==> corpus pipeline smoke (shard-union parity + bounded-RSS streaming epoch)"
+cargo run --release -p mvgnn-bench --bin corpus --quiet -- --smoke
 
 echo "==> cascade smoke (tier-0 short-circuit rate > 0, throughput >= pure GNN)"
 cargo run --release -p mvgnn-bench --bin cascade --quiet -- --smoke
