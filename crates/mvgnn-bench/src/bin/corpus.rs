@@ -22,7 +22,7 @@ use mvgnn_core::trainer::evaluate;
 use mvgnn_core::{train_streaming, MvGnn, MvGnnConfig, StreamConfig, TrainConfig};
 use mvgnn_dataset::{
     build_corpus, fit_inst2vec, generate_shard, load_inst2vec, save_inst2vec, write_shard,
-    CorpusConfig, LabeledSample, ShardReader, Suite,
+    write_shard_resumable, CorpusConfig, LabeledSample, ShardReader, Suite,
 };
 use mvgnn_embed::{Inst2Vec, Inst2VecConfig};
 use mvgnn_ir::transform::OptLevel;
@@ -114,21 +114,33 @@ fn corpus_cfg(seeds: Vec<u64>, levels: Vec<OptLevel>, i2v_dim: usize, noise: f64
 
 /// Write every shard of `cfg` under `dir`, returning the paths and the
 /// total sample count. Shards are written one after another — each
-/// `write_shard` call is internally data-parallel already.
+/// `write_shard` call is internally data-parallel already. With
+/// `resume`, shards already on disk that verify (header identity +
+/// every record checksum) are skipped instead of regenerated, so a
+/// crashed generation run restarts from where it died.
 fn write_all_shards(
     dir: &Path,
     cfg: &CorpusConfig,
     emb: &Inst2Vec,
     num_shards: usize,
-) -> (Vec<PathBuf>, usize) {
+    resume: bool,
+) -> (Vec<PathBuf>, usize, usize) {
     let mut paths = Vec::with_capacity(num_shards);
     let mut total = 0usize;
+    let mut reused = 0usize;
     for s in 0..num_shards {
-        let (path, n) = mvgnn_bench::or_die(write_shard(dir, cfg, emb, s, num_shards));
+        let (path, n) = if resume {
+            let (path, n, skipped) =
+                mvgnn_bench::or_die(write_shard_resumable(dir, cfg, emb, s, num_shards));
+            reused += skipped as usize;
+            (path, n)
+        } else {
+            mvgnn_bench::or_die(write_shard(dir, cfg, emb, s, num_shards))
+        };
         total += n;
         paths.push(path);
     }
-    (paths, total)
+    (paths, total, reused)
 }
 
 fn read_all(shards: &[PathBuf]) -> Vec<LabeledSample> {
@@ -180,7 +192,14 @@ fn smoke() {
     mvgnn_bench::or_die(save_inst2vec(&dir.join("inst2vec.bin"), &emb));
     let emb = mvgnn_bench::or_die(load_inst2vec(&dir.join("inst2vec.bin")));
     let mono = generate_shard(&cfg, &emb, 0, 1);
-    let (shards, written) = write_all_shards(&dir, &cfg, &emb, 2);
+    let (shards, written, _) = write_all_shards(&dir, &cfg, &emb, 2, false);
+    // Resume over intact shards must be a pure skip: same paths, same
+    // counts, nothing rewritten.
+    let (reshards, rewritten, reskipped) = write_all_shards(&dir, &cfg, &emb, 2, true);
+    if reshards != shards || rewritten != written || reskipped != 2 {
+        eprintln!("FAIL: --resume regenerated verified shards (skipped {reskipped}/2)");
+        std::process::exit(1);
+    }
     let mut union = read_all(&shards);
     union.sort_by_key(|s| (s.base_key, s.sample.n, s.label, s.level));
     if union.len() != mono.len() || written != mono.len() {
@@ -198,13 +217,14 @@ fn smoke() {
         }
     }
     println!("parity:    2-shard union bit-identical to single-process build ({} samples)", mono.len());
+    println!("resume:    rerun skipped both verified shards");
 
     // Bounded-RSS streaming epoch through the prefetch ring.
     let mut model = model_for(&shards);
     let train = TrainConfig { epochs: 1, batch_size: 8, ..Default::default() };
     let before = vm_rss();
     let (res, peak) = peak_rss_during(|| {
-        train_streaming(&mut model, &shards, &train, &StreamConfig { prefetch: 2 })
+        train_streaming(&mut model, &shards, &train, &StreamConfig { prefetch: 2, ..Default::default() })
     });
     let stats = mvgnn_bench::or_die(res);
     let grew = peak.saturating_sub(before);
@@ -235,7 +255,7 @@ fn scaling_point(dir: &Path, n_seeds: usize, test: &[LabeledSample]) -> (usize, 
     let sub = dir.join(format!("scale_{n_seeds}"));
     mvgnn_bench::or_die(std::fs::create_dir_all(&sub));
     let emb = fit_inst2vec(&cfg);
-    let (shards, total) = write_all_shards(&sub, &cfg, &emb, 2);
+    let (shards, total, _) = write_all_shards(&sub, &cfg, &emb, 2, false);
     let mut model = model_for(&shards);
     let train = TrainConfig { epochs: 10, batch_size: 32, ..Default::default() };
     mvgnn_bench::or_die(train_streaming(&mut model, &shards, &train, &StreamConfig::default()));
@@ -251,9 +271,12 @@ fn main() {
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
+    let resume = args.iter().any(|a| a == "--resume");
 
     let dir = std::env::temp_dir().join("mvgnn_bench_corpus_full");
-    std::fs::remove_dir_all(&dir).ok();
+    if !resume {
+        std::fs::remove_dir_all(&dir).ok();
+    }
     mvgnn_bench::or_die(std::fs::create_dir_all(&dir));
 
     // ≥100k-loop corpus: 20 seeds × 840 Table II loops × 6 optimisation
@@ -269,9 +292,12 @@ fn main() {
     let inst2vec_secs = t.elapsed().as_secs_f64();
     eprintln!("[corpus] inst2vec fit + artifact round-trip: {inst2vec_secs:.1}s");
 
-    eprintln!("[corpus] generating {FULL_SHARDS} shards…");
+    eprintln!("[corpus] generating {FULL_SHARDS} shards{}…", if resume { " (resume)" } else { "" });
     let t = Instant::now();
-    let (shards, total) = write_all_shards(&dir, &cfg, &emb, FULL_SHARDS);
+    let (shards, total, reused) = write_all_shards(&dir, &cfg, &emb, FULL_SHARDS, resume);
+    if reused > 0 {
+        eprintln!("[corpus] resume skipped {reused}/{FULL_SHARDS} verified shards");
+    }
     let gen_secs = t.elapsed().as_secs_f64();
     let bytes = disk_bytes(&shards);
     let gen_rate = total as f64 / gen_secs;

@@ -36,8 +36,8 @@ fn main() {
     });
     let f_serial = b.finish();
 
-    let rd = profile_module(&m, f_doall, &[]).expect("doall run");
-    let rs = profile_module(&m, f_serial, &[]).expect("serial run");
+    let rd = mvgnn_bench::or_die(profile_module(&m, f_doall, &[]));
+    let rs = mvgnn_bench::or_die(profile_module(&m, f_serial, &[]));
     let fd = loop_features(&m, f_doall, l_doall, &rd.deps, &rd.loops[&(f_doall, l_doall)]);
     let fs = loop_features(&m, f_serial, l_serial, &rs.deps, &rs.loops[&(f_serial, l_serial)]);
 

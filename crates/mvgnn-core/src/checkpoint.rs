@@ -18,15 +18,67 @@
 //! and checksum before any byte of the payload is interpreted, and every
 //! failure is a typed [`MvGnnError::Checkpoint`] — corrupt files degrade
 //! to an error, never a panic.
+//!
+//! ## The mapped generation (on-disk version 3, "MVCK-v2")
+//!
+//! Versions 1–2 above are the *eager* layouts: the weight payload is an
+//! opaque `save_params` blob that must be parsed f32-by-f32 into owned
+//! buffers. On-disk version 3 is the zero-copy generation — docs and
+//! ROADMAP call it MVCK-v2, the second-generation artifact story. It
+//! adds a feature-flag word (explicit compatibility: a reader that sees
+//! a flag bit it does not know refuses the file with a typed error
+//! instead of guessing, in the style of `sui-protocol-config`), and
+//! lays tensors out for direct mapping:
+//!
+//! ```text
+//! magic "MVCK" | version u32 = 3 | feature flags u32 |
+//! total file len u64 | meta len u32 |
+//! meta block:
+//!   epoch u64 | lr f32 | retries u32 | calibration flag u8 [f32] |
+//!   stats count u32 | (epoch u64, loss f32, accuracy f32)* |
+//!   tensor count u32 |
+//!   per tensor: name len u32 | name | rows u32 | cols u32 |
+//!               data offset u64 | data bytes u64 |
+//!   tensor-region FNV-1a u64
+//! zero padding to the first 64-byte boundary |
+//! tensor data: each tensor's raw little-endian f32s at its declared
+//!              offset, every offset 64-byte aligned
+//! ```
+//!
+//! `total file len` makes truncation detectable from the fixed-size
+//! prefix in O(1); tensor offsets are validated against the mapped
+//! length before any dereference (so a file shortened behind our back
+//! becomes a typed error, not a SIGBUS); and the 64-byte alignment of
+//! every data offset — on top of the page-aligned mapping base — is
+//! what lets [`mvgnn_tensor::Storage`] view each tensor in place.
+//! [`read_checkpoint`] keeps reading versions 1–2; a version-3 file
+//! must go through [`MappedCheckpoint::open`].
 
 use crate::error::MvGnnError;
 use crate::trainer::EpochStats;
 use bytes::{Buf, BufMut, BytesMut};
+use mvgnn_tensor::{Mmap, Params, Storage};
 use std::path::Path;
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"MVCK";
 const VERSION: u32 = 2;
 const MIN_VERSION: u32 = 1;
+
+/// On-disk version of the mapped (MVCK-v2) generation.
+const VERSION_MAPPED: u32 = 3;
+/// Tensor data offsets are multiples of 64 bytes (cache line; divides
+/// the 4096-byte page alignment of the mapping base).
+pub const TENSOR_ALIGN: usize = 64;
+/// Feature flag: the tensor section is 64-byte aligned for direct
+/// mapping. Set on every file this writer produces.
+pub const FLAG_ALIGNED_TENSORS: u32 = 1 << 0;
+/// Every flag bit this reader understands; any other bit set in a file
+/// means a newer writer, and the file is refused with a typed error.
+const KNOWN_FLAGS: u32 = FLAG_ALIGNED_TENSORS;
+/// Fixed-size prefix of a version-3 file:
+/// magic(4) + version(4) + flags(4) + total len(8) + meta len(4).
+const MAPPED_PREFIX: usize = 24;
 
 /// Everything needed to resume an interrupted training run.
 #[derive(Debug, Clone, PartialEq)]
@@ -172,9 +224,402 @@ pub fn write_checkpoint(path: &Path, cp: &Checkpoint) -> Result<(), MvGnnError> 
 }
 
 /// Read and validate a checkpoint file.
+///
+/// The fixed-size header (magic + version) is validated from an 8-byte
+/// read *before* the rest of the file is touched, so a bad-magic or
+/// wrong-version file of any size is rejected in O(1), not O(file).
 pub fn read_checkpoint(path: &Path) -> Result<Checkpoint, MvGnnError> {
-    let bytes = std::fs::read(path)?;
+    use std::io::Read;
+    let mut file = std::fs::File::open(path)?;
+    let file_len = file.metadata()?.len();
+    if file_len < 8 {
+        return Err(MvGnnError::Checkpoint(format!(
+            "truncated before header ({file_len} bytes, need 8)"
+        )));
+    }
+    let mut head = [0u8; 8];
+    file.read_exact(&mut head)?;
+    if &head[..4] != MAGIC {
+        return Err(MvGnnError::Checkpoint("bad magic (not a MVCK file)".into()));
+    }
+    let version = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
+    if version == VERSION_MAPPED {
+        return Err(MvGnnError::Checkpoint(format!(
+            "version {version} is the mapped MVCK-v2 layout; open it with MappedCheckpoint::open"
+        )));
+    }
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(MvGnnError::Checkpoint(format!("unsupported version {version}")));
+    }
+    let mut bytes = Vec::with_capacity(usize::try_from(file_len).unwrap_or(0));
+    bytes.extend_from_slice(&head);
+    file.read_to_end(&mut bytes)?;
     decode_checkpoint(&bytes)
+}
+
+/// The resume state of a checkpoint minus the weights — what the mapped
+/// layout stores inline in its meta block (the weights live in the
+/// aligned tensor section instead of a `save_params` blob).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CheckpointMeta {
+    /// Last completed epoch (0-based).
+    pub epoch: usize,
+    /// Learning rate in effect.
+    pub lr: f32,
+    /// Rollback retries consumed so far.
+    pub retries: usize,
+    /// Fused-head temperature-scaling constant, if calibrated.
+    pub calibration: Option<f32>,
+    /// Telemetry of all completed epochs.
+    pub stats: Vec<EpochStats>,
+}
+
+impl From<&Checkpoint> for CheckpointMeta {
+    fn from(cp: &Checkpoint) -> Self {
+        CheckpointMeta {
+            epoch: cp.epoch,
+            lr: cp.lr,
+            retries: cp.retries,
+            calibration: cp.calibration,
+            stats: cp.stats.clone(),
+        }
+    }
+}
+
+fn ck(msg: impl Into<String>) -> MvGnnError {
+    MvGnnError::Checkpoint(msg.into())
+}
+
+fn pad_to(buf: &mut BytesMut, align: usize) {
+    while !buf.len().is_multiple_of(align) {
+        buf.put_u8(0);
+    }
+}
+
+/// Atomically write a mapped-generation (on-disk version 3) checkpoint:
+/// meta block up front, every tensor's raw f32 data at a 64-byte-aligned
+/// offset, and an FNV-1a checksum over the whole tensor region. The
+/// resulting file is what [`MappedCheckpoint::open`] maps.
+pub fn write_mapped_checkpoint(
+    path: &Path,
+    meta: &CheckpointMeta,
+    params: &Params,
+) -> Result<(), MvGnnError> {
+    if !meta.lr.is_finite() || meta.lr <= 0.0 {
+        return Err(ck(format!("non-positive or non-finite lr {}", meta.lr)));
+    }
+    // Meta block first (its length fixes where the tensor region starts).
+    let mut mb = BytesMut::new();
+    mb.put_u64_le(meta.epoch as u64);
+    mb.put_f32_le(meta.lr);
+    mb.put_u32_le(meta.retries as u32);
+    match meta.calibration {
+        Some(t) => {
+            mb.put_u8(1);
+            mb.put_f32_le(t);
+        }
+        None => mb.put_u8(0),
+    }
+    mb.put_u32_le(meta.stats.len() as u32);
+    for s in &meta.stats {
+        mb.put_u64_le(s.epoch as u64);
+        mb.put_f32_le(s.loss);
+        mb.put_f32_le(s.accuracy);
+    }
+    mb.put_u32_le(params.len() as u32);
+    // Tensor directory: offsets are assigned walking the aligned region
+    // that starts after prefix + meta + checksum, rounded up.
+    let dir_fixed: usize = (0..params.len())
+        .map(|i| 4 + params.name(mvgnn_tensor::ParamId(i)).len() + 4 + 4 + 8 + 8)
+        .sum();
+    let meta_len = mb.len() + dir_fixed + 8;
+    let region_start = (MAPPED_PREFIX + meta_len).div_ceil(TENSOR_ALIGN) * TENSOR_ALIGN;
+    let mut offset = region_start;
+    let mut offsets = Vec::with_capacity(params.len());
+    for i in 0..params.len() {
+        let id = mvgnn_tensor::ParamId(i);
+        let bytes = params.data(id).len() * 4;
+        offsets.push((offset, bytes));
+        offset = (offset + bytes).div_ceil(TENSOR_ALIGN) * TENSOR_ALIGN;
+    }
+    // Total length: the file ends where the last tensor's data ends (no
+    // trailing pad), or at the region start for an empty store.
+    let total_len = offsets.last().map_or(region_start, |&(o, b)| o + b);
+    for (i, &(off, bytes)) in offsets.iter().enumerate() {
+        let id = mvgnn_tensor::ParamId(i);
+        let name = params.name(id);
+        let (rows, cols) = params.shape(id);
+        mb.put_u32_le(name.len() as u32);
+        mb.put_slice(name.as_bytes());
+        mb.put_u32_le(rows as u32);
+        mb.put_u32_le(cols as u32);
+        mb.put_u64_le(off as u64);
+        mb.put_u64_le(bytes as u64);
+    }
+    // Tensor region: zero padding between blobs, data at the declared
+    // offsets, checksummed as one run.
+    let mut region = BytesMut::with_capacity(total_len - region_start);
+    for (i, &(off, _)) in offsets.iter().enumerate() {
+        let id = mvgnn_tensor::ParamId(i);
+        while region_start + region.len() < off {
+            region.put_u8(0);
+        }
+        for &x in params.data(id) {
+            region.put_f32_le(x);
+        }
+    }
+    mb.put_u64_le(fnv1a(&region));
+    debug_assert_eq!(mb.len(), meta_len);
+
+    let mut buf = BytesMut::with_capacity(total_len);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION_MAPPED);
+    buf.put_u32_le(FLAG_ALIGNED_TENSORS);
+    buf.put_u64_le(total_len as u64);
+    buf.put_u32_le(meta_len as u32);
+    buf.put_slice(&mb);
+    pad_to(&mut buf, TENSOR_ALIGN);
+    debug_assert_eq!(buf.len(), region_start);
+    buf.put_slice(&region);
+    debug_assert_eq!(buf.len(), total_len);
+
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &*buf)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+#[derive(Debug, Clone)]
+struct TensorEntry {
+    name: String,
+    rows: usize,
+    cols: usize,
+    offset: usize,
+    bytes: usize,
+}
+
+/// An open, fully-validated mapped checkpoint. Holding one keeps the
+/// mapping alive; [`MappedCheckpoint::install`] hands out zero-copy
+/// [`Storage`] views into it, so a store loaded this way shares the
+/// page cache with every other process that mapped the same file.
+#[derive(Debug)]
+pub struct MappedCheckpoint {
+    meta: CheckpointMeta,
+    map: Arc<Mmap>,
+    tensors: Vec<TensorEntry>,
+}
+
+impl MappedCheckpoint {
+    /// Map and validate a version-3 checkpoint file.
+    ///
+    /// Validation order is cheapest-first: the fixed-size prefix (magic,
+    /// version, unknown feature flags, declared total length vs. the
+    /// real file size — all O(1)), then the meta block (bounds-checked
+    /// parse), then every tensor's offset/alignment/extent against the
+    /// mapped length, and only then the tensor-region checksum (one
+    /// sequential pass, still copy-free). Every failure is a typed
+    /// [`MvGnnError::Checkpoint`].
+    pub fn open(path: &Path) -> Result<MappedCheckpoint, MvGnnError> {
+        let file = std::fs::File::open(path)?;
+        let map = Arc::new(Mmap::map_file(&file)?);
+        let bytes = map.as_slice();
+        if bytes.len() < MAPPED_PREFIX {
+            return Err(ck(format!("truncated before header ({} bytes)", bytes.len())));
+        }
+        let mut head = &bytes[..MAPPED_PREFIX];
+        let mut magic = [0u8; 4];
+        head.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(ck("bad magic (not a MVCK file)"));
+        }
+        let version = head.get_u32_le();
+        if version != VERSION_MAPPED {
+            return Err(ck(format!(
+                "version {version} is not the mapped layout (want {VERSION_MAPPED}); \
+                 eager files go through read_checkpoint"
+            )));
+        }
+        let flags = head.get_u32_le();
+        let unknown = flags & !KNOWN_FLAGS;
+        if unknown != 0 {
+            return Err(ck(format!(
+                "unknown feature flags {unknown:#010b}: file written by a newer \
+                 version; refusing to guess at its layout"
+            )));
+        }
+        if flags & FLAG_ALIGNED_TENSORS == 0 {
+            return Err(ck("tensor section not flagged aligned; cannot map"));
+        }
+        let total_len = head.get_u64_le();
+        if total_len != bytes.len() as u64 {
+            return Err(ck(format!(
+                "file is {} bytes but header declares {total_len} (truncated or grown)",
+                bytes.len()
+            )));
+        }
+        let meta_len = head.get_u32_le() as usize;
+        let meta_end = MAPPED_PREFIX
+            .checked_add(meta_len)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| ck(format!("meta block ({meta_len} bytes) exceeds the file")))?;
+
+        let mut mb = &bytes[MAPPED_PREFIX..meta_end];
+        let need_m = |mb: &&[u8], n: usize, what: &str| -> Result<(), MvGnnError> {
+            if mb.remaining() < n {
+                Err(ck(format!("meta block truncated before {what}")))
+            } else {
+                Ok(())
+            }
+        };
+        need_m(&mb, 16, "epoch/lr/retries")?;
+        let epoch = mb.get_u64_le() as usize;
+        let lr = mb.get_f32_le();
+        if !lr.is_finite() || lr <= 0.0 {
+            return Err(ck(format!("non-positive or non-finite lr {lr}")));
+        }
+        let retries = mb.get_u32_le() as usize;
+        need_m(&mb, 1, "calibration flag")?;
+        let calibration = match mb.get_u8() {
+            0 => None,
+            1 => {
+                need_m(&mb, 4, "calibration temperature")?;
+                let t = mb.get_f32_le();
+                if !t.is_finite() || t <= 0.0 {
+                    return Err(ck(format!(
+                        "non-positive or non-finite calibration temperature {t}"
+                    )));
+                }
+                Some(t)
+            }
+            other => return Err(ck(format!("bad calibration flag {other} (want 0 or 1)"))),
+        };
+        need_m(&mb, 4, "stats count")?;
+        let n_stats = mb.get_u32_le() as usize;
+        need_m(&mb, n_stats.saturating_mul(16), "epoch stats")?;
+        let mut stats = Vec::with_capacity(n_stats.min(4096));
+        for _ in 0..n_stats {
+            let epoch = mb.get_u64_le() as usize;
+            let loss = mb.get_f32_le();
+            let accuracy = mb.get_f32_le();
+            stats.push(EpochStats { epoch, loss, accuracy });
+        }
+        need_m(&mb, 4, "tensor count")?;
+        let n_tensors = mb.get_u32_le() as usize;
+        let mut tensors = Vec::with_capacity(n_tensors.min(4096));
+        let mut region_start = bytes.len();
+        for i in 0..n_tensors {
+            need_m(&mb, 4, "tensor name length")?;
+            let name_len = mb.get_u32_le() as usize;
+            need_m(&mb, name_len.saturating_add(24), "tensor directory entry")?;
+            let mut name = vec![0u8; name_len];
+            mb.copy_to_slice(&mut name);
+            let name = String::from_utf8(name)
+                .map_err(|_| ck(format!("tensor {i}: non-utf8 name")))?;
+            let rows = mb.get_u32_le() as usize;
+            let cols = mb.get_u32_le() as usize;
+            let offset = usize::try_from(mb.get_u64_le())
+                .map_err(|_| ck(format!("tensor `{name}`: offset overflows usize")))?;
+            let tbytes = usize::try_from(mb.get_u64_le())
+                .map_err(|_| ck(format!("tensor `{name}`: length overflows usize")))?;
+            if offset % TENSOR_ALIGN != 0 {
+                return Err(ck(format!(
+                    "tensor `{name}`: data offset {offset} is not {TENSOR_ALIGN}-byte aligned"
+                )));
+            }
+            let elems = rows
+                .checked_mul(cols)
+                .ok_or_else(|| ck(format!("tensor `{name}`: shape overflows")))?;
+            if tbytes != elems * 4 {
+                return Err(ck(format!(
+                    "tensor `{name}`: {rows}×{cols} needs {} bytes, directory says {tbytes}",
+                    elems * 4
+                )));
+            }
+            let end = offset
+                .checked_add(tbytes)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| {
+                    ck(format!(
+                        "tensor `{name}`: data [{offset}, {offset}+{tbytes}) exceeds the \
+                         {}-byte mapping",
+                        bytes.len()
+                    ))
+                })?;
+            let _ = end;
+            region_start = region_start.min(offset);
+            tensors.push(TensorEntry { name, rows, cols, offset, bytes: tbytes });
+        }
+        need_m(&mb, 8, "tensor-region checksum")?;
+        let checksum = mb.get_u64_le();
+        if mb.remaining() != 0 {
+            return Err(ck(format!("{} undeclared bytes at the end of the meta block", mb.len())));
+        }
+        if fnv1a(&bytes[region_start..]) != checksum {
+            return Err(ck("tensor-region checksum mismatch"));
+        }
+        Ok(MappedCheckpoint { meta: CheckpointMeta { epoch, lr, retries, calibration, stats }, map, tensors })
+    }
+
+    /// Resume state stored alongside the weights.
+    pub fn meta(&self) -> &CheckpointMeta {
+        &self.meta
+    }
+
+    /// Number of tensors in the artifact.
+    pub fn tensor_count(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// True when the artifact is backed by a live kernel mapping (false
+    /// only on non-Unix fallbacks) — surfaced in the registry census.
+    pub fn is_mapped(&self) -> bool {
+        self.map.is_mapped()
+    }
+
+    /// Install zero-copy views of every tensor into `params`, which must
+    /// have the identical layout (same names, order and shapes — the
+    /// same model architecture), mirroring `load_params`' contract. On
+    /// success every tensor of `params` reads straight out of the
+    /// mapping; nothing is copied until something mutates it.
+    pub fn install(&self, params: &mut Params) -> Result<(), MvGnnError> {
+        if self.tensors.len() != params.len() {
+            return Err(ck(format!(
+                "file has {} tensors, store has {}",
+                self.tensors.len(),
+                params.len()
+            )));
+        }
+        // Validate the whole layout before touching the store, so a
+        // mismatch can never leave it half-installed.
+        for (i, t) in self.tensors.iter().enumerate() {
+            let id = mvgnn_tensor::ParamId(i);
+            if t.name != params.name(id) {
+                return Err(ck(format!(
+                    "tensor {i}: file `{}` vs store `{}`",
+                    t.name,
+                    params.name(id)
+                )));
+            }
+            if (t.rows, t.cols) != params.shape(id) {
+                return Err(ck(format!(
+                    "tensor `{}`: file {}×{} vs store {:?}",
+                    t.name,
+                    t.rows,
+                    t.cols,
+                    params.shape(id)
+                )));
+            }
+        }
+        for (i, t) in self.tensors.iter().enumerate() {
+            let id = mvgnn_tensor::ParamId(i);
+            let storage = Storage::mapped(Arc::clone(&self.map), t.offset, t.bytes / 4)
+                .map_err(|e| ck(format!("tensor `{}`: {e}", t.name)))?;
+            params
+                .set_storage(id, storage)
+                .map_err(|e| ck(format!("tensor `{}`: {e}", t.name)))?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -299,5 +744,169 @@ mod tests {
         bytes[4] = 99;
         let err = decode_checkpoint(&bytes).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_file_is_rejected_from_the_prefix() {
+        let dir = std::env::temp_dir().join("mvgnn_ckpt_badmagic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("not_a_ckpt.bin");
+        std::fs::write(&path, b"ELF!\x01\x00\x00\x00 definitely not weights").unwrap();
+        let err = read_checkpoint(&path).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        std::fs::write(&path, b"MV").unwrap();
+        let err = read_checkpoint(&path).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn sample_params() -> Params {
+        let mut p = Params::new();
+        let mut seed = 0x9e37u32;
+        for (name, rows, cols) in
+            [("node.gc0.w", 7, 5), ("node.gc0.b", 1, 5), ("fusion.w", 10, 3), ("head.b", 1, 3)]
+        {
+            let init: Vec<f32> = (0..rows * cols)
+                .map(|_| {
+                    seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (seed as f32 / u32::MAX as f32) - 0.5
+                })
+                .collect();
+            p.add(name, rows, cols, init);
+        }
+        p
+    }
+
+    fn mapped_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mvgnn_mapped_ckpt_{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn mapped_roundtrip_is_bit_identical() {
+        let dir = mapped_dir("roundtrip");
+        let path = dir.join("model.mvck");
+        let src = sample_params();
+        let meta = CheckpointMeta {
+            epoch: 3,
+            lr: 1e-3,
+            retries: 1,
+            calibration: Some(1.4),
+            stats: vec![EpochStats { epoch: 3, loss: 0.5, accuracy: 0.75 }],
+        };
+        write_mapped_checkpoint(&path, &meta, &src).unwrap();
+        let cp = MappedCheckpoint::open(&path).unwrap();
+        assert_eq!(cp.meta(), &meta);
+        assert_eq!(cp.tensor_count(), src.len());
+
+        let mut dst = sample_params();
+        for (_, d) in dst.iter_mut() {
+            d.fill(-77.0);
+        }
+        cp.install(&mut dst).unwrap();
+        assert_eq!(dst.mapped_tensor_count(), src.len());
+        for i in 0..src.len() {
+            let id = mvgnn_tensor::ParamId(i);
+            let a: Vec<u32> = src.data(id).iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = dst.data(id).iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b, "tensor {i} differs");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mapped_offsets_are_aligned() {
+        let dir = mapped_dir("aligned");
+        let path = dir.join("model.mvck");
+        write_mapped_checkpoint(&path, &CheckpointMeta { lr: 1e-3, ..Default::default() }, &sample_params())
+            .unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Walk the directory out of the raw file and check every offset.
+        let cp = MappedCheckpoint::open(&path).unwrap();
+        for t in &cp.tensors {
+            assert_eq!(t.offset % TENSOR_ALIGN, 0, "tensor `{}` misaligned", t.name);
+            assert!(t.offset + t.bytes <= bytes.len());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mapped_unknown_feature_flag_is_refused() {
+        let dir = mapped_dir("flags");
+        let path = dir.join("model.mvck");
+        write_mapped_checkpoint(&path, &CheckpointMeta { lr: 1e-3, ..Default::default() }, &sample_params())
+            .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] |= 1 << 5; // a flag bit this reader does not know
+        std::fs::write(&path, &bytes).unwrap();
+        let err = MappedCheckpoint::open(&path).unwrap_err();
+        assert!(err.to_string().contains("unknown feature flags"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mapped_truncation_and_checksum_flip_are_typed_errors() {
+        let dir = mapped_dir("faults");
+        let path = dir.join("model.mvck");
+        write_mapped_checkpoint(&path, &CheckpointMeta { lr: 1e-3, ..Default::default() }, &sample_params())
+            .unwrap();
+        let full = std::fs::read(&path).unwrap();
+
+        // Truncation at a spread of cut points, including mid-tensor.
+        for cut in [0, 3, MAPPED_PREFIX - 1, MAPPED_PREFIX + 9, full.len() / 2, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let err = MappedCheckpoint::open(&path).unwrap_err();
+            assert!(matches!(err, MvGnnError::Checkpoint(_)), "cut {cut}: {err}");
+        }
+
+        // A checksum flip deep in the tensor region.
+        let mut flipped = full.clone();
+        let victim = full.len() - 5;
+        flipped[victim] ^= 0x10;
+        std::fs::write(&path, &flipped).unwrap();
+        let err = MappedCheckpoint::open(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // A misaligned tensor offset planted in the directory: find the
+        // first directory offset by rewriting it +4. The directory's
+        // first tensor offset is the 8 bytes before the last 24-byte
+        // tail of the meta block structure, so patch via open() fields
+        // instead: locate the 64-aligned region start in the raw bytes.
+        let cp_ok = MappedCheckpoint::open({
+            std::fs::write(&path, &full).unwrap();
+            &path
+        })
+        .unwrap();
+        let first_off = cp_ok.tensors[0].offset as u64;
+        drop(cp_ok);
+        let needle = first_off.to_le_bytes();
+        let pos = full
+            .windows(8)
+            .position(|w| w == needle)
+            .expect("directory offset present in file");
+        let mut misaligned = full.clone();
+        misaligned[pos..pos + 8].copy_from_slice(&(first_off + 4).to_le_bytes());
+        std::fs::write(&path, &misaligned).unwrap();
+        let err = MappedCheckpoint::open(&path).unwrap_err();
+        assert!(err.to_string().contains("aligned"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eager_reader_redirects_mapped_files() {
+        let dir = mapped_dir("redirect");
+        let path = dir.join("model.mvck");
+        write_mapped_checkpoint(&path, &CheckpointMeta { lr: 1e-3, ..Default::default() }, &sample_params())
+            .unwrap();
+        let err = read_checkpoint(&path).unwrap_err();
+        assert!(err.to_string().contains("MappedCheckpoint::open"), "{err}");
+        // And the mapped reader redirects eager files symmetrically.
+        let eager = dir.join("eager.ckpt");
+        write_checkpoint(&eager, &sample_checkpoint()).unwrap();
+        let err = MappedCheckpoint::open(&eager).unwrap_err();
+        assert!(err.to_string().contains("read_checkpoint"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

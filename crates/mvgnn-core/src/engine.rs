@@ -251,6 +251,147 @@ impl InferenceEngine {
         self.checkin(ws);
         out
     }
+
+    /// [`Self::classify_batch`] against an explicit model instead of the
+    /// engine's own — the hot-swap dispatch hook. A serving layer that
+    /// captured an older [`ModelGeneration`] at admission time runs its
+    /// in-flight batch here, borrowing the engine's pooled workspaces
+    /// (workspace buffers are model-agnostic scratch, so generations can
+    /// share the pool freely).
+    pub fn classify_batch_on(
+        &self,
+        model: &MvGnn,
+        samples: &[&GraphSample],
+    ) -> Vec<CheckedPrediction> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let mut ws = self.checkout();
+        let out = Cascade::gnn_batch(model, &mut ws, samples);
+        self.checkin(ws);
+        out
+    }
+}
+
+/// How a generation's weights got into memory — part of the census a
+/// serving fleet reports per response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Parsed f32-by-f32 into owned buffers (`read_checkpoint` /
+    /// `load_params`, or freshly initialised weights).
+    Eager,
+    /// Viewed zero-copy out of a mapped MVCK-v2 artifact
+    /// (`MappedCheckpoint::install`).
+    Mapped,
+}
+
+impl std::fmt::Display for LoadMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadMode::Eager => write!(f, "eager"),
+            LoadMode::Mapped => write!(f, "mapped"),
+        }
+    }
+}
+
+/// Identity card of one weight generation: which swap installed it,
+/// where its bytes came from, and how they were loaded. Cheap to clone
+/// into every response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryCensus {
+    /// Monotonic generation counter (0 = the registry's initial model).
+    pub generation: u64,
+    /// Artifact path or a caller-chosen label (e.g. `"in-memory"`).
+    pub source: String,
+    /// How the weights were loaded.
+    pub load_mode: LoadMode,
+}
+
+/// One immutable weight generation: the model plus its census. Requests
+/// capture an `Arc<ModelGeneration>` at admission and carry it to
+/// dispatch, so a swap can never change the weights under a batch that
+/// was already admitted.
+pub struct ModelGeneration {
+    /// The shared model of this generation.
+    pub model: Arc<MvGnn>,
+    /// Provenance surfaced in serve responses.
+    pub census: RegistryCensus,
+}
+
+impl std::fmt::Debug for ModelGeneration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelGeneration").field("census", &self.census).finish_non_exhaustive()
+    }
+}
+
+/// Hot-swappable model registry: an atomically replaceable
+/// [`ModelGeneration`]. [`ModelRegistry::current`] is a short
+/// lock-clone of an `Arc` (no contention in steady state);
+/// [`ModelRegistry::swap`] validates architecture compatibility and
+/// publishes the new generation for *subsequent* admissions only —
+/// in-flight work keeps the generation it captured, which is the whole
+/// zero-downtime rollout story.
+pub struct ModelRegistry {
+    current: Mutex<Arc<ModelGeneration>>,
+    swaps: std::sync::atomic::AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Derive the census load mode from the store itself: any mapped
+    /// tensor means the artifact is being served zero-copy.
+    fn mode_of(model: &MvGnn) -> LoadMode {
+        if model.params.mapped_tensor_count() > 0 {
+            LoadMode::Mapped
+        } else {
+            LoadMode::Eager
+        }
+    }
+
+    /// Start a registry at generation 0 with `model`, recording where it
+    /// came from.
+    pub fn new(model: Arc<MvGnn>, source: impl Into<String>) -> Self {
+        let census =
+            RegistryCensus { generation: 0, source: source.into(), load_mode: Self::mode_of(&model) };
+        ModelRegistry {
+            current: Mutex::new(Arc::new(ModelGeneration { model, census })),
+            swaps: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The live generation; callers hold the returned `Arc` for as long
+    /// as their request is in flight.
+    pub fn current(&self) -> Arc<ModelGeneration> {
+        Arc::clone(&self.current.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Generation id of the live model.
+    pub fn generation(&self) -> u64 {
+        self.current().census.generation
+    }
+
+    /// Publish a new generation. The replacement must be
+    /// architecture-compatible with the live model (same `node_dim`,
+    /// `aw_vocab` and class count — anything else would invalidate the
+    /// serve layer's shape gate mid-flight); an incompatible swap is
+    /// refused with a typed [`MvGnnError::Config`] and the live
+    /// generation stays untouched. Returns the new generation id.
+    pub fn swap(&self, model: Arc<MvGnn>, source: impl Into<String>) -> Result<u64, MvGnnError> {
+        let live = self.current();
+        let (a, b) = (&live.model.cfg, &model.cfg);
+        if a.node_dim != b.node_dim || a.aw_vocab != b.aw_vocab || a.classes != b.classes {
+            return Err(MvGnnError::Config(format!(
+                "swap rejected: incompatible architecture (live node_dim/aw_vocab/classes \
+                 {}/{}/{} vs candidate {}/{}/{})",
+                a.node_dim, a.aw_vocab, a.classes, b.node_dim, b.aw_vocab, b.classes
+            )));
+        }
+        let generation = self.swaps.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        let census =
+            RegistryCensus { generation, source: source.into(), load_mode: Self::mode_of(&model) };
+        let fresh = Arc::new(ModelGeneration { model, census });
+        *self.current.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = fresh;
+        Ok(generation)
+    }
 }
 
 #[cfg(test)]
@@ -416,6 +557,75 @@ mod tests {
             warm_misses,
             "warm stream must be served entirely from the pool"
         );
+    }
+
+    #[test]
+    fn registry_swaps_between_requests() {
+        let ds = tiny_dataset();
+        let model_a = Arc::new(tiny_model(&ds));
+        let mut b = tiny_model(&ds);
+        // Give B visibly different weights.
+        for (_, d) in b.params.iter_mut() {
+            for x in d.iter_mut() {
+                *x *= 0.5;
+            }
+        }
+        let model_b = Arc::new(b);
+
+        let reg = ModelRegistry::new(Arc::clone(&model_a), "a.mvck");
+        let gen0 = reg.current();
+        assert_eq!(gen0.census.generation, 0);
+        assert_eq!(gen0.census.source, "a.mvck");
+        assert_eq!(gen0.census.load_mode, LoadMode::Eager);
+        assert!(Arc::ptr_eq(&gen0.model, &model_a));
+
+        let id = reg.swap(Arc::clone(&model_b), "b.mvck").unwrap();
+        assert_eq!(id, 1);
+        let gen1 = reg.current();
+        assert_eq!(gen1.census.generation, 1);
+        assert!(Arc::ptr_eq(&gen1.model, &model_b));
+        // The generation captured before the swap still serves A.
+        assert!(Arc::ptr_eq(&gen0.model, &model_a));
+    }
+
+    #[test]
+    fn registry_refuses_incompatible_architectures() {
+        let ds = tiny_dataset();
+        let model = Arc::new(tiny_model(&ds));
+        let reg = ModelRegistry::new(Arc::clone(&model), "seed");
+        let other = Arc::new(MvGnn::new(MvGnnConfig::small(
+            model.cfg.node_dim + 1,
+            model.cfg.aw_vocab,
+        )));
+        let err = reg.swap(other, "bad").unwrap_err();
+        assert!(matches!(err, MvGnnError::Config(_)), "{err}");
+        assert_eq!(reg.generation(), 0, "failed swap must not advance the registry");
+    }
+
+    #[test]
+    fn classify_batch_on_matches_a_dedicated_engine() {
+        let ds = tiny_dataset();
+        let model_a = Arc::new(tiny_model(&ds));
+        let mut b = tiny_model(&ds);
+        for (_, d) in b.params.iter_mut() {
+            for x in d.iter_mut() {
+                *x = -*x;
+            }
+        }
+        let model_b = Arc::new(b);
+        let samples: Vec<&mvgnn_embed::GraphSample> =
+            ds.test.iter().take(4).map(|s| &s.sample).collect();
+        let eng_a = InferenceEngine::new(
+            Arc::clone(&model_a),
+            EngineConfig { threads: 1, batch_size: 4 },
+        );
+        let eng_b = InferenceEngine::new(
+            Arc::clone(&model_b),
+            EngineConfig { threads: 1, batch_size: 4 },
+        );
+        // Dispatching B's batch through A's engine must give B's answers.
+        assert_eq!(eng_a.classify_batch_on(&model_b, &samples), eng_b.classify_batch(&samples));
+        assert!(eng_a.classify_batch_on(&model_b, &[]).is_empty());
     }
 
     #[test]

@@ -30,8 +30,13 @@ pub mod trainer;
 pub mod views;
 
 pub use cascade::{oracle_decision, Calibration, Cascade, CascadeConfig, DecidedBy};
-pub use checkpoint::{read_checkpoint, write_checkpoint, Checkpoint};
-pub use engine::{EngineConfig, InferenceEngine};
+pub use checkpoint::{
+    read_checkpoint, write_checkpoint, write_mapped_checkpoint, Checkpoint, CheckpointMeta,
+    MappedCheckpoint,
+};
+pub use engine::{
+    EngineConfig, InferenceEngine, LoadMode, ModelGeneration, ModelRegistry, RegistryCensus,
+};
 pub use error::MvGnnError;
 pub use fault::FaultPlan;
 pub use infer::{classify_module, classify_module_cached, LoopReport, PredictionSource};

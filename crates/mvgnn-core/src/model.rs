@@ -337,6 +337,16 @@ impl MvGnn {
         mvgnn_tensor::load_params(&mut self.params, bytes)
     }
 
+    /// Install zero-copy views of a mapped checkpoint's tensors into
+    /// this model (architecture must match); the weights read straight
+    /// out of the page cache until something mutates them.
+    pub fn load_mapped(
+        &mut self,
+        cp: &crate::checkpoint::MappedCheckpoint,
+    ) -> Result<(), crate::error::MvGnnError> {
+        cp.install(&mut self.params)
+    }
+
     /// Predict with finiteness checking: any head whose logits contain
     /// NaN/Inf reports `None` instead of an arbitrary argmax, so callers
     /// can fall back to a healthy view (or a conservative default)

@@ -30,7 +30,7 @@ use crate::checkpoint::{read_checkpoint, write_checkpoint, Checkpoint};
 use crate::error::MvGnnError;
 use crate::model::MvGnn;
 use crate::trainer::{grad_pools, mix, step_batch, EpochStats, TrainConfig};
-use mvgnn_dataset::{LabeledSample, ShardError, ShardReader};
+use mvgnn_dataset::{LabeledSample, MappedShardReader, ShardError, ShardReader};
 use mvgnn_tensor::optim::Adam;
 use mvgnn_tensor::Workspace;
 use std::path::PathBuf;
@@ -44,11 +44,17 @@ pub struct StreamConfig {
     /// `(prefetch + 2) × batch` samples (ring + producer's pending batch
     /// + the batch being stepped). Must be ≥ 1.
     pub prefetch: usize,
+    /// Read shards through [`MappedShardReader`] instead of buffered
+    /// I/O: records decode straight out of the page cache with no read
+    /// syscalls and no record buffer. Sample-for-sample (and therefore
+    /// trained-weight-for-weight) identical to the buffered mode —
+    /// pinned by `mmap_and_buffered_streaming_train_identically`.
+    pub mmap: bool,
 }
 
 impl Default for StreamConfig {
     fn default() -> Self {
-        Self { prefetch: 4 }
+        Self { prefetch: 4, mmap: false }
     }
 }
 
@@ -58,26 +64,41 @@ enum StreamEpoch {
     Diverged { loss: f32 },
 }
 
+/// Open the chosen reader as a uniform record iterator. The two readers
+/// yield identical samples for an intact shard and identical typed
+/// errors for a corrupt one, so everything downstream is mode-blind.
+fn open_records(
+    path: &std::path::Path,
+    mmap: bool,
+) -> Result<Box<dyn Iterator<Item = Result<LabeledSample, ShardError>>>, ShardError> {
+    Ok(if mmap {
+        Box::new(MappedShardReader::open(path)?)
+    } else {
+        Box::new(ShardReader::open(path)?)
+    })
+}
+
 fn run_stream_epoch(
     model: &mut MvGnn,
     shards: &[PathBuf],
     order: &[usize],
     cfg: &TrainConfig,
-    prefetch: usize,
+    stream: &StreamConfig,
     opt: &mut Adam,
     pools: &mut [Workspace],
 ) -> Result<StreamEpoch, MvGnnError> {
     let paths: Vec<PathBuf> = order.iter().map(|&i| shards[i].clone()).collect();
     let batch_size = cfg.batch_size;
-    let (tx, rx) = mpsc::sync_channel::<Result<Vec<LabeledSample>, ShardError>>(prefetch);
+    let mmap = stream.mmap;
+    let (tx, rx) = mpsc::sync_channel::<Result<Vec<LabeledSample>, ShardError>>(stream.prefetch);
     // The producer owns the shard readers; one reused record buffer per
-    // open shard, one pending batch. A send on a full ring blocks until
-    // the optimizer catches up; a send after the consumer hung up errors,
-    // which is the shutdown signal on early exit.
+    // open shard (none at all in mmap mode), one pending batch. A send on
+    // a full ring blocks until the optimizer catches up; a send after the
+    // consumer hung up errors, which is the shutdown signal on early exit.
     let producer = std::thread::spawn(move || {
         let mut pending: Vec<LabeledSample> = Vec::with_capacity(batch_size);
         for path in &paths {
-            let reader = match ShardReader::open(path) {
+            let reader = match open_records(path, mmap) {
                 Ok(r) => r,
                 Err(e) => {
                     let _ = tx.send(Err(e));
@@ -212,7 +233,7 @@ pub fn train_streaming(
     while epoch < cfg.epochs {
         // Deterministic shard-granularity shuffle.
         order.sort_by_key(|&i| mix(cfg.seed ^ epoch as u64, i as u64));
-        match run_stream_epoch(model, shards, &order, cfg, stream.prefetch, &mut opt, &mut pools)?
+        match run_stream_epoch(model, shards, &order, cfg, stream, &mut opt, &mut pools)?
         {
             StreamEpoch::Done { loss, accuracy } => {
                 stats.push(EpochStats { epoch, loss, accuracy });
@@ -292,13 +313,53 @@ mod tests {
             let mut model = model_for(&shards);
             let cfg = TrainConfig { epochs: 3, batch_size: 8, ..Default::default() };
             let stats =
-                train_streaming(&mut model, &shards, &cfg, &StreamConfig { prefetch }).unwrap();
+                train_streaming(&mut model, &shards, &cfg, &StreamConfig { prefetch, ..Default::default() }).unwrap();
             (stats, model.save().to_vec())
         };
         let (stats_a, weights_a) = run(1);
         let (stats_b, weights_b) = run(6);
         assert_eq!(stats_a, stats_b, "telemetry must not depend on ring depth");
         assert_eq!(weights_a, weights_b, "weights must be byte-identical");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mmap_and_buffered_streaming_train_identically() {
+        let dir = std::env::temp_dir().join("mvgnn_stream_mmap_parity_test");
+        let shards = write_shards(&dir, 3);
+        let run = |mmap: bool| {
+            let mut model = model_for(&shards);
+            let cfg = TrainConfig { epochs: 3, batch_size: 8, ..Default::default() };
+            let stream = StreamConfig { mmap, ..Default::default() };
+            let stats = train_streaming(&mut model, &shards, &cfg, &stream).unwrap();
+            (stats, model.save().to_vec())
+        };
+        let (stats_buf, weights_buf) = run(false);
+        let (stats_map, weights_map) = run(true);
+        assert_eq!(stats_buf, stats_map, "telemetry must not depend on the read path");
+        // `save()` snapshots raw weight bytes, so equality is bit-level.
+        assert_eq!(weights_buf, weights_map, "zero-copy mode must train bit-identically");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mmap_streaming_surfaces_corruption_typed() {
+        let dir = std::env::temp_dir().join("mvgnn_stream_mmap_corrupt_test");
+        let shards = write_shards(&dir, 2);
+        let mut bytes = std::fs::read(&shards[0]).unwrap();
+        let at = bytes.len() - 9;
+        bytes[at] ^= 0xff;
+        std::fs::write(&shards[0], &bytes).unwrap();
+        let mut model = model_for(&shards);
+        let cfg = TrainConfig { epochs: 2, batch_size: 8, ..Default::default() };
+        let err = train_streaming(
+            &mut model,
+            &shards,
+            &cfg,
+            &StreamConfig { mmap: true, ..Default::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, MvGnnError::Shard(_)), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -358,7 +419,7 @@ mod tests {
             &mut model,
             &shards,
             &TrainConfig::default(),
-            &StreamConfig { prefetch: 0 },
+            &StreamConfig { prefetch: 0, ..Default::default() },
         );
         assert!(matches!(bad_ring, Err(MvGnnError::Config(_))));
         std::fs::remove_dir_all(&dir).ok();

@@ -26,10 +26,10 @@ pub mod suites;
 pub use corpus::{
     assemble_dataset, base_key, build_corpus, noisy_label, CorpusConfig, Dataset, LabeledSample,
 };
-pub use format::{ShardError, ShardMeta, ShardReader, ShardWriter};
+pub use format::{verify_shard, MappedShardReader, ShardError, ShardMeta, ShardReader, ShardWriter};
 pub use shard::{
     fit_inst2vec, generate_shard, load_inst2vec, save_inst2vec, shard_file_name, write_shard,
-    ShardPlan,
+    write_shard_resumable, ShardPlan,
 };
 pub use kernels::{build_kernel, KernelKind, PatternKind};
 pub use suites::{generate_app, generate_suite, AppSpec, GeneratedApp, Suite, TABLE2};

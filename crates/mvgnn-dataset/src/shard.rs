@@ -185,6 +185,42 @@ pub fn shard_file_name(shard_id: usize, num_shards: usize) -> String {
     format!("shard_{shard_id:05}_of_{num_shards:05}.mvsh")
 }
 
+/// [`write_shard`] with crash-restart resume: if `dir` already holds
+/// this shard and it verifies — intact header, matching plan identity
+/// `(corpus_seed, shard_id, num_shards)`, every record checksum good —
+/// generation is skipped and the existing file is reused. Anything
+/// else (missing, truncated, corrupt, or from a different plan) is
+/// regenerated from scratch; the writer's tmp-then-rename protocol
+/// guarantees a half-written casualty never verifies.
+///
+/// Returns the path, the record count, and whether the shard was
+/// reused. Determinism makes the skip sound: a shard is a pure function
+/// of `(cfg, inst2vec, shard_id, num_shards)`, so a verified file *is*
+/// the regeneration.
+pub fn write_shard_resumable(
+    dir: &Path,
+    cfg: &CorpusConfig,
+    inst2vec: &Inst2Vec,
+    shard_id: usize,
+    num_shards: usize,
+) -> Result<(PathBuf, usize, bool), ShardError> {
+    let path = dir.join(shard_file_name(shard_id, num_shards));
+    if path.exists() {
+        if let Ok((meta, n)) = crate::format::verify_shard(&path) {
+            let expected = ShardMeta {
+                corpus_seed: cfg.seed,
+                shard_id: shard_id as u32,
+                num_shards: num_shards as u32,
+            };
+            if meta == expected {
+                return Ok((path, n as usize, true));
+            }
+        }
+    }
+    let (path, n) = write_shard(dir, cfg, inst2vec, shard_id, num_shards)?;
+    Ok((path, n, false))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +287,38 @@ mod tests {
                 assert_eq!(sample_bits(a), sample_bits(b), "{n} shards");
             }
         }
+    }
+
+    #[test]
+    fn resumable_write_skips_verified_shards_and_regenerates_casualties() {
+        let dir = std::env::temp_dir().join("mvgnn_shard_resume_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = tiny_cfg();
+        let emb = fit_inst2vec(&cfg);
+
+        // Fresh run generates; identical rerun reuses the same bytes.
+        let (path, n, reused) = write_shard_resumable(&dir, &cfg, &emb, 0, 2).unwrap();
+        assert!(!reused);
+        let first = std::fs::read(&path).unwrap();
+        let (path2, n2, reused2) = write_shard_resumable(&dir, &cfg, &emb, 0, 2).unwrap();
+        assert!(reused2, "verified shard must be skipped");
+        assert_eq!((path2.clone(), n2), (path.clone(), n));
+        assert_eq!(std::fs::read(&path2).unwrap(), first);
+
+        // A truncated casualty fails verification and is regenerated.
+        std::fs::write(&path, &first[..first.len() - 7]).unwrap();
+        let (_, n3, reused3) = write_shard_resumable(&dir, &cfg, &emb, 0, 2).unwrap();
+        assert!(!reused3, "corrupt shard must be regenerated");
+        assert_eq!(n3, n);
+        assert_eq!(std::fs::read(&path).unwrap(), first, "regeneration is deterministic");
+
+        // A shard from a different plan identity is not silently reused.
+        let other = CorpusConfig { seed: cfg.seed + 1, ..cfg.clone() };
+        let (_, _, reused4) = write_shard_resumable(&dir, &other, &emb, 0, 2).unwrap();
+        assert!(!reused4, "foreign corpus seed must force regeneration");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::limiter::{Limiter, Permit};
 use crate::response::{
     classification_from_checked, Classification, DeadlineStage, ServeError, ServeResult,
 };
-use mvgnn_core::InferenceEngine;
+use mvgnn_core::{InferenceEngine, ModelGeneration};
 use mvgnn_embed::GraphSample;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -68,6 +68,10 @@ pub(crate) struct Request {
     pub(crate) deadline: Deadline,
     pub(crate) enqueued: Instant,
     pub(crate) slot: Arc<Slot>,
+    /// Weight generation captured at admission: the request is answered
+    /// by exactly these weights even if the registry swaps while it is
+    /// queued.
+    pub(crate) generation: Arc<ModelGeneration>,
     #[allow(dead_code)] // held for its Drop (token release at completion)
     pub(crate) permit: Permit,
 }
@@ -189,35 +193,67 @@ pub(crate) fn worker_loop(batcher: &Batcher, engine: &InferenceEngine, limiter: 
 /// Run one drained micro-batch and fulfil its slots. Panics from the
 /// execution stack are converted into per-request
 /// [`ServeError::Internal`] responses.
+///
+/// A drain that straddles a hot-swap can contain requests pinned to
+/// different weight generations; they are split into consecutive
+/// same-generation groups and each group runs on the weights it was
+/// admitted under. In steady state the whole drain is one group, so the
+/// split costs one `Arc::ptr_eq` per request.
 fn dispatch(
     batcher: &Batcher,
     engine: &InferenceEngine,
     limiter: &Limiter,
-    batch: Vec<Request>,
+    mut batch: Vec<Request>,
 ) {
     let dispatched = Instant::now();
     let fill = batch.len();
-    let refs: Vec<&GraphSample> = batch.iter().map(|r| &*r.sample).collect();
-    let outcome = catch_unwind(AssertUnwindSafe(|| engine.classify_batch(&refs)));
-    drop(refs);
     batcher.counters.batches.fetch_add(1, Ordering::Relaxed);
     batcher.counters.batched_requests.fetch_add(fill as u64, Ordering::Relaxed);
+    while !batch.is_empty() {
+        let split = batch
+            .iter()
+            .position(|r| !Arc::ptr_eq(&r.generation, &batch[0].generation))
+            .unwrap_or(batch.len());
+        let rest = batch.split_off(split);
+        run_group(engine, batcher, dispatched, batch);
+        batch = rest;
+    }
+    limiter.observe(fill, dispatched.elapsed());
+}
+
+/// Execute one same-generation group of a drained batch.
+fn run_group(
+    engine: &InferenceEngine,
+    batcher: &Batcher,
+    dispatched: Instant,
+    group: Vec<Request>,
+) {
+    let fill = group.len();
+    let generation = Arc::clone(&group[0].generation);
+    let refs: Vec<&GraphSample> = group.iter().map(|r| &*r.sample).collect();
+    let outcome =
+        catch_unwind(AssertUnwindSafe(|| engine.classify_batch_on(&generation.model, &refs)));
+    drop(refs);
     match outcome {
         Ok(rows) => {
-            for (row, req) in rows.into_iter().zip(batch) {
+            for (row, req) in rows.into_iter().zip(group) {
                 let queued = dispatched.saturating_duration_since(req.enqueued);
-                req.slot.fulfil(Ok(classification_from_checked(row, fill, queued)));
+                req.slot.fulfil(Ok(classification_from_checked(
+                    row,
+                    fill,
+                    queued,
+                    generation.census.clone(),
+                )));
             }
         }
         Err(payload) => {
             batcher.counters.panics_caught.fetch_add(1, Ordering::Relaxed);
             let msg = panic_message(&payload);
-            for req in batch {
+            for req in group {
                 req.slot.fulfil(Err(ServeError::Internal(msg.clone())));
             }
         }
     }
-    limiter.observe(fill, dispatched.elapsed());
 }
 
 /// Best-effort extraction of a panic payload's message.

@@ -40,3 +40,7 @@ pub use response::{
     ServeError, ServeResult,
 };
 pub use server::{Frontend, ServeConfig, ServeStats, Server, Ticket};
+
+// Re-exported so clients can read a response's census without a direct
+// mvgnn-core dependency.
+pub use mvgnn_core::{LoadMode, ModelRegistry, RegistryCensus};

@@ -13,7 +13,7 @@
 use mvgnn_analyze::{Fact, OracleReport, Verdict};
 use mvgnn_core::infer::LoopReport;
 use mvgnn_core::model::CheckedPrediction;
-use mvgnn_core::{DecidedBy, PredictionSource};
+use mvgnn_core::{DecidedBy, PredictionSource, RegistryCensus};
 use std::time::Duration;
 
 /// Result alias for every service entry point.
@@ -112,6 +112,9 @@ pub struct Classification {
     /// The oracle's dependence facts when tier 0 decided this request
     /// (`None` when the GNN answered).
     pub oracle_facts: Option<Vec<Fact>>,
+    /// Which model generation answered: the registry census captured at
+    /// admission time, so a hot-swap mid-flight is visible per response.
+    pub census: RegistryCensus,
 }
 
 impl Classification {
@@ -121,7 +124,7 @@ impl Classification {
     /// first; passing an `Unknown` report here is a logic error and is
     /// answered conservatively serial with a diagnostic rather than a
     /// panic.
-    pub fn from_oracle(report: &OracleReport) -> Classification {
+    pub fn from_oracle(report: &OracleReport, census: RegistryCensus) -> Classification {
         let (prediction, diagnostic) = match report.verdict {
             Verdict::ProvablyParallel => (1, None),
             Verdict::ProvablyDependent => (0, None),
@@ -137,6 +140,7 @@ impl Classification {
             queued: Duration::ZERO,
             decided_by: DecidedBy::Oracle,
             oracle_facts: Some(report.facts.clone()),
+            census,
         }
     }
 }
@@ -157,6 +161,7 @@ pub fn classification_from_checked(
     checked: CheckedPrediction,
     batched_with: usize,
     queued: Duration,
+    census: RegistryCensus,
 ) -> Classification {
     let candidates = [
         (checked.fused, PredictionSource::Multi),
@@ -173,6 +178,7 @@ pub fn classification_from_checked(
             queued,
             decided_by: DecidedBy::Gnn,
             oracle_facts: None,
+            census,
         },
         None => Classification {
             prediction: 0,
@@ -182,6 +188,7 @@ pub fn classification_from_checked(
             queued,
             decided_by: DecidedBy::Gnn,
             oracle_facts: None,
+            census,
         },
     }
 }
@@ -213,26 +220,35 @@ mod tests {
         }
     }
 
+    fn test_census() -> RegistryCensus {
+        RegistryCensus {
+            generation: 0,
+            source: "test".to_string(),
+            load_mode: mvgnn_core::LoadMode::Eager,
+        }
+    }
+
     #[test]
     fn degradation_ladder_prefers_fused_then_views() {
         let q = Duration::ZERO;
         let all = CheckedPrediction { fused: Some(1), node: Some(0), structural: Some(0) };
-        let c = classification_from_checked(all, 4, q);
+        let c = classification_from_checked(all, 4, q, test_census());
         assert_eq!((c.prediction, c.source), (1, PredictionSource::Multi));
         assert!(c.diagnostic.is_none());
 
         let node_only =
             CheckedPrediction { fused: None, node: Some(1), structural: Some(0) };
-        let c = classification_from_checked(node_only, 4, q);
+        let c = classification_from_checked(node_only, 4, q, test_census());
         assert_eq!((c.prediction, c.source), (1, PredictionSource::NodeOnly));
         assert!(c.diagnostic.is_some());
 
         let nothing = CheckedPrediction { fused: None, node: None, structural: None };
-        let c = classification_from_checked(nothing, 4, q);
+        let c = classification_from_checked(nothing, 4, q, test_census());
         assert_eq!(
             (c.prediction, c.source),
             (0, PredictionSource::ConservativeSerial)
         );
         assert!(c.diagnostic.is_some());
+        assert_eq!(c.census, test_census());
     }
 }

@@ -31,7 +31,8 @@ use crate::response::{
 };
 use mvgnn_analyze::OracleReport;
 use mvgnn_core::{
-    oracle_decision, Cascade, CascadeConfig, EngineConfig, InferenceEngine, MvGnn, MvGnnError,
+    oracle_decision, Cascade, CascadeConfig, EngineConfig, InferenceEngine, ModelRegistry, MvGnn,
+    MvGnnError, RegistryCensus,
 };
 use mvgnn_embed::{FeatureCache, GraphSample, Inst2Vec, SampleConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -163,6 +164,7 @@ impl ServeStats {
 
 struct Shared {
     engine: InferenceEngine,
+    registry: Arc<ModelRegistry>,
     batcher: Batcher,
     limiter: Arc<Limiter>,
     frontend: Option<FrontendState>,
@@ -206,7 +208,18 @@ impl Ticket {
 impl Server {
     /// Start a sample-path-only server.
     pub fn start(model: Arc<MvGnn>, cfg: ServeConfig) -> Result<Self, MvGnnError> {
-        Self::start_inner(model, cfg, None)
+        Self::start_inner(Arc::new(ModelRegistry::new(model, "in-memory")), cfg, None)
+    }
+
+    /// Start a sample-path-only server over a caller-built
+    /// [`ModelRegistry`] — e.g. one seeded from a mapped MVCK-v2
+    /// artifact, whose census then carries the artifact path and load
+    /// mode into every response.
+    pub fn start_with_registry(
+        registry: Arc<ModelRegistry>,
+        cfg: ServeConfig,
+    ) -> Result<Self, MvGnnError> {
+        Self::start_inner(registry, cfg, None)
     }
 
     /// Start a server with the source-program frontend enabled.
@@ -223,21 +236,28 @@ impl Server {
             max_call_depth: frontend.max_call_depth,
             cascade: frontend.cascade,
         };
-        Self::start_inner(model, cfg, Some(state))
+        Self::start_inner(
+            Arc::new(ModelRegistry::new(model, "in-memory")),
+            cfg,
+            Some(state),
+        )
     }
 
     fn start_inner(
-        model: Arc<MvGnn>,
+        registry: Arc<ModelRegistry>,
         cfg: ServeConfig,
         frontend: Option<FrontendState>,
     ) -> Result<Self, MvGnnError> {
         cfg.validate()?;
+        // The engine is kept for its pooled workspaces; batches run on
+        // whatever generation each request captured at admission.
         let engine = InferenceEngine::try_new(
-            model,
+            Arc::clone(&registry.current().model),
             EngineConfig { threads: 1, batch_size: cfg.max_batch },
         )?;
         let shared = Arc::new(Shared {
             engine,
+            registry,
             batcher: Batcher::new(cfg.max_batch, cfg.max_delay, cfg.max_queue),
             limiter: Arc::new(Limiter::new(cfg.max_inflight)),
             frontend,
@@ -297,7 +317,8 @@ impl Server {
             if oracle_decision(report).is_some() {
                 sh.oracle_decided.fetch_add(1, Ordering::Relaxed);
                 let slot = Slot::new();
-                slot.fulfil(Ok(Classification::from_oracle(report)));
+                let census = sh.registry.current().census.clone();
+                slot.fulfil(Ok(Classification::from_oracle(report, census)));
                 return Ok(Ticket { slot, submitted_at: Instant::now() });
             }
         }
@@ -308,9 +329,13 @@ impl Server {
     /// and the shutdown/deadline gates have already run.
     fn enqueue(&self, sample: Arc<GraphSample>, deadline: Deadline) -> ServeResult<Ticket> {
         let sh = &self.shared;
+        // Pin the live weight generation at admission: everything after
+        // this line — the shape gate and, later, dispatch — sees exactly
+        // these weights even if the registry swaps underneath.
+        let generation = sh.registry.current();
         // Shape gate before spending a token: a sample the model cannot
         // consume is rejected typed, not panicked on mid-batch.
-        let mcfg = &sh.engine.model().cfg;
+        let mcfg = &generation.model.cfg;
         if sample.node_dim != mcfg.node_dim || sample.aw_vocab != mcfg.aw_vocab {
             sh.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::Rejected(format!(
@@ -343,6 +368,7 @@ impl Server {
             deadline,
             enqueued: now,
             slot: Arc::clone(&slot),
+            generation,
             permit,
         });
         sh.batcher.arrived.notify_one();
@@ -398,6 +424,9 @@ impl Server {
             return Err(ServeError::Rejected("source frontend not configured".into()));
         };
         let _permit = sh.limiter.try_acquire()?;
+        // Same admission-time pinning as the sample path: the whole
+        // module is classified by one generation.
+        let generation = sh.registry.current();
         let t0 = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let module = mvgnn_lang::compile(src).map_err(ServeError::Compile)?;
@@ -410,7 +439,7 @@ impl Server {
             let mut cache =
                 fe.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             let reports = Cascade::new(fe.cascade).classify_module_cached(
-                sh.engine.model(),
+                &generation.model,
                 &module,
                 entry,
                 &fe.inst2vec,
@@ -483,6 +512,29 @@ impl Server {
     /// The engine's clamped configuration (for introspection).
     pub fn engine_config(&self) -> EngineConfig {
         self.shared.engine.config()
+    }
+
+    /// The weight registry behind this server.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
+    }
+
+    /// Census of the generation new admissions will be pinned to.
+    pub fn census(&self) -> RegistryCensus {
+        self.shared.registry.current().census.clone()
+    }
+
+    /// Hot-swap the serving weights between requests: in-flight requests
+    /// finish on the generation they were admitted under, admissions
+    /// after this call are pinned to the new one. Returns the new
+    /// generation id; refuses architecture mismatches with a typed
+    /// [`MvGnnError::Config`] and leaves the live generation untouched.
+    pub fn swap_model(
+        &self,
+        model: Arc<MvGnn>,
+        source: impl Into<String>,
+    ) -> Result<u64, MvGnnError> {
+        self.shared.registry.swap(model, source)
     }
 
     /// Drain and stop: already-admitted requests are answered, new ones

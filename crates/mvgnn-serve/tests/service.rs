@@ -513,3 +513,104 @@ fn oracle_storm_never_occupies_a_micro_batch_slot() {
     assert_eq!(gnn.decided_by, mvgnn_core::DecidedBy::Gnn);
     server.shutdown();
 }
+
+#[test]
+fn hot_swap_pins_inflight_requests_and_routes_new_admissions() {
+    let ds = tiny_dataset();
+    let model_a = Arc::new(tiny_model(&ds));
+    let model_b = {
+        let s0 = &ds.train[0].sample;
+        let mut cfg = MvGnnConfig::small(s0.node_dim, s0.aw_vocab);
+        cfg.seed = cfg.seed.wrapping_add(101);
+        Arc::new(MvGnn::new(cfg))
+    };
+    let samples = samples_of(&ds);
+    let n = samples.len().min(8);
+
+    // One worker, a batch wide enough for both waves, and a long flush
+    // delay: the pre-swap wave sits in the fill window while we swap, so
+    // one drain straddles the generation boundary and dispatch must
+    // split it.
+    let server = Server::start(
+        Arc::clone(&model_a),
+        ServeConfig {
+            max_batch: 2 * n,
+            max_delay: Duration::from_millis(400),
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+    assert_eq!(server.census().generation, 0);
+    assert_eq!(server.census().load_mode, mvgnn_serve::LoadMode::Eager);
+
+    let pre: Vec<_> = samples[..n]
+        .iter()
+        .map(|s| server.submit(Arc::clone(s), Deadline::none()).expect("admitted"))
+        .collect();
+
+    let gen = server
+        .swap_model(Arc::clone(&model_b), "artifact-v2")
+        .expect("same architecture swaps");
+    assert_eq!(gen, 1);
+    assert_eq!(server.registry().generation(), 1);
+
+    let post: Vec<_> = samples[..n]
+        .iter()
+        .map(|s| server.submit(Arc::clone(s), Deadline::none()).expect("admitted"))
+        .collect();
+
+    let pre_answers: Vec<_> =
+        pre.into_iter().map(|t| t.wait().expect("answered")).collect();
+    let post_answers: Vec<_> =
+        post.into_iter().map(|t| t.wait().expect("answered")).collect();
+
+    // Bit-match each wave against a dedicated engine on its generation's
+    // weights: in-flight requests finished on the old weights, new
+    // admissions ran on the new ones.
+    let refs: Vec<&mvgnn_embed::GraphSample> =
+        samples[..n].iter().map(|s| &**s).collect();
+    let ecfg = mvgnn_core::EngineConfig { threads: 1, batch_size: 2 * n };
+    let engine_a = mvgnn_core::InferenceEngine::new(Arc::clone(&model_a), ecfg);
+    let engine_b = mvgnn_core::InferenceEngine::new(Arc::clone(&model_b), ecfg);
+    for (a, row) in pre_answers.iter().zip(engine_a.predict_checked_stream(&refs)) {
+        assert_eq!(a.census.generation, 0, "{a:?}");
+        assert_eq!(a.census.source, "in-memory");
+        assert_eq!(Some(a.prediction), row.fused);
+    }
+    for (b, row) in post_answers.iter().zip(engine_b.predict_checked_stream(&refs)) {
+        assert_eq!(b.census.generation, 1, "{b:?}");
+        assert_eq!(b.census.source, "artifact-v2");
+        assert_eq!(Some(b.prediction), row.fused);
+    }
+
+    // Zero downtime: nothing was shed, expired, rejected, or panicked
+    // across the swap.
+    let stats = server.stats();
+    assert_eq!(stats.shed, 0, "{stats:?}");
+    assert_eq!(stats.expired, 0, "{stats:?}");
+    assert_eq!(stats.rejected, 0, "{stats:?}");
+    assert_eq!(stats.panics_caught, 0, "{stats:?}");
+    assert_eq!(stats.batched_requests, 2 * n as u64, "{stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn swap_to_an_incompatible_architecture_is_refused_and_service_stays_live() {
+    let ds = tiny_dataset();
+    let model = Arc::new(tiny_model(&ds));
+    let server = Server::start(Arc::clone(&model), ServeConfig::default())
+        .expect("valid config");
+    let bad = {
+        let s0 = &ds.train[0].sample;
+        Arc::new(MvGnn::new(MvGnnConfig::small(s0.node_dim + 3, s0.aw_vocab)))
+    };
+    let err = server.swap_model(bad, "bad").expect_err("must refuse");
+    assert!(matches!(err, MvGnnError::Config(_)), "{err:?}");
+    assert_eq!(server.census().generation, 0, "failed swap must not publish");
+
+    let c = server
+        .classify(Arc::new(ds.test[0].sample.clone()), Deadline::none())
+        .expect("still serving");
+    assert_eq!(c.census.generation, 0);
+}

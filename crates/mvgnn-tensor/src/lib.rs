@@ -17,13 +17,15 @@
 
 pub mod dense;
 pub mod init;
+pub mod mmap;
 pub mod optim;
 pub mod persist;
 pub mod sparse;
 pub mod tape;
 pub mod workspace;
 
+pub use mmap::{Advice, Mmap};
 pub use sparse::SparseMatrix;
 pub use persist::{load_params, save_params, PersistError};
-pub use tape::{GradStore, Params, ParamId, SparseId, Tape, Var};
+pub use tape::{GradStore, Params, ParamId, SparseId, Storage, Tape, Var, ViewError};
 pub use workspace::{Workspace, WorkspaceStats};

@@ -37,6 +37,9 @@ cargo run --release -p mvgnn-bench --bin corpus --quiet -- --smoke
 echo "==> cascade smoke (tier-0 short-circuit rate > 0, throughput >= pure GNN)"
 cargo run --release -p mvgnn-bench --bin cascade --quiet -- --smoke
 
+echo "==> coldstart smoke (mapped MVCK-v2 loads, bit parity, cold start <= eager)"
+cargo run --release -p mvgnn-bench --bin coldstart --quiet -- --smoke
+
 echo "==> rustdoc (-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
