@@ -18,6 +18,14 @@
 //!   benign. The `lint` binary of `mvgnn-bench` audits the generated
 //!   corpus by cross-checking these verdicts against the profiler's
 //!   `DepGraph` and the dataset labels.
+//! - [`planner`]: the parallelization planner layered on the oracle. It
+//!   keeps the oracle's evidence apart instead of collapsing it,
+//!   emitting a typed [`Plan`] — `DoAll` (with `private(...)`
+//!   candidates from the liveness-based privatization rule),
+//!   `Reduction` (clause targets from chains on loop-invariant cells
+//!   and header-live scalar accumulators), `Doacross` (every carried
+//!   dependence proved at distance ≥ 1), or `Serial` (typed
+//!   [`Blocker`]s) — rendered as an OpenMP-style pragma string.
 //!
 //! The oracle is deliberately asymmetric: `ProvablyParallel` and
 //! `ProvablyDependent` are *claims* that the corpus auditor treats as
@@ -27,6 +35,7 @@
 pub mod affine;
 pub mod dataflow;
 pub mod oracle;
+pub mod planner;
 
 pub use affine::{
     conflicts, reduction_chains, reduction_store_sites, summarize_loop, summarize_loop_strict,
@@ -35,3 +44,7 @@ pub use affine::{
 };
 pub use dataflow::{liveness, reaching_definitions, BitSet, Liveness, ReachingDefs};
 pub use oracle::{analyze_loop, loop_bounds, DepTest, Fact, LoopBounds, OracleReport, Verdict};
+pub use planner::{
+    annotate_loops, plan_from_report, plan_loop, Blocker, LoopPlan, Plan, PlannedPattern,
+    ReductionOp, ReductionTarget,
+};

@@ -25,14 +25,14 @@ impl Metrics {
         m
     }
 
-    /// Record one prediction.
+    /// Record one prediction. The task is binary, so any nonzero value
+    /// saturates to the positive class rather than faulting.
     pub fn record(&mut self, pred: usize, label: usize) {
-        match (pred, label) {
+        match (pred.min(1), label.min(1)) {
             (1, 1) => self.tp += 1,
             (0, 0) => self.tn += 1,
             (1, 0) => self.fp += 1,
-            (0, 1) => self.fn_ += 1,
-            _ => panic!("labels must be 0/1, got pred {pred} label {label}"),
+            _ => self.fn_ += 1,
         }
     }
 
@@ -132,9 +132,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "labels must be 0/1")]
-    fn non_binary_rejected() {
+    fn non_binary_saturates_to_positive() {
         let mut m = Metrics::default();
         m.record(2, 1);
+        m.record(3, 0);
+        assert_eq!(m.tp, 1);
+        assert_eq!(m.fp, 1);
     }
 }

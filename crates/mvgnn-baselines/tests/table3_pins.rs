@@ -126,4 +126,16 @@ ScatterPermutation 77 P. P.
 GuardedScatter 4 P P
 GuardedScatter 16 P P
 GuardedScatter 77 P P
+IndirectGatherReduction 4 P. PP
+IndirectGatherReduction 16 P. PP
+IndirectGatherReduction 77 P. PP
+PointerChase 4 P. P.
+PointerChase 16 P. P.
+PointerChase 77 P. P.
+TriangularCopy 4 PP PP
+TriangularCopy 16 PP PP
+TriangularCopy 77 PP PP
+MultiDistanceRecurrence 4 . .
+MultiDistanceRecurrence 16 . .
+MultiDistanceRecurrence 77 . .
 ";

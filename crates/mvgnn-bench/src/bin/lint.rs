@@ -13,7 +13,7 @@
 //! shard count, and a violation found by any shard is fatal for the
 //! whole audit.
 //!
-//! Two soundness rules are *fatal* (non-zero exit):
+//! Three soundness rules are *fatal* (non-zero exit):
 //!
 //! - **Rule A** — a loop the oracle marks `ProvablyParallel` must not
 //!   exhibit an observed loop-carried dependence outside the oracle's
@@ -23,16 +23,28 @@
 //!   carry a parallelisable ground-truth pattern. A violation means the
 //!   dependence "proof" claimed a dependence the generator knows is not
 //!   there.
+//! - **Rule C** — a *proved* parallelization plan
+//!   ([`mvgnn_analyze::plan_from_report`]) must not contradict the
+//!   clean (pre-noise) ground-truth label. Templates the generator
+//!   marks trace-limited are excused, mirroring rules A/B's excuse
+//!   surface; disagreements with the *noise-injected* dataset label and
+//!   pattern-granularity disagreements (proved `Reduction` on a `DoAll`
+//!   truth, both parallel) are counted, not enforced.
 //!
 //! Everything else is reported, not enforced: disagreements with the
 //! dynamic classifier, mismatches against the (noise-injected) dataset
-//! label, and the oracle's `Unknown` coverage. The full run writes
-//! `LINT_report.json`; `--smoke` audits a single seed at `-O0` split
+//! label, and the oracle's `Unknown` coverage. The full run audits the
+//! paper corpus *and* the opt-in adversarial `Stress` suite (so rule C
+//! covers every kernel family) and writes `LINT_report.json` with
+//! per-family counters; `--smoke` audits a single seed at `-O0` split
 //! across two shards and writes nothing (the CI wiring check, covering
 //! the shard merge). `--shards N` overrides the shard count.
 
-use mvgnn_analyze::{analyze_loop, Verdict};
-use mvgnn_dataset::{base_key, generate_app, noisy_label, CorpusConfig, ShardPlan};
+use mvgnn_analyze::{analyze_loop, plan_from_report, PlannedPattern, Verdict};
+use mvgnn_dataset::{
+    base_key, generate_app, noisy_label, CorpusConfig, KernelFamily, PatternKind, ShardPlan,
+    Suite,
+};
 use mvgnn_ir::transform::{optimize, OptLevel};
 use mvgnn_profiler::{classify_loop, profile_module};
 use rayon::prelude::*;
@@ -53,6 +65,16 @@ struct Audited {
     truth_label: usize,
     /// The generator marks this template as invisible to tracing.
     trace_limited: bool,
+    /// Kernel family of the loop's template.
+    family: KernelFamily,
+    /// Binary claim of a proved plan (`None` when nothing is proved).
+    plan_binary: Option<usize>,
+    /// Proved plan disagrees with the noise-flipped dataset label while
+    /// agreeing with the truth (counted, not fatal).
+    plan_noisy_disagree: bool,
+    /// Proved plan agrees at binary granularity but names a different
+    /// pattern than the generator's (counted, not fatal).
+    plan_pattern_disagree: bool,
 }
 
 struct Violation {
@@ -141,6 +163,32 @@ fn audit_shard(
                     });
                 }
 
+                // Rule C: a proved plan must restate the clean truth.
+                let plan = plan_from_report(&module, f, l, &report);
+                let plan_binary = plan.proved_binary();
+                let mut plan_noisy_disagree = false;
+                let mut plan_pattern_disagree = false;
+                if let Some(pb) = plan_binary {
+                    if pb != truth && !kind.trace_limited() {
+                        violations.push(Violation {
+                            rule: "C",
+                            detail: format!(
+                                "{} seed {seed} {level:?} {kind:?} loop f{}:l{}: \
+                                 proved plan `{}` contradicts clean truth {truth} \
+                                 (pattern {pattern:?})",
+                                app.spec.name, f.0, l.0, plan.pragma
+                            ),
+                        });
+                    }
+                    plan_noisy_disagree = pb == truth && pb != label;
+                    let planned_kind = plan.proved_pattern().map(|p| match p {
+                        PlannedPattern::DoAll => PatternKind::DoAll,
+                        PlannedPattern::Reduction => PatternKind::Reduction,
+                        PlannedPattern::Serial => PatternKind::Serial,
+                    });
+                    plan_pattern_disagree = pb == truth && planned_kind != Some(pattern);
+                }
+
                 let dynamic = classify_loop(&module, f, l, &res.deps).is_parallelizable();
                 let dynamic_agrees = match report.verdict {
                     Verdict::ProvablyParallel => dynamic,
@@ -158,6 +206,10 @@ fn audit_shard(
                     dataset_label: label,
                     truth_label: truth,
                     trace_limited: kind.trace_limited(),
+                    family: kind.family(),
+                    plan_binary,
+                    plan_noisy_disagree,
+                    plan_pattern_disagree,
                 });
             }
         }
@@ -203,12 +255,28 @@ fn main() {
         (vec![1, 2], OptLevel::ALL.to_vec())
     };
     let noise_cfg = CorpusConfig::default();
-    let plan_cfg = CorpusConfig { seeds, suite: None, ..CorpusConfig::default() };
+    let plan_cfg = CorpusConfig { seeds: seeds.clone(), suite: None, ..CorpusConfig::default() };
     let plan = ShardPlan::new(&plan_cfg, num_shards);
+    // The full audit also covers the opt-in adversarial stress suite, so
+    // rule C is exercised on every kernel family, not just the paper
+    // corpus' regular-dominated mix.
+    let stress_plan = (!smoke).then(|| {
+        let cfg = CorpusConfig { seeds, suite: Some(Suite::Stress), ..CorpusConfig::default() };
+        ShardPlan::new(&cfg, num_shards)
+    });
 
     let shard_audits: Vec<ShardAudit> = (0..num_shards)
         .into_par_iter()
-        .map(|s| audit_shard(&plan, s, &levels, &noise_cfg))
+        .map(|s| {
+            let mut a = audit_shard(&plan, s, &levels, &noise_cfg);
+            if let Some(sp) = &stress_plan {
+                let b = audit_shard(sp, s, &levels, &noise_cfg);
+                a.audited.extend(b.audited);
+                a.violations.extend(b.violations);
+                a.profile_failures += b.profile_failures;
+            }
+            a
+        })
         .collect();
     for s in &shard_audits {
         println!(
@@ -241,6 +309,10 @@ fn main() {
         .iter()
         .filter(|a| a.dataset_label != a.truth_label)
         .count();
+    let plans_proved = audited.iter().filter(|a| a.plan_binary.is_some()).count();
+    let plan_noisy = audited.iter().filter(|a| a.plan_noisy_disagree).count();
+    let plan_pattern = audited.iter().filter(|a| a.plan_pattern_disagree).count();
+    let rule_c_fatals = violations.iter().filter(|v| v.rule == "C").count();
 
     println!("audited loops:          {total} (merged from {num_shards} shards)");
     println!("  provably parallel:    {n_par}");
@@ -251,6 +323,10 @@ fn main() {
     );
     println!("dynamic disagreements:  {}", dyn_disagree.len());
     println!("label mismatches:       {} ({noise_only} from injected noise)", label_mismatch.len());
+    println!(
+        "proved plans:           {plans_proved} ({plan_noisy} vs noisy label, \
+         {plan_pattern} pattern-granularity, {rule_c_fatals} rule-C fatal)"
+    );
     println!("profile failures:       {profile_failures}");
     println!("soundness violations:   {}", violations.len());
     for v in &violations {
@@ -286,16 +362,36 @@ fn main() {
             .collect();
         let dyn_rows: Vec<String> = dyn_disagree.iter().map(|a| row(a)).collect();
         let label_rows: Vec<String> = label_mismatch.iter().map(|a| row(a)).collect();
+        let family_rows: Vec<String> = KernelFamily::ALL
+            .iter()
+            .map(|fam| {
+                let in_family: Vec<&Audited> =
+                    audited.iter().filter(|a| a.family == *fam).collect();
+                let proved = in_family.iter().filter(|a| a.plan_binary.is_some()).count();
+                format!(
+                    "    \"{}\": {{\"audited\": {}, \"plans_proved\": {}}}",
+                    fam.as_str(),
+                    in_family.len(),
+                    proved
+                )
+            })
+            .collect();
         let json = format!(
             "{{\n  \"audited\": {total},\n  \"shards\": {num_shards},\n  \
              \"verdicts\": {{\"parallel\": {n_par}, \
              \"dependent\": {n_dep}, \"unknown\": {n_unk}}},\n  \
              \"unknown_rate\": {:.4},\n  \"profile_failures\": {profile_failures},\n  \
+             \"plans\": {{\"proved\": {plans_proved}, \
+             \"noisy_label_disagreements\": {plan_noisy}, \
+             \"pattern_granularity_disagreements\": {plan_pattern}, \
+             \"rule_c_fatals\": {rule_c_fatals}}},\n  \
+             \"families\": {{\n{}\n  }},\n  \
              \"violations\": [\n{}\n  ],\n  \
              \"dynamic_disagreements\": [\n{}\n  ],\n  \
              \"label_mismatches\": [\n{}\n  ],\n  \
              \"label_mismatches_from_noise\": {noise_only}\n}}\n",
             if total == 0 { 0.0 } else { n_unk as f64 / total as f64 },
+            family_rows.join(",\n"),
             viol_rows.join(",\n"),
             dyn_rows.join(",\n"),
             label_rows.join(",\n"),

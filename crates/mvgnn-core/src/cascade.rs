@@ -28,7 +28,7 @@
 
 use crate::infer::{conservative, LoopReport, PredictionSource};
 use crate::model::{CheckedPrediction, MvGnn};
-use mvgnn_analyze::{analyze_loop, OracleReport, Verdict};
+use mvgnn_analyze::{analyze_loop, plan_from_report, OracleReport, Verdict};
 use mvgnn_embed::{
     build_sample_with_static, sample_fingerprint, sample_fingerprint_with_static, FeatureCache,
     GraphSample, Inst2Vec, SampleConfig,
@@ -386,6 +386,9 @@ impl Cascade {
             if self.config.use_oracle {
                 let report = Arc::new(analyze_loop(module, entry, l));
                 if let Some(prediction) = oracle_decision(&report) {
+                    // The decision is proved, so the planner's typed
+                    // pragma rides along as actionable output.
+                    let plan = plan_from_report(module, entry, l, &report);
                     reports[slot] = Some(LoopReport {
                         func: entry,
                         l,
@@ -395,6 +398,7 @@ impl Cascade {
                         diagnostic: None,
                         decided_by: DecidedBy::Oracle,
                         oracle: Some(report),
+                        plan: Some(Arc::new(plan)),
                     });
                     continue;
                 }
@@ -564,6 +568,7 @@ impl Cascade {
                                 diagnostic,
                                 decided_by,
                                 oracle: None,
+                                plan: None,
                             }
                         }
                         None => {

@@ -51,6 +51,11 @@ pub struct LoopReport {
     /// The oracle's full report — facts, excused reductions, sections —
     /// when tier 0 decided this loop (`None` otherwise).
     pub oracle: Option<Arc<OracleReport>>,
+    /// The parallelization plan derived from the oracle's facts — the
+    /// typed pragma (`DoAll`/`Reduction`/`Doacross`/`Serial`) with its
+    /// provenance — when tier 0 decided this loop (`None` otherwise:
+    /// learned verdicts carry no proof, so they get no plan).
+    pub plan: Option<Arc<mvgnn_analyze::LoopPlan>>,
 }
 
 pub(crate) fn conservative(
@@ -68,6 +73,7 @@ pub(crate) fn conservative(
         diagnostic: Some(why.into()),
         decided_by: DecidedBy::Gnn,
         oracle: None,
+        plan: None,
     }
 }
 

@@ -43,7 +43,10 @@ pub use infer::{classify_module, classify_module_cached, LoopReport, PredictionS
 pub use model::{MvGnn, MvGnnConfig, ViewMode};
 pub use views::{NodeFeatureEncoder, StructuralEncoder, ViewEncoder};
 pub use pipeline::{evaluate_tools, evaluate_tools_with_noise, run_pipeline, PipelineConfig, PipelineReport};
-pub use patterns::{pattern_confusion, predict_pattern, train_patterns, PATTERN_CLASSES};
+pub use patterns::{
+    pattern_confusion, predict_pattern, predict_pattern_checked, train_patterns, CheckedPattern,
+    PATTERN_CLASSES,
+};
 pub use suggest::{annotate_function, suggest, Suggestion};
 pub use streaming::{train_streaming, StreamConfig};
 pub use trainer::{train, EpochStats, TrainConfig};

@@ -74,6 +74,53 @@ pub fn predict_pattern(model: &MvGnn, s: &mvgnn_embed::GraphSample) -> PatternKi
     PATTERN_CLASSES[idx]
 }
 
+/// A pattern prediction cross-checked against the parallelization
+/// planner: when the static prover *proves* a plan for the loop, the
+/// proved pattern is final and the learned head is advisory. Checked
+/// predictions therefore can never contradict a proved plan — the
+/// invariant lint rule C audits on the corpus.
+#[derive(Debug, Clone)]
+pub struct CheckedPattern {
+    /// Final pattern after the prover check.
+    pub pattern: PatternKind,
+    /// What the learned head said on its own.
+    pub raw: PatternKind,
+    /// The plan consulted for the check (proved or not).
+    pub plan: mvgnn_analyze::LoopPlan,
+    /// True when a proof replaced a disagreeing learned prediction.
+    pub overridden: bool,
+}
+
+/// [`predict_pattern`] with the prover-checked evaluation path: run the
+/// planner over the loop and let a proved plan override the head.
+/// `Task` is outside the prover's vocabulary, but task loops contain
+/// opaque calls and are therefore never proved, so a proof overriding
+/// `Task` cannot demote a genuinely-proved task loop — it corrects a
+/// misprediction on a loop the prover decided.
+pub fn predict_pattern_checked(
+    model: &MvGnn,
+    s: &mvgnn_embed::GraphSample,
+    module: &mvgnn_ir::Module,
+    func: mvgnn_ir::module::FuncId,
+    l: mvgnn_ir::module::LoopId,
+) -> CheckedPattern {
+    use mvgnn_analyze::PlannedPattern;
+    let raw = predict_pattern(model, s);
+    let plan = mvgnn_analyze::plan_loop(module, func, l);
+    let (pattern, overridden) = match plan.proved_pattern() {
+        Some(p) => {
+            let proved = match p {
+                PlannedPattern::DoAll => PatternKind::DoAll,
+                PlannedPattern::Reduction => PatternKind::Reduction,
+                PlannedPattern::Serial => PatternKind::Serial,
+            };
+            (proved, proved != raw)
+        }
+        None => (raw, false),
+    };
+    CheckedPattern { pattern, raw, plan, overridden }
+}
+
 /// 4×4 confusion matrix (rows = truth, cols = prediction).
 pub fn pattern_confusion(
     model: &MvGnn,
@@ -99,6 +146,89 @@ mod tests {
     fn pattern_class_mapping_is_total() {
         for (i, &p) in PATTERN_CLASSES.iter().enumerate() {
             assert_eq!(pattern_class(p), i);
+        }
+    }
+
+    /// The head's argmax goes through the shared `argmax_rows` helper,
+    /// which orders by `total_cmp` (never the panicking/NaN-lossy
+    /// `partial_cmp` fold) and resolves exact ties to the *last* max
+    /// class. Pin both so a silent helper change fails here.
+    #[test]
+    fn pattern_argmax_uses_total_cmp_with_last_max_tie_break() {
+        assert_eq!(argmax_rows(&[0.25, 0.25, 0.25, 0.25], 1, 4), vec![3]);
+        assert_eq!(argmax_rows(&[1.0, 2.0, 2.0, 0.0], 1, 4), vec![2]);
+        // total_cmp orders -0.0 below 0.0, so 0.0 wins the "tie".
+        assert_eq!(argmax_rows(&[-0.0, 0.0, -1.0, -2.0], 1, 4), vec![1]);
+        // NaN is largest under total order — selected, not panicked on
+        // (callers' finiteness checks catch the divergence).
+        assert_eq!(argmax_rows(&[0.0, f32::NAN, 3.0, 1.0], 1, 4), vec![1]);
+    }
+
+    #[test]
+    fn proved_plans_override_the_learned_pattern_head() {
+        use mvgnn_embed::{build_sample, Inst2Vec, Inst2VecConfig, SampleConfig};
+        use mvgnn_ir::inst::BinOp;
+        use mvgnn_ir::types::Ty;
+        use mvgnn_ir::FunctionBuilder;
+        use mvgnn_peg::{build_peg, loop_subpeg};
+        use mvgnn_profiler::{build_cus, loop_features, profile_module};
+
+        // One provable DOALL map and one provable serial recurrence.
+        let mut m = mvgnn_ir::Module::new("t");
+        let a = m.add_array("a", Ty::F64, 16);
+        let out = m.add_array("b", Ty::F64, 16);
+        let mut b = FunctionBuilder::new(&mut m, "main", 0);
+        let lo = b.const_i64(0);
+        let hi = b.const_i64(16);
+        let st = b.const_i64(1);
+        let one = b.const_i64(1);
+        b.for_loop(lo, hi, st, |b, i| {
+            let x = b.load(a, i);
+            let y = b.bin(BinOp::Mul, x, x);
+            b.store(out, i, y);
+        });
+        b.for_loop(one, hi, st, |b, i| {
+            let p = b.bin(BinOp::Sub, i, one);
+            let x = b.load(out, p);
+            b.store(out, i, x);
+        });
+        let f = b.finish();
+
+        let i2v = Inst2Vec::train(
+            &[&m],
+            &Inst2VecConfig { dim: 8, epochs: 1, negatives: 2, lr: 0.05, seed: 1 },
+        );
+        let res = profile_module(&m, f, &[]).unwrap();
+        let cus = build_cus(&m);
+        let peg = build_peg(&m, &cus, &res.deps);
+        let cfg = SampleConfig::default();
+        let mk = |l: mvgnn_ir::module::LoopId| {
+            let feats = loop_features(&m, f, l, &res.deps, &res.loops[&(f, l)]);
+            let sub = loop_subpeg(&peg, &m, &cus, f, l);
+            build_sample(&sub, &i2v, &feats, &cfg, None)
+        };
+        let l0 = m.funcs[f.index()].loops[0].id;
+        let l1 = m.funcs[f.index()].loops[1].id;
+        let s0 = mk(l0);
+        let s1 = mk(l1);
+        // An untrained head predicts whatever it predicts; the proofs
+        // must pin the checked result regardless.
+        let model = MvGnn::new(pattern_model_config(s0.node_dim, s0.aw_vocab));
+        let c0 = predict_pattern_checked(&model, &s0, &m, f, l0);
+        assert_eq!(c0.pattern, PatternKind::DoAll, "{:?}", c0.plan);
+        assert_eq!(c0.overridden, c0.raw != PatternKind::DoAll);
+        let c1 = predict_pattern_checked(&model, &s1, &m, f, l1);
+        assert_eq!(c1.pattern, PatternKind::Serial, "{:?}", c1.plan);
+        // A checked prediction can never contradict its own proved plan.
+        for c in [&c0, &c1] {
+            if let Some(p) = c.plan.proved_pattern() {
+                let as_kind = match p {
+                    mvgnn_analyze::PlannedPattern::DoAll => PatternKind::DoAll,
+                    mvgnn_analyze::PlannedPattern::Reduction => PatternKind::Reduction,
+                    mvgnn_analyze::PlannedPattern::Serial => PatternKind::Serial,
+                };
+                assert_eq!(c.pattern, as_kind);
+            }
         }
     }
 

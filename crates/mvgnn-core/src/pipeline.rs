@@ -89,6 +89,7 @@ fn suite_name(s: Suite) -> &'static str {
         Suite::Npb => "NPB",
         Suite::PolyBench => "PolyBench",
         Suite::Bots => "BOTS",
+        Suite::Stress => "Stress",
     }
 }
 

@@ -11,7 +11,7 @@
 //! total order, so any `(num_shards, shard_id)` partition of the same
 //! configuration assembles to a bit-identical [`Dataset`].
 
-use crate::kernels::PatternKind;
+use crate::kernels::{KernelFamily, PatternKind};
 use crate::suites::{GeneratedApp, Suite};
 use mvgnn_analyze::{analyze_loop, OracleReport};
 use mvgnn_embed::{build_sample_with_static, GraphSample, Inst2Vec, Inst2VecConfig, SampleConfig};
@@ -31,6 +31,9 @@ pub struct LabeledSample {
     pub pattern: PatternKind,
     /// Suite the loop came from.
     pub suite: Suite,
+    /// Stress family of the template that generated the loop — the
+    /// reporting key of the `patterns` bench bin (per-family metrics).
+    pub family: KernelFamily,
     /// Application name.
     pub app: String,
     /// Identity of the *source* loop shared by all augmented variants —
@@ -177,7 +180,8 @@ pub(crate) fn samples_of_variant(
     };
     app.loops
         .iter()
-        .filter_map(|(f, l, pattern)| {
+        .enumerate()
+        .filter_map(|(i, (f, l, pattern))| {
             let runtime = res.loops.get(&(*f, *l))?;
             let feats = loop_features(module, *f, *l, &res.deps, runtime);
             let sub = loop_subpeg(&peg, module, &cus, *f, *l);
@@ -198,6 +202,7 @@ pub(crate) fn samples_of_variant(
                 label,
                 pattern: *pattern,
                 suite: app.spec.suite,
+                family: app.loop_kinds[i].family(),
                 app: app.spec.name.to_string(),
                 base_key: key,
                 level,

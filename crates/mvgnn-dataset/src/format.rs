@@ -24,7 +24,7 @@
 //! never panics (pinned by `tests/fault_injection.rs`).
 
 use crate::corpus::LabeledSample;
-use crate::kernels::PatternKind;
+use crate::kernels::{KernelFamily, PatternKind};
 use crate::suites::Suite;
 use mvgnn_embed::GraphSample;
 use mvgnn_ir::module::{FuncId, LoopId};
@@ -35,8 +35,10 @@ use std::path::{Path, PathBuf};
 
 /// File magic of a shard file.
 pub const MAGIC: &[u8; 4] = b"MVSH";
-/// Current format version.
-pub const VERSION: u32 = 1;
+/// Current format version. v2 added the kernel-family tag byte (after
+/// the suite tag) and the `Stress` suite; v1 shards are refused rather
+/// than silently mis-decoded.
+pub const VERSION: u32 = 2;
 /// Header length in bytes (magic, version, seed, shard id, shard count,
 /// record count).
 pub const HEADER_LEN: usize = 4 + 4 + 8 + 4 + 4 + 8;
@@ -200,6 +202,7 @@ fn suite_tag(s: Suite) -> u8 {
         Suite::Npb => 0,
         Suite::PolyBench => 1,
         Suite::Bots => 2,
+        Suite::Stress => 3,
     }
 }
 
@@ -208,7 +211,29 @@ fn suite_of(tag: u8) -> Result<Suite, ShardError> {
         0 => Suite::Npb,
         1 => Suite::PolyBench,
         2 => Suite::Bots,
+        3 => Suite::Stress,
         t => return Err(ShardError::Malformed(format!("suite tag {t}"))),
+    })
+}
+
+fn family_tag(f: KernelFamily) -> u8 {
+    match f {
+        KernelFamily::Regular => 0,
+        KernelFamily::Indirect => 1,
+        KernelFamily::PointerChase => 2,
+        KernelFamily::Triangular => 3,
+        KernelFamily::LongDistance => 4,
+    }
+}
+
+fn family_of(tag: u8) -> Result<KernelFamily, ShardError> {
+    Ok(match tag {
+        0 => KernelFamily::Regular,
+        1 => KernelFamily::Indirect,
+        2 => KernelFamily::PointerChase,
+        3 => KernelFamily::Triangular,
+        4 => KernelFamily::LongDistance,
+        t => return Err(ShardError::Malformed(format!("family tag {t}"))),
     })
 }
 
@@ -225,6 +250,7 @@ pub fn encode_record(s: &LabeledSample) -> Vec<u8> {
     out.push(s.label as u8);
     out.push(pattern_tag(s.pattern));
     out.push(suite_tag(s.suite));
+    out.push(family_tag(s.family));
     put_u32(&mut out, s.app.len() as u32);
     out.extend_from_slice(s.app.as_bytes());
 
@@ -332,6 +358,7 @@ pub fn decode_record(payload: &[u8]) -> Result<LabeledSample, ShardError> {
     }
     let pattern = pattern_of(c.u8()?)?;
     let suite = suite_of(c.u8()?)?;
+    let family = family_of(c.u8()?)?;
     let app_len = c.len("app name")?;
     let app = std::str::from_utf8(c.take(app_len)?)
         .map_err(|_| ShardError::Malformed("app name is not UTF-8".into()))?
@@ -401,6 +428,7 @@ pub fn decode_record(payload: &[u8]) -> Result<LabeledSample, ShardError> {
         label,
         pattern,
         suite,
+        family,
         app,
         base_key,
         level,
@@ -816,6 +844,7 @@ mod tests {
         assert_eq!(back.label, s.label);
         assert_eq!(back.pattern, s.pattern);
         assert_eq!(back.suite, s.suite);
+        assert_eq!(back.family, s.family);
         assert_eq!(back.app, s.app);
         assert_eq!(back.sample.n, s.sample.n);
         assert_eq!(back.sample.node_dim, s.sample.node_dim);

@@ -107,6 +107,73 @@ pub enum KernelKind {
     /// no. This is the paper's "missing expert annotation"/unsound-trace
     /// error class, and it is [`KernelKind::trace_limited`].
     GuardedScatter,
+    /// `s[0] += a[idx[i]]` — a reduction over an indirectly gathered
+    /// operand (2 loops: init DoAll + Reduction). The chain cell is
+    /// affine, but the gathered read is subscript-of-subscript, so a
+    /// sound static tool must keep the reduction claim while refusing
+    /// to reason about `a`.
+    IndirectGatherReduction,
+    /// Linked-list walk `p = next[p]` through a pointer cell
+    /// (2 loops: init DoAll + non-counted walk Serial). The walk has
+    /// no induction register at all — the hostile case for counted
+    /// loop analyses.
+    PointerChase,
+    /// `out[i·n+j] = a[j·n+i]` over the strictly lower triangle
+    /// (2 loops, DoAll + DoAll): a skewed iteration space whose inner
+    /// bound is the outer induction variable.
+    TriangularCopy,
+    /// `a[i] = a[i−2] + a[i−5]` — carried RAW at two distances > 1
+    /// (1 loop, Serial). Not DOALL, but provably a pipeline
+    /// (DOACROSS) at distance 2.
+    MultiDistanceRecurrence,
+}
+
+/// Coarse stress-family taxonomy over kernel templates. Families group
+/// kernels by the *mechanism* that makes them hard for static provers
+/// and learned models, so per-family metrics stay visible instead of
+/// being averaged away (see the `patterns` bench bin).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum KernelFamily {
+    /// Dense affine kernels — the classic, mostly decidable core.
+    Regular,
+    /// Subscript-of-subscript (`a[idx[i]]`) gathers and scatters.
+    Indirect,
+    /// Pointer-chasing list walks with no induction register.
+    PointerChase,
+    /// Triangular / skewed iteration spaces.
+    Triangular,
+    /// Loop-carried dependences at distance > 1.
+    LongDistance,
+}
+
+impl KernelFamily {
+    /// Stable lowercase name used in reports and JSON keys.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelFamily::Regular => "regular",
+            KernelFamily::Indirect => "indirect",
+            KernelFamily::PointerChase => "pointer_chase",
+            KernelFamily::Triangular => "triangular",
+            KernelFamily::LongDistance => "long_distance",
+        }
+    }
+
+    /// Every family, in on-disk tag order (see `mvgnn-dataset::format`).
+    pub const ALL: [KernelFamily; 5] = [
+        KernelFamily::Regular,
+        KernelFamily::Indirect,
+        KernelFamily::PointerChase,
+        KernelFamily::Triangular,
+        KernelFamily::LongDistance,
+    ];
+}
+
+impl std::fmt::Display for KernelFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 impl KernelKind {
@@ -130,7 +197,8 @@ impl KernelKind {
             | KernelKind::NonCommutativeScalar
             | KernelKind::DistanceRecurrence
             | KernelKind::GuardedReduction
-            | KernelKind::GuardedScatter => 1,
+            | KernelKind::GuardedScatter
+            | KernelKind::MultiDistanceRecurrence => 1,
             KernelKind::MatVec
             | KernelKind::Jacobi2d
             | KernelKind::GaussSeidel
@@ -138,7 +206,10 @@ impl KernelKind {
             | KernelKind::IndirectGather
             | KernelKind::ScatterConflict
             | KernelKind::Transpose
-            | KernelKind::ScatterPermutation => 2,
+            | KernelKind::ScatterPermutation
+            | KernelKind::IndirectGatherReduction
+            | KernelKind::PointerChase
+            | KernelKind::TriangularCopy => 2,
             KernelKind::MatMul | KernelKind::TriangularSolve => 3,
         }
     }
@@ -160,17 +231,20 @@ impl KernelKind {
             KernelKind::MatMul => vec![DoAll, DoAll, Reduction],
             KernelKind::Jacobi2d => vec![DoAll, DoAll],
             KernelKind::GaussSeidel => vec![Serial, Serial],
-            KernelKind::Histogram => vec![DoAll, Reduction],
+            KernelKind::Histogram | KernelKind::IndirectGatherReduction => {
+                vec![DoAll, Reduction]
+            }
             KernelKind::IndirectGather => vec![DoAll, DoAll],
-            KernelKind::ScatterConflict => vec![DoAll, Serial],
-            KernelKind::Transpose => vec![DoAll, DoAll],
+            KernelKind::ScatterConflict | KernelKind::PointerChase => vec![DoAll, Serial],
+            KernelKind::Transpose | KernelKind::TriangularCopy => vec![DoAll, DoAll],
             KernelKind::TriangularSolve => vec![DoAll, Serial, Reduction],
             KernelKind::TaskSpawn => vec![Task],
             KernelKind::CallDoAll | KernelKind::TinyDoAll => vec![DoAll],
             KernelKind::ScalarSumReduction | KernelKind::GuardedReduction => vec![Reduction],
             KernelKind::NonCommutativeScalar
             | KernelKind::DistanceRecurrence
-            | KernelKind::GuardedScatter => vec![Serial],
+            | KernelKind::GuardedScatter
+            | KernelKind::MultiDistanceRecurrence => vec![Serial],
             KernelKind::ScatterPermutation => vec![DoAll, DoAll],
         }
     }
@@ -183,7 +257,27 @@ impl KernelKind {
         matches!(self, KernelKind::GuardedScatter)
     }
 
-    pub const ALL: [KernelKind; 28] = [
+    /// The stress family this template belongs to.
+    pub fn family(self) -> KernelFamily {
+        match self {
+            KernelKind::Histogram
+            | KernelKind::IndirectGather
+            | KernelKind::ScatterConflict
+            | KernelKind::ScatterPermutation
+            | KernelKind::GuardedScatter
+            | KernelKind::IndirectGatherReduction => KernelFamily::Indirect,
+            KernelKind::PointerChase => KernelFamily::PointerChase,
+            KernelKind::TriangularSolve | KernelKind::TriangularCopy => {
+                KernelFamily::Triangular
+            }
+            KernelKind::DistanceRecurrence | KernelKind::MultiDistanceRecurrence => {
+                KernelFamily::LongDistance
+            }
+            _ => KernelFamily::Regular,
+        }
+    }
+
+    pub const ALL: [KernelKind; 32] = [
         KernelKind::VectorMap,
         KernelKind::Triad,
         KernelKind::DotProduct,
@@ -212,6 +306,10 @@ impl KernelKind {
         KernelKind::GuardedReduction,
         KernelKind::ScatterPermutation,
         KernelKind::GuardedScatter,
+        KernelKind::IndirectGatherReduction,
+        KernelKind::PointerChase,
+        KernelKind::TriangularCopy,
+        KernelKind::MultiDistanceRecurrence,
     ];
 }
 
@@ -915,6 +1013,103 @@ pub fn build_kernel(
             b.ret(None);
             b.finish()
         }
+        KernelKind::IndirectGatherReduction => {
+            let a = module.add_array(name("igr_a"), Ty::F64, n as usize);
+            let idxa = module.add_array(name("igr_i"), Ty::I64, n as usize);
+            let s = module.add_array(name("igr_s"), Ty::F64, 1);
+            let mut b = FunctionBuilder::new(module, name("gather_red"), 0);
+            let z = b.const_i64(0);
+            let last = b.const_i64(n - 1);
+            let (lo, hi, st) = bounds(&mut b, 0, n);
+            let init = b.for_loop(lo, hi, st, |b, iv| {
+                let k = b.bin(BinOp::Sub, last, iv);
+                b.store(idxa, iv, k);
+            });
+            loops.push(init);
+            let (lo2, hi2, st2) = bounds(&mut b, 0, n);
+            let red = b.for_loop(lo2, hi2, st2, |b, iv| {
+                let j = b.load(idxa, iv);
+                let x = b.load(a, j);
+                let cur = b.load(s, z);
+                let nxt = b.bin(BinOp::Add, cur, x);
+                b.store(s, z, nxt);
+            });
+            loops.push(red);
+            b.ret(None);
+            b.finish()
+        }
+        KernelKind::PointerChase => {
+            let next = module.add_array(name("pc_n"), Ty::I64, n as usize);
+            let pcell = module.add_array(name("pc_p"), Ty::I64, 1);
+            let mut b = FunctionBuilder::new(module, name("list_walk"), 0);
+            let z = b.const_i64(0);
+            let one = b.const_i64(1);
+            let nreg = b.const_i64(n);
+            let (lo, hi, st) = bounds(&mut b, 0, n);
+            let init = b.for_loop(lo, hi, st, |b, iv| {
+                let nx = b.bin(BinOp::Add, iv, one);
+                b.store(next, iv, nx);
+            });
+            loops.push(init);
+            b.store(pcell, z, z);
+            let walk = b.while_loop(
+                |b| {
+                    let p = b.load(pcell, z);
+                    b.bin(BinOp::CmpLt, p, nreg)
+                },
+                |b| {
+                    let p = b.load(pcell, z);
+                    let np = b.load(next, p);
+                    b.store(pcell, z, np);
+                },
+            );
+            loops.push(walk);
+            b.ret(None);
+            b.finish()
+        }
+        KernelKind::TriangularCopy => {
+            let a = module.add_array(name("tc_a"), Ty::F64, (n * n) as usize);
+            let out = module.add_array(name("tc_o"), Ty::F64, (n * n) as usize);
+            let op = jitter_op(rng);
+            let mut b = FunctionBuilder::new(module, name("tri_copy"), 0);
+            let nreg = b.const_i64(n);
+            let (lo, hi, st) = bounds(&mut b, 0, n);
+            let outer = b.for_loop(lo, hi, st, |b, i| {
+                let lo2 = b.const_i64(0);
+                let st2 = b.const_i64(1);
+                let inner = b.for_loop(lo2, i, st2, |b, j| {
+                    let jn = b.bin(BinOp::Mul, j, nreg);
+                    let src = b.bin(BinOp::Add, jn, i);
+                    let x = b.load(a, src);
+                    let y = b.bin(op, x, x);
+                    let base = b.bin(BinOp::Mul, i, nreg);
+                    let dst = b.bin(BinOp::Add, base, j);
+                    b.store(out, dst, y);
+                });
+                loops.push(inner);
+            });
+            loops.insert(0, outer);
+            b.ret(None);
+            b.finish()
+        }
+        KernelKind::MultiDistanceRecurrence => {
+            let a = module.add_array(name("md_a"), Ty::F64, (n + 5) as usize);
+            let mut b = FunctionBuilder::new(module, name("multi_dist"), 0);
+            let two = b.const_i64(2);
+            let five = b.const_i64(5);
+            let (lo, hi, st) = bounds(&mut b, 5, n + 5);
+            let l = b.for_loop(lo, hi, st, |b, iv| {
+                let p2 = b.bin(BinOp::Sub, iv, two);
+                let p5 = b.bin(BinOp::Sub, iv, five);
+                let x = b.load(a, p2);
+                let y = b.load(a, p5);
+                let v = b.bin(BinOp::Add, x, y);
+                b.store(a, iv, v);
+            });
+            loops.push(l);
+            b.ret(None);
+            b.finish()
+        }
     };
 
     let patterns = kind.patterns();
@@ -996,6 +1191,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn every_family_is_populated_and_every_kind_has_one() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in KernelKind::ALL {
+            seen.insert(kind.family());
+        }
+        for fam in KernelFamily::ALL {
+            assert!(seen.contains(&fam), "{fam}: no kernel in family");
+        }
+        // The four adversarial kinds land where the taxonomy says.
+        assert_eq!(KernelKind::IndirectGatherReduction.family(), KernelFamily::Indirect);
+        assert_eq!(KernelKind::PointerChase.family(), KernelFamily::PointerChase);
+        assert_eq!(KernelKind::TriangularCopy.family(), KernelFamily::Triangular);
+        assert_eq!(
+            KernelKind::MultiDistanceRecurrence.family(),
+            KernelFamily::LongDistance
+        );
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub use shard::{
     fit_inst2vec, generate_shard, load_inst2vec, save_inst2vec, shard_file_name, write_shard,
     write_shard_resumable, ShardPlan,
 };
-pub use kernels::{build_kernel, KernelKind, PatternKind};
-pub use suites::{generate_app, generate_suite, AppSpec, GeneratedApp, Suite, TABLE2};
+pub use kernels::{build_kernel, KernelFamily, KernelKind, PatternKind};
+pub use suites::{generate_app, generate_suite, AppSpec, GeneratedApp, Suite, STRESS, TABLE2};

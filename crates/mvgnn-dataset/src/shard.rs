@@ -25,7 +25,7 @@
 
 use crate::corpus::{samples_of_variant, CorpusConfig, LabeledSample};
 use crate::format::{ShardError, ShardMeta, ShardWriter};
-use crate::suites::{generate_app, AppSpec, TABLE2};
+use crate::suites::{generate_app, AppSpec, Suite, STRESS, TABLE2};
 use mvgnn_embed::Inst2Vec;
 use mvgnn_ir::transform::optimize;
 use rayon::prelude::*;
@@ -44,13 +44,19 @@ impl ShardPlan {
     /// `num_shards == 0` is meaningless and rejected.
     pub fn new(cfg: &CorpusConfig, num_shards: usize) -> ShardPlan {
         assert!(num_shards >= 1, "a shard plan needs at least one shard");
+        // `None` means the paper's corpus: every TABLE2 app, never the
+        // opt-in stress apps (mirrors `generate_suite`).
         let units: Vec<(u64, AppSpec)> = cfg
             .seeds
             .iter()
             .flat_map(|&s| {
                 TABLE2
                     .iter()
-                    .filter(|spec| cfg.suite.is_none_or(|want| spec.suite == want))
+                    .chain(STRESS.iter())
+                    .filter(|spec| match cfg.suite {
+                        None => spec.suite != Suite::Stress,
+                        Some(want) => spec.suite == want,
+                    })
                     .map(move |&spec| (s, spec))
             })
             .collect();

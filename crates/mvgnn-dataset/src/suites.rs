@@ -22,6 +22,12 @@ pub enum Suite {
     PolyBench,
     /// Barcelona OpenMP Tasks Suite.
     Bots,
+    /// Adversarial stress suite (not in the paper): indirect access,
+    /// pointer chasing, skewed iteration spaces and long-distance
+    /// carried dependences, built to break static provers and learned
+    /// models alike. Opt-in only: `generate_suite(None, …)` and the
+    /// historic corpora exclude it.
+    Stress,
 }
 
 impl std::fmt::Display for Suite {
@@ -30,6 +36,7 @@ impl std::fmt::Display for Suite {
             Suite::Npb => write!(f, "NPB"),
             Suite::PolyBench => write!(f, "PolyBench"),
             Suite::Bots => write!(f, "BOTS"),
+            Suite::Stress => write!(f, "Stress"),
         }
     }
 }
@@ -61,6 +68,16 @@ pub const TABLE2: [AppSpec; 14] = [
     AppSpec { name: "trmm", suite: Suite::PolyBench, loops: 9 },
     AppSpec { name: "fib", suite: Suite::Bots, loops: 2 },
     AppSpec { name: "nqueens", suite: Suite::Bots, loops: 4 },
+];
+
+/// The adversarial stress applications ([`Suite::Stress`]). Kept apart
+/// from [`TABLE2`] so every historic corpus (suite `None` or a paper
+/// suite) is byte-identical to before the stress suite existed.
+pub const STRESS: [AppSpec; 4] = [
+    AppSpec { name: "gather-x", suite: Suite::Stress, loops: 24 },
+    AppSpec { name: "chase-x", suite: Suite::Stress, loops: 18 },
+    AppSpec { name: "skew-x", suite: Suite::Stress, loops: 20 },
+    AppSpec { name: "pipe-x", suite: Suite::Stress, loops: 18 },
 ];
 
 /// Weighted kernel menu for a suite: `(template, weight)`.
@@ -123,6 +140,24 @@ fn menu(suite: Suite) -> Vec<(KernelKind, u32)> {
             (ScalarSumReduction, 3),
             (NonCommutativeScalar, 2),
             (Recurrence, 2),
+        ],
+        // Stress: the four adversarial families dominate, with a thin
+        // slice of regular kernels so both binary labels stay populated.
+        Suite::Stress => vec![
+            (IndirectGatherReduction, 6),
+            (PointerChase, 5),
+            (TriangularCopy, 6),
+            (MultiDistanceRecurrence, 5),
+            (IndirectGather, 3),
+            (ScatterConflict, 2),
+            (ScatterPermutation, 2),
+            (GuardedScatter, 2),
+            (Histogram, 3),
+            (TriangularSolve, 3),
+            (DistanceRecurrence, 3),
+            (VectorMap, 4),
+            (SumReduction, 3),
+            (Stencil3InPlace, 2),
         ],
     }
 }
@@ -220,11 +255,17 @@ pub fn generate_app(spec: AppSpec, seed: u64) -> GeneratedApp {
     GeneratedApp { spec, module, entry, loops, loop_kinds }
 }
 
-/// Generate every application of a suite (or all suites with `None`).
+/// Generate every application of a suite. `None` means "the paper's
+/// corpus": all of [`TABLE2`], *excluding* the opt-in [`STRESS`] apps,
+/// so historic corpora are unchanged by the stress suite's existence.
 pub fn generate_suite(suite: Option<Suite>, seed: u64) -> Vec<GeneratedApp> {
     TABLE2
         .iter()
-        .filter(|s| suite.is_none_or(|want| s.suite == want))
+        .chain(STRESS.iter())
+        .filter(|s| match suite {
+            None => s.suite != Suite::Stress,
+            Some(want) => s.suite == want,
+        })
         .map(|&s| generate_app(s, seed))
         .collect()
 }
@@ -252,6 +293,42 @@ mod tests {
         assert_eq!(TABLE2.iter().filter(|s| s.suite == Suite::Npb).count(), 8);
         assert_eq!(TABLE2.iter().filter(|s| s.suite == Suite::PolyBench).count(), 4);
         assert_eq!(TABLE2.iter().filter(|s| s.suite == Suite::Bots).count(), 2);
+    }
+
+    #[test]
+    fn stress_suite_is_opt_in_and_covers_every_family() {
+        use crate::kernels::KernelFamily;
+        // `None` (the historic corpus) must not pick up stress apps.
+        let default = generate_suite(None, 7);
+        assert_eq!(default.len(), TABLE2.len());
+        assert!(default.iter().all(|a| a.spec.suite != Suite::Stress));
+        // The stress suite itself covers all five families.
+        let stress = generate_suite(Some(Suite::Stress), 7);
+        assert_eq!(stress.len(), STRESS.len());
+        let families: std::collections::HashSet<KernelFamily> = stress
+            .iter()
+            .flat_map(|a| a.loop_kinds.iter().map(|k| k.family()))
+            .collect();
+        for fam in KernelFamily::ALL {
+            assert!(families.contains(&fam), "{fam}: missing from stress corpus");
+        }
+    }
+
+    #[test]
+    fn stress_apps_profile_end_to_end() {
+        for spec in STRESS {
+            let app = generate_app(spec, 5);
+            assert_eq!(app.loops.len(), spec.loops, "{}", spec.name);
+            verify_module(&app.module).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            let res = profile_module(&app.module, app.entry, &[]).unwrap();
+            for (f, l, _) in &app.loops {
+                let rt = res
+                    .loops
+                    .get(&(*f, *l))
+                    .unwrap_or_else(|| panic!("{}: loop {l:?} of f{} never ran", spec.name, f.0));
+                assert!(rt.iterations > 0);
+            }
+        }
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! so it cannot depend on which shard applied it.
 
 use mvgnn_dataset::{
-    assemble_dataset, fit_inst2vec, generate_shard, noisy_label, CorpusConfig, LabeledSample,
-    ShardPlan, Suite,
+    assemble_dataset, fit_inst2vec, generate_shard, noisy_label, CorpusConfig, KernelFamily,
+    LabeledSample, ShardPlan, Suite,
 };
 use mvgnn_embed::Inst2VecConfig;
 use mvgnn_ir::transform::OptLevel;
@@ -27,12 +27,16 @@ fn tiny_cfg(corpus_seed: u64, gen_seed: u64, noise: f64) -> CorpusConfig {
     }
 }
 
-/// Everything float-bearing in a sample, as bits.
-fn fingerprint(s: &LabeledSample) -> (u64, OptLevel, usize, Vec<u32>, Vec<u32>, Vec<usize>) {
+/// Everything float-bearing in a sample, as bits, plus the family tag.
+#[allow(clippy::type_complexity)]
+fn fingerprint(
+    s: &LabeledSample,
+) -> (u64, OptLevel, usize, KernelFamily, Vec<u32>, Vec<u32>, Vec<usize>) {
     (
         s.base_key,
         s.level,
         s.label,
+        s.family,
         s.sample.node_feats.iter().map(|x| x.to_bits()).collect(),
         s.sample.struct_dists.iter().map(|x| x.to_bits()).collect(),
         s.sample.token_ids.clone(),
@@ -122,6 +126,45 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The adversarial stress suite rides the same determinism contract
+    /// as the paper corpus: any shard partition generates the same
+    /// samples with the same family tags, and every kernel family is
+    /// populated (the tag byte an MVSH shard stores can therefore never
+    /// depend on the partition that wrote it).
+    #[test]
+    fn stress_family_tags_are_shard_invariant(
+        num_shards in 2usize..=5,
+        gen_seed in 1u64..30,
+    ) {
+        let cfg = CorpusConfig {
+            suite: Some(Suite::Stress),
+            seeds: vec![gen_seed],
+            opt_levels: vec![OptLevel::O0],
+            ..tiny_cfg(1, gen_seed, 0.0)
+        };
+        let emb = fit_inst2vec(&cfg);
+        let mono = generate_shard(&cfg, &emb, 0, 1);
+        prop_assert!(!mono.is_empty());
+        let mut union: Vec<LabeledSample> = (0..num_shards)
+            .flat_map(|s| generate_shard(&cfg, &emb, s, num_shards))
+            .collect();
+        union.sort_by_key(|s| (s.base_key, s.sample.n, s.label, s.level));
+        prop_assert_eq!(union.len(), mono.len());
+        for (a, b) in union.iter().zip(&mono) {
+            prop_assert_eq!(fingerprint(a), fingerprint(b));
+        }
+        for fam in KernelFamily::ALL {
+            prop_assert!(
+                mono.iter().any(|s| s.family == fam),
+                "stress corpus must populate family {fam}"
+            );
         }
     }
 }

@@ -230,6 +230,7 @@ impl<'m> FunctionBuilder<'m> {
             parent,
             depth,
             line_span: (start_line, start_line),
+            annotation: None,
         });
 
         self.loop_stack.push(loop_id);
@@ -301,6 +302,7 @@ impl<'m> FunctionBuilder<'m> {
             parent,
             depth,
             line_span: (start_line, start_line),
+            annotation: None,
         });
 
         self.loop_stack.push(loop_id);

@@ -89,6 +89,11 @@ pub struct LoopInfo {
     pub depth: u32,
     /// Synthetic source line span `[start, end]`.
     pub line_span: (u32, u32),
+    /// Parallelization annotation attached by the planner
+    /// (`mvgnn_analyze::planner::annotate_loops`): the OpenMP-style
+    /// pragma string for this loop, when a pass has rendered one.
+    #[serde(default)]
+    pub annotation: Option<String>,
 }
 
 /// A memory object: a 1-D array of a fixed element type and length.
@@ -290,6 +295,7 @@ mod tests {
             parent: None,
             depth: 0,
             line_span: (1, 9),
+            annotation: None,
         };
         let inner = LoopInfo {
             id: LoopId(1),
@@ -301,6 +307,7 @@ mod tests {
             parent: Some(LoopId(0)),
             depth: 1,
             line_span: (3, 6),
+            annotation: None,
         };
         let f = Function {
             name: "f".into(),

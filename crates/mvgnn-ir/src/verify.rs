@@ -541,6 +541,7 @@ mod tests {
             parent: None,
             depth: 0,
             line_span: (1, 2),
+            annotation: None,
         });
         m.funcs.push(f);
         let e = verify_module(&m).unwrap_err();
@@ -571,6 +572,7 @@ mod tests {
                 parent: None,
                 depth: 0,
                 line_span: (1, 3),
+                annotation: None,
             }],
             block_loop: vec![None, Some(crate::module::LoopId(0)), Some(crate::module::LoopId(0))],
         };

@@ -10,7 +10,7 @@
 //! dispatch panic is caught at the service boundary and surfaced as
 //! [`ServeError::Internal`].
 
-use mvgnn_analyze::{Fact, OracleReport, Verdict};
+use mvgnn_analyze::{Fact, LoopPlan, OracleReport, Verdict};
 use mvgnn_core::infer::LoopReport;
 use mvgnn_core::model::CheckedPrediction;
 use mvgnn_core::{DecidedBy, PredictionSource, RegistryCensus};
@@ -112,6 +112,12 @@ pub struct Classification {
     /// The oracle's dependence facts when tier 0 decided this request
     /// (`None` when the GNN answered).
     pub oracle_facts: Option<Vec<Fact>>,
+    /// The rendered OpenMP-style pragma of the parallelization plan,
+    /// when the request came with a proved [`LoopPlan`]
+    /// ([`Server::submit_planned`](crate::Server::submit_planned)).
+    /// `None` on the GNN path (learned verdicts carry no proof) and on
+    /// the report-only oracle path (a bare report has no rendered plan).
+    pub pragma: Option<String>,
     /// Which model generation answered: the registry census captured at
     /// admission time, so a hot-swap mid-flight is visible per response.
     pub census: RegistryCensus,
@@ -125,7 +131,24 @@ impl Classification {
     /// answered conservatively serial with a diagnostic rather than a
     /// panic.
     pub fn from_oracle(report: &OracleReport, census: RegistryCensus) -> Classification {
-        let (prediction, diagnostic) = match report.verdict {
+        Self::tier0(report.verdict, report.facts.clone(), None, census)
+    }
+
+    /// Build the tier-0 answer for a request carrying a parallelization
+    /// plan. A [`LoopPlan`] embeds its backing verdict and fact list, so
+    /// this is [`Self::from_oracle`] plus the rendered pragma; the same
+    /// definiteness contract applies ([`LoopPlan::proved`] must hold).
+    pub fn from_plan(plan: &LoopPlan, census: RegistryCensus) -> Classification {
+        Self::tier0(plan.verdict, plan.facts.clone(), Some(plan.pragma.clone()), census)
+    }
+
+    fn tier0(
+        verdict: Verdict,
+        facts: Vec<Fact>,
+        pragma: Option<String>,
+        census: RegistryCensus,
+    ) -> Classification {
+        let (prediction, diagnostic) = match verdict {
             Verdict::ProvablyParallel => (1, None),
             Verdict::ProvablyDependent => (0, None),
             Verdict::Unknown => {
@@ -139,7 +162,8 @@ impl Classification {
             batched_with: 0,
             queued: Duration::ZERO,
             decided_by: DecidedBy::Oracle,
-            oracle_facts: Some(report.facts.clone()),
+            oracle_facts: Some(facts),
+            pragma,
             census,
         }
     }
@@ -178,6 +202,7 @@ pub fn classification_from_checked(
             queued,
             decided_by: DecidedBy::Gnn,
             oracle_facts: None,
+            pragma: None,
             census,
         },
         None => Classification {
@@ -188,6 +213,7 @@ pub fn classification_from_checked(
             queued,
             decided_by: DecidedBy::Gnn,
             oracle_facts: None,
+            pragma: None,
             census,
         },
     }
@@ -250,5 +276,29 @@ mod tests {
         );
         assert!(c.diagnostic.is_some());
         assert_eq!(c.census, test_census());
+    }
+
+    #[test]
+    fn planned_tier0_answers_carry_the_pragma() {
+        let plan = LoopPlan {
+            plan: mvgnn_analyze::Plan::DoAll { private: Vec::new() },
+            verdict: Verdict::ProvablyParallel,
+            facts: Vec::new(),
+            pragma: "#pragma omp parallel for".to_string(),
+        };
+        let c = Classification::from_plan(&plan, test_census());
+        assert_eq!(c.prediction, 1);
+        assert_eq!(c.decided_by, DecidedBy::Oracle);
+        assert_eq!(c.pragma.as_deref(), Some("#pragma omp parallel for"));
+        assert!(c.oracle_facts.is_some());
+
+        // The GNN path never invents a pragma.
+        let gnn = classification_from_checked(
+            CheckedPrediction { fused: Some(1), node: Some(1), structural: Some(1) },
+            1,
+            Duration::ZERO,
+            test_census(),
+        );
+        assert!(gnn.pragma.is_none());
     }
 }

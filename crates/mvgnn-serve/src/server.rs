@@ -9,10 +9,12 @@
 //!   pre-featurised loop sample rides the micro-batcher, so bursts of
 //!   concurrent singles are served at packed-batch throughput. When the
 //!   caller also carries a tier-0 oracle report
-//!   ([`Server::submit_analyzed`]), a definite static verdict is
+//!   ([`Server::submit_analyzed`]) or a full parallelization plan
+//!   ([`Server::submit_planned`]), a definite static verdict is
 //!   answered at submit time — before the shape gate, the limiter, and
 //!   the queue — so oracle-decidable requests never occupy a micro-batch
-//!   slot or an admission token.
+//!   slot or an admission token; the planned path additionally surfaces
+//!   the rendered pragma in the [`Classification`].
 //! - **Source path** ([`Server::classify_source`]): a source program is
 //!   compiled, profiled, and classified per-loop on the caller's thread
 //!   under the same admission token, with the per-loop degradation of
@@ -29,7 +31,7 @@ use crate::limiter::{Limiter, LimiterStats};
 use crate::response::{
     Classification, DeadlineStage, ModuleClassification, ServeError, ServeResult,
 };
-use mvgnn_analyze::OracleReport;
+use mvgnn_analyze::{LoopPlan, OracleReport};
 use mvgnn_core::{
     oracle_decision, Cascade, CascadeConfig, EngineConfig, InferenceEngine, ModelRegistry, MvGnn,
     MvGnnError, RegistryCensus,
@@ -305,6 +307,43 @@ impl Server {
         oracle: Option<&OracleReport>,
         deadline: Deadline,
     ) -> ServeResult<Ticket> {
+        let decided = oracle.filter(|r| oracle_decision(r).is_some());
+        self.submit_tier0(
+            sample,
+            decided.map(|r| |census| Classification::from_oracle(r, census)),
+            deadline,
+        )
+    }
+
+    /// [`Self::submit_analyzed`] for a caller that ran the full
+    /// parallelization planner ([`mvgnn_analyze::plan_from_report`]):
+    /// a *proved* plan ([`LoopPlan::proved`]) is answered at submit
+    /// time with the rendered pragma attached
+    /// ([`Classification::pragma`]); an unproved plan rides the
+    /// micro-batcher like any unanalyzed sample.
+    pub fn submit_planned(
+        &self,
+        sample: Arc<GraphSample>,
+        plan: Option<&LoopPlan>,
+        deadline: Deadline,
+    ) -> ServeResult<Ticket> {
+        let proved = plan.filter(|p| p.proved());
+        self.submit_tier0(
+            sample,
+            proved.map(|p| |census| Classification::from_plan(p, census)),
+            deadline,
+        )
+    }
+
+    /// Shared tier-0 front: admission gates, then either fulfil at
+    /// submit time with the caller's static answer or fall through to
+    /// the micro-batched tier-1 queue.
+    fn submit_tier0(
+        &self,
+        sample: Arc<GraphSample>,
+        answer: Option<impl FnOnce(RegistryCensus) -> Classification>,
+        deadline: Deadline,
+    ) -> ServeResult<Ticket> {
         let sh = &self.shared;
         sh.submitted.fetch_add(1, Ordering::Relaxed);
         if sh.batcher.shutting_down() {
@@ -313,14 +352,12 @@ impl Server {
         if deadline.expired() {
             return Err(ServeError::DeadlineExceeded { stage: DeadlineStage::Admission });
         }
-        if let Some(report) = oracle {
-            if oracle_decision(report).is_some() {
-                sh.oracle_decided.fetch_add(1, Ordering::Relaxed);
-                let slot = Slot::new();
-                let census = sh.registry.current().census.clone();
-                slot.fulfil(Ok(Classification::from_oracle(report, census)));
-                return Ok(Ticket { slot, submitted_at: Instant::now() });
-            }
+        if let Some(make) = answer {
+            sh.oracle_decided.fetch_add(1, Ordering::Relaxed);
+            let slot = Slot::new();
+            let census = sh.registry.current().census.clone();
+            slot.fulfil(Ok(make(census)));
+            return Ok(Ticket { slot, submitted_at: Instant::now() });
         }
         self.enqueue(sample, deadline)
     }
@@ -395,6 +432,17 @@ impl Server {
         deadline: Deadline,
     ) -> ServeResult<Classification> {
         self.submit_analyzed(sample, oracle, deadline)?.wait()
+    }
+
+    /// Closed-loop convenience over [`Self::submit_planned`] +
+    /// [`Ticket::wait`].
+    pub fn classify_planned(
+        &self,
+        sample: Arc<GraphSample>,
+        plan: Option<&LoopPlan>,
+        deadline: Deadline,
+    ) -> ServeResult<Classification> {
+        self.submit_planned(sample, plan, deadline)?.wait()
     }
 
     /// Compile `src` and classify every loop of its `main` function.

@@ -504,6 +504,27 @@ fn oracle_storm_never_occupies_a_micro_batch_slot() {
     assert_eq!(c.source, PredictionSource::Oracle);
     assert!(c.oracle_facts.is_some(), "tier-0 answers carry the facts: {c:?}");
     assert_eq!(c.batched_with, 0);
+    assert!(c.pragma.is_none(), "a bare report has no rendered plan: {c:?}");
+
+    // The planned path answers at submit time too, with the pragma.
+    for (i, info) in module.funcs[entry.index()].loops.iter().enumerate() {
+        let plan = mvgnn_analyze::plan_from_report(&module, entry, info.id, &reports[i]);
+        assert!(plan.proved(), "{plan:?}");
+        let c = server
+            .classify_planned(
+                Arc::clone(&inputs.samples[0]),
+                Some(&plan),
+                Deadline::within(Duration::from_secs(5)),
+            )
+            .expect("plan-decided request");
+        assert_eq!(c.decided_by, mvgnn_core::DecidedBy::Oracle);
+        assert_eq!(c.pragma.as_deref(), Some(plan.pragma.as_str()), "{c:?}");
+        assert_eq!(
+            Some(c.prediction),
+            plan.proved_binary(),
+            "the answer must restate the proof: {c:?}"
+        );
+    }
 
     // The GNN path still works after the storm (nothing was wedged).
     let gnn = server

@@ -37,7 +37,11 @@ fn mm_kernel<const MRB: usize, const NRB: usize>(
 ) {
     let mut acc = [[0.0f32; NRB]; MRB];
     for p in 0..k {
-        let brow: &[f32; NRB] = b[p * n + j0..p * n + j0 + NRB].try_into().unwrap();
+        // The range is exactly NRB long, so the conversion always
+        // succeeds; the `else` arm only keeps this panic-free.
+        let Ok(brow) = <&[f32; NRB]>::try_from(&b[p * n + j0..p * n + j0 + NRB]) else {
+            continue;
+        };
         for (r, accr) in acc.iter_mut().enumerate() {
             let av = at[r * k + p];
             for j in 0..NRB {

@@ -40,6 +40,9 @@ cargo run --release -p mvgnn-bench --bin cascade --quiet -- --smoke
 echo "==> coldstart smoke (mapped MVCK-v2 loads, bit parity, cold start <= eager)"
 cargo run --release -p mvgnn-bench --bin coldstart --quiet -- --smoke
 
+echo "==> patterns smoke (planner proves in every family, zero rule-C contradictions)"
+cargo run --release -p mvgnn-bench --bin patterns --quiet -- --smoke
+
 echo "==> rustdoc (-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -16,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE=21
+BASELINE=19
 
 count_file() {
     # Strip everything from the first `#[cfg(test)]` line onward, drop
